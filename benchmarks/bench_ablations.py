@@ -1,0 +1,224 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+Each bench sweeps one knob of Algorithm 2 / Algorithm 3 on a shared
+Table V-style instance and prints the trade-off table:
+
+* ``beta`` — the opening-budget ratio (cost doubles every beta*k arrivals);
+* ``L`` — the penalty tolerance level;
+* fixed penalty types vs the KS-selected switch;
+* exact Peacock KS vs the fast Fasano–Franceschini variant;
+* the shift-reset latch on/off under a late demand surge;
+* the incentive position cap of Algorithm 3.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import EsharingConfig, esharing_placement
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.table5_plp_comparison import build_instance
+from repro.geo import Point
+from repro.stats import ks2d_fast, ks2d_peacock
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_instance(seed=0, volume=1200)
+
+
+def _run_es(instance, config, seed=3):
+    from repro.core import offline_placement
+
+    anchor = offline_placement(instance.historical_demands, instance.facility_cost)
+    return esharing_placement(
+        instance.test_stream,
+        anchor.stations,
+        instance.facility_cost,
+        instance.historical_sample,
+        np.random.default_rng(seed),
+        config,
+    )
+
+
+def _print(result: ExperimentResult) -> None:
+    print()
+    print(result.to_text())
+
+
+def test_ablation_beta(benchmark, instance):
+    """Larger beta delays the cost doubling => more online openings."""
+
+    def run():
+        rows = []
+        for beta in (1.0, 1.5, 2.0, 4.0):
+            res = _run_es(instance, EsharingConfig(beta=beta))
+            rows.append(
+                [beta, res.n_stations, len(res.online_opened), round(res.total / 1000, 1)]
+            )
+        return ExperimentResult(
+            "Ablation: beta", "opening-budget ratio of Algorithm 2",
+            ["beta", "# stations", "opened online", "total (km)"], rows,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print(result)
+    opened = result.column("opened online")
+    assert opened[-1] >= opened[0], "a laxer budget cannot open fewer stations"
+
+
+def test_ablation_tolerance(benchmark, instance):
+    """Larger L tolerates more deviation => fewer forced openings far out."""
+
+    def run():
+        rows = []
+        for L in (50.0, 200.0, 800.0):
+            res = _run_es(instance, EsharingConfig(tolerance_m=L))
+            rows.append([L, res.n_stations, round(res.walking / 1000, 1),
+                         round(res.total / 1000, 1)])
+        return ExperimentResult(
+            "Ablation: L", "penalty tolerance level",
+            ["L (m)", "# stations", "walking (km)", "total (km)"], rows,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print(result)
+    assert len(result.rows) == 3
+
+
+def test_ablation_fixed_vs_selected_penalty(benchmark, instance):
+    """The KS-selected switch should be competitive with the best fixed type."""
+
+    def run():
+        rows = []
+        totals = {}
+        for name in ("selected", "type_i", "type_ii", "type_iii", "no_penalty"):
+            cfg = EsharingConfig() if name == "selected" else EsharingConfig(
+                fixed_penalty=name
+            )
+            res = _run_es(instance, cfg)
+            totals[name] = res.total
+            rows.append([name, res.n_stations, round(res.total / 1000, 1)])
+        return ExperimentResult(
+            "Ablation: penalty selection", "fixed types vs KS-switched",
+            ["penalty", "# stations", "total (km)"], rows,
+            extras={"totals": totals},
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print(result)
+    totals = result.extras["totals"]
+    best_fixed = min(v for k, v in totals.items() if k != "selected")
+    assert totals["selected"] <= best_fixed * 1.25, (
+        "the KS-selected switch must stay near the best fixed penalty"
+    )
+
+
+def test_ablation_exact_vs_fast_ks(benchmark):
+    """Exact Peacock is tighter but slower; fast is the online default."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(400, 2))
+    b = rng.normal(loc=0.5, size=(400, 2))
+
+    def run():
+        t0 = time.perf_counter()
+        fast = ks2d_fast(a, b)
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        exact = ks2d_peacock(a, b, max_grid=64)
+        t_exact = time.perf_counter() - t0
+        return ExperimentResult(
+            "Ablation: KS variant", "exact Peacock vs fast quadrant test",
+            ["variant", "D", "time (ms)"],
+            [
+                ["fast", round(fast.statistic, 4), round(t_fast * 1000, 2)],
+                ["peacock", round(exact.statistic, 4), round(t_exact * 1000, 2)],
+            ],
+            extras={"fast": fast, "exact": exact},
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print(result)
+    assert result.extras["exact"].statistic >= result.extras["fast"].statistic - 1e-12
+
+
+def test_ablation_reset_on_shift(benchmark, instance):
+    """Without the reset latch, a late surge cannot be absorbed."""
+    surge_center = Point(2900.0, 2900.0)
+    rng = np.random.default_rng(5)
+    surge = [
+        Point(
+            float(np.clip(surge_center.x + rng.normal(0, 60), 0, 3000)),
+            float(np.clip(surge_center.y + rng.normal(0, 60), 0, 3000)),
+        )
+        for _ in range(250)
+    ]
+    stream = list(instance.test_stream) + surge
+
+    def run():
+        from repro.core import offline_placement
+
+        anchor = offline_placement(instance.historical_demands, instance.facility_cost)
+        rows = []
+        near = {}
+        for reset in (False, True):
+            res = esharing_placement(
+                stream, anchor.stations, instance.facility_cost,
+                instance.historical_sample, np.random.default_rng(6),
+                EsharingConfig(reset_on_shift=reset),
+            )
+            near[reset] = sum(
+                1 for i in res.online_opened
+                if res.stations[i].distance_to(surge_center) < 400.0
+            )
+            rows.append([str(reset), res.n_stations, near[reset]])
+        return ExperimentResult(
+            "Ablation: reset_on_shift", "budget reset at a detected regime shift",
+            ["reset", "# stations", "stations near surge"], rows,
+            extras={"near": near},
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print(result)
+    assert result.extras["near"][True] > result.extras["near"][False]
+
+
+def test_ablation_incentive_position_cap(benchmark):
+    """The cap trades incentive spend against relocation volume."""
+
+    def run():
+        from repro.energy import Fleet
+        from repro.incentives import (ChargingCostParams, IncentiveConfig,
+                                      IncentiveMechanism, UserPopulation)
+
+        rows = []
+        for cap in (3, 10, 30):
+            stations = [Point(500.0 * i, 500.0 * (i % 3)) for i in range(12)]
+            fleet = Fleet(stations, n_bikes=240, rng=np.random.default_rng(1))
+            mech = IncentiveMechanism(
+                fleet,
+                ChargingCostParams(service_cost=60.0),
+                config=IncentiveConfig(alpha=0.4, position_cap=cap),
+                population=UserPopulation(reward_mean=3.0, reward_std=2.0,
+                                          walk_mean=600.0, walk_std=200.0),
+                rng=np.random.default_rng(2),
+            )
+            rng2 = np.random.default_rng(3)
+            for _ in range(300):
+                origin = int(rng2.integers(len(stations)))
+                dest = int(rng2.integers(len(stations)))
+                if origin == dest:
+                    continue
+                mech.offer_ride(origin, dest, stations[dest])
+            rows.append([cap, round(mech.total_incentives_paid, 0),
+                         mech.offers_accepted])
+        return ExperimentResult(
+            "Ablation: position cap", "incentive budgeting of Algorithm 3",
+            ["cap", "incentives ($)", "accepted"], rows,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print(result)
+    paid = result.column("incentives ($)")
+    assert paid[0] <= paid[-1], "a larger cap cannot pay less per relocation"

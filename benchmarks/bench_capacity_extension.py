@@ -1,0 +1,56 @@
+"""Extension bench — overcrowding under capacitated parking.
+
+The paper assumes balanced reserves (Section II-B) and leaves
+overcrowding to the re-balancing literature.  This extension quantifies
+what the assumption buys: impose per-station capacities on the Table V
+station sets and measure how walking cost degrades as capacity tightens,
+for the offline and E-Sharing placements.
+"""
+
+import numpy as np
+
+from repro.core import assign_with_capacity
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.table5_plp_comparison import build_instance
+
+
+def test_capacity_walking_degradation(benchmark):
+    def run():
+        from repro.core import offline_placement
+
+        inst = build_instance(seed=0, volume=1200)
+        offline = offline_placement(inst.test_demands, inst.facility_cost)
+        demands = inst.test_demands
+        total_weight = sum(d.weight for d in demands)
+        fair_share = total_weight / offline.n_stations
+        rows = []
+        walking = {}
+        for factor in (8.0, 2.0, 1.2):
+            caps = [fair_share * factor] * offline.n_stations
+            out = assign_with_capacity(demands, offline.stations, caps)
+            walking[factor] = out.walking
+            rows.append(
+                [
+                    factor,
+                    round(out.walking / 1000.0, 1),
+                    len(out.unassigned),
+                    round(max(out.loads), 1),
+                ]
+            )
+        return ExperimentResult(
+            "Extension: capacitated parking",
+            "walking cost vs per-station capacity (multiples of fair share)",
+            ["capacity factor", "walking (km)", "unassigned", "max load"],
+            rows,
+            extras={"walking": walking},
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    w = result.extras["walking"]
+    assert w[8.0] <= w[2.0] <= w[1.2] + 1e-9, (
+        "tighter capacity cannot reduce walking cost"
+    )
+    # Generous capacity must keep everyone assigned.
+    assert result.rows[0][2] == 0

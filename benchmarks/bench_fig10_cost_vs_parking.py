@@ -1,0 +1,15 @@
+"""Fig. 10 bench — total cost vs number of parking per random sub-area.
+
+Shape assertion: averaged over windows, E-Sharing's totals hug the
+offline frontier while Meyerson sits above and online k-means far above.
+"""
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_cost_vs_parking(run_once):
+    result = run_once(run_fig10, seed=0, n_windows=8)
+    means = result.extras["means"]
+    assert means["offline"] <= means["esharing"] * 1.05
+    assert means["esharing"] < means["meyerson"] * 1.05
+    assert means["meyerson"] < means["online_kmeans"]

@@ -1,0 +1,20 @@
+"""Fig. 11 bench — low-energy distributions before/after incentives.
+
+Paper: after incentives the low-energy bikes concentrate onto fewer
+charging sites and the operator's route shortens.
+"""
+
+from repro.experiments import run_fig11
+
+
+def test_fig11_lowenergy_heatmap(run_once):
+    result = run_once(run_fig11, seed=0)
+    sites_note = result.notes[0]
+    parts = sites_note.split(":")[1]
+    base_sites = int(parts.split("(")[0])
+    inc_sites = int(parts.split("vs")[1].split("(")[0])
+    assert inc_sites < base_sites, "incentives must reduce the demand sites"
+    dist_note = result.notes[1]
+    base_km = float(dist_note.split(":")[1].split("km")[0])
+    inc_km = float(dist_note.split("vs")[1].split("km")[0])
+    assert inc_km <= base_km, "the charging tour must not get longer"

@@ -1,0 +1,16 @@
+"""Fig. 4 bench — offline 1.61-factor vs Meyerson on 100 uniform arrivals.
+
+Paper's instance: offline ~5 stations / total 41795 m; Meyerson ~9
+stations / 65400 m (+56%).  The shape assertion: Meyerson opens more and
+costs more.
+"""
+
+from repro.experiments import run_fig4
+
+
+def test_fig4_offline_vs_meyerson(run_once):
+    result = run_once(run_fig4, seed=0, trials=20)
+    offline = result.row_by("algorithm", "offline")
+    meyerson = result.row_by("algorithm", "meyerson")
+    assert meyerson[1] > offline[1], "Meyerson must open more parking"
+    assert meyerson[4] > offline[4] * 1.2, "Meyerson total must be well above offline"

@@ -1,0 +1,17 @@
+"""Fig. 5 bench — penalty-function shapes g(c) and derivatives over [0, 3L].
+
+Shape assertions: Type II plunges to 0 at L; Type I keeps >0.2 beyond 3L;
+Type III sits between the two at mid-range.
+"""
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_penalty_shapes(run_once):
+    result = run_once(run_fig5, tolerance=200.0, n_points=13)
+    at_L = result.row_by("c (m)", 200.0)
+    assert at_L[2] == 0.0, "Type II must cut off exactly at L"
+    at_3L = result.row_by("c (m)", 600.0)
+    assert at_3L[1] > 0.2, "Type I must keep a tail beyond 3L"
+    at_mid = result.row_by("c (m)", 300.0)
+    assert at_mid[2] < at_mid[3] < at_mid[1], "Type III between II and I at 1.5L"

@@ -1,0 +1,17 @@
+"""Fig. 6 bench — Algorithm 2 vs Meyerson, plus the unknown-distribution case.
+
+Paper: E-Sharing's total is 23% below Meyerson on the example instance,
+and ~3 extra online stations absorb arrivals from an unknown hotspot.
+"""
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_esharing_example(run_once):
+    result = run_once(run_fig6, seed=0, trials=20)
+    es = result.row_by("algorithm", "esharing")
+    mey = result.row_by("algorithm", "meyerson")
+    assert es[4] < mey[4], "E-Sharing must beat Meyerson's total"
+    unknown_note = next(n for n in result.notes if "unknown distribution" in n)
+    opened = float(unknown_note.split(":")[1].split("stations")[0])
+    assert opened >= 1.0, "unknown hotspot must trigger online openings"

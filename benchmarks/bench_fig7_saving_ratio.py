@@ -1,0 +1,23 @@
+"""Fig. 7 bench — aggregation saving ratios (Eq. 11).
+
+Paper: m/n ~ 0.65 yields ~50% saving; saving climbs sharply with the
+delay cost and slowly with the service cost.
+"""
+
+from repro.experiments import run_fig7a, run_fig7b
+
+
+def test_fig7a_saving_vs_m(run_once):
+    result = run_once(run_fig7a, n=20)
+    mid = result.row_by("m", 13)  # m/n = 0.65
+    assert 0.35 <= mid[2] <= 0.65, "m/n=0.65 should save roughly half"
+    savings = result.column("saving ratio")
+    assert all(a >= b for a, b in zip(savings, savings[1:])), "monotone in m"
+
+
+def test_fig7b_saving_vs_costs(run_once):
+    result = run_once(run_fig7b, n=20)
+    col = result.headers.index("m=10")
+    low_d = result.row_by("d ($)", 0.5)[col]
+    rows_high_d = [r for r in result.rows if r[1] == 20.0 and r[0] == 1.0]
+    assert rows_high_d[0][col] > low_d, "saving climbs with the delay cost"

@@ -1,0 +1,23 @@
+"""Fig. 8 bench — actual vs LSTM-predicted hourly requests.
+
+Shape assertions: the weekday prediction tracks the commute double peak
+(morning hours predicted well above midnight hours) and both regimes'
+RMSE stays far below the series' dynamic range.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_actual_vs_predicted(run_once):
+    result = run_once(run_fig8, seed=0, epochs=30)
+    weekday = [r for r in result.rows if r[0] == "weekday"]
+    actual = np.asarray([r[2] for r in weekday], dtype=float)
+    predicted = np.asarray([r[3] for r in weekday], dtype=float)
+    assert len(weekday) >= 20
+    # Prediction must track the diurnal shape, not just the mean.
+    corr = np.corrcoef(actual, predicted)[0, 1]
+    assert corr > 0.8, f"prediction should track the daily pattern, corr={corr:.2f}"
+    rmse = result.extras["rmse"]
+    assert rmse["weekday"] < actual.max() * 0.35

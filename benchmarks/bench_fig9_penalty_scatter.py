@@ -1,0 +1,25 @@
+"""Fig. 9 bench — spatial scatter of parking per penalty function.
+
+Shape assertions on the paper's visual claims: penalties open fewer
+stations than no-penalty; Type II aggregates them closest to the origin
+(its stations never exceed the others' reach); Type I keeps the widest
+footprint among the penalties.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig9
+from repro.geo import Point
+
+
+def test_fig9_penalty_scatter(run_once):
+    result = run_once(run_fig9, seed=0, distribution="poisson")
+    opened = {r[0]: r[1] for r in result.rows}
+    mean_radius = {r[0]: r[2] for r in result.rows}
+    assert opened["type_ii"] < opened["type_i"] <= opened["no_penalty"]
+    assert mean_radius["type_ii"] <= mean_radius["type_i"]
+    # Every scatter stays anchored around the origin (Fig. 9's framing).
+    for name, stations in result.extras["scatters"].items():
+        if stations:
+            center = np.mean([[p.x, p.y] for p in stations], axis=0)
+            assert np.linalg.norm(center) < 200.0, name

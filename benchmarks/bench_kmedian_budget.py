@@ -1,0 +1,45 @@
+"""Extension bench — k-median budgets vs P1's cost-driven station count.
+
+Municipalities often cap the number of parking zones outright instead of
+pricing space.  Sweeping the k-median budget around the P1 solution's own
+station count shows the walking-cost curve the regulator trades against:
+steep below the P1 count, flat above it — evidence the cost-based
+formulation already sits near the knee.
+"""
+
+from repro.core import kmedian_placement, offline_placement
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.table5_plp_comparison import build_instance
+
+
+def test_kmedian_budget_sweep(benchmark):
+    def run():
+        inst = build_instance(seed=0, volume=1200)
+        offline = offline_placement(inst.test_demands, inst.facility_cost)
+        k_star = offline.n_stations
+        rows = []
+        walking = {}
+        for factor, k in (("k*/2", k_star // 2), ("k*", k_star),
+                          ("2k*", 2 * k_star)):
+            res = kmedian_placement(inst.test_demands, k=max(1, k))
+            walking[factor] = res.walking
+            rows.append([factor, max(1, k), round(res.walking / 1000, 1)])
+        rows.append(["P1 (cost-based)", k_star, round(offline.walking / 1000, 1)])
+        return ExperimentResult(
+            "Extension: k-median budgets",
+            "walking cost vs station budget around the P1 solution's count",
+            ["budget", "k", "walking (km)"],
+            rows,
+            extras={"walking": walking, "offline_walking": offline.walking},
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    w = result.extras["walking"]
+    # The knee: halving the budget hurts much more than doubling helps.
+    loss_below = w["k*/2"] - w["k*"]
+    gain_above = w["k*"] - w["2k*"]
+    assert loss_below > gain_above > 0
+    # At the same k, pure k-median cannot walk more than P1's solution.
+    assert w["k*"] <= result.extras["offline_walking"] * 1.05

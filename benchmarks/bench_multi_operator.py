@@ -1,0 +1,55 @@
+"""Extension bench — multi-operator scheduling vs the single-operator tour.
+
+Section V-E's closing suggestion: "schedule the operators more frequently
+during rush hours to the low-energy demand sites."  Splitting the demand
+sites among k operators leaves the service cost unchanged but cuts the
+quadratic delay term by ~k and the makespan by ~k — quantified here on a
+realistic site layout.
+"""
+
+import numpy as np
+
+from repro.energy import Fleet
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.table6_incentives import run_incentive_scenario
+from repro.incentives import ChargingCostParams
+from repro.routing import plan_multi_operator
+
+
+def test_multi_operator_scheduling(benchmark):
+    def run():
+        # Realistic demand sites: the alpha=0 Tier-2 scenario's pre-tour map.
+        scenario = run_incentive_scenario(0.0, seed=0, volume=1200)
+        service = scenario.report.service
+        sites = [scenario.stations[s] for s in service.served_stations]
+        params = ChargingCostParams(service_cost=60.0, delay_cost=5.0)
+        rows = []
+        plans = {}
+        for k in (1, 2, 3, 4):
+            plan = plan_multi_operator(sites, k, params, np.random.default_rng(k))
+            plans[k] = plan
+            rows.append(
+                [
+                    k,
+                    round(plan.service_cost, 0),
+                    round(plan.delay_cost, 0),
+                    round(plan.infrastructure_cost, 0),
+                    plan.makespan_sites,
+                    round(plan.total_travel_m / 1000, 1),
+                ]
+            )
+        return ExperimentResult(
+            "Extension: multi-operator scheduling",
+            "k operators over the same charging demand sites",
+            ["k", "service ($)", "delay ($)", "infra total ($)", "makespan (sites)", "travel (km)"],
+            rows,
+            extras={"plans": plans, "n_sites": len(sites)},
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    plans = result.extras["plans"]
+    assert plans[4].delay_cost < plans[2].delay_cost < plans[1].delay_cost
+    assert plans[4].makespan_sites < plans[1].makespan_sites
+    assert plans[4].service_cost == plans[1].service_cost

@@ -1,0 +1,55 @@
+"""Ablation bench — how near-optimal is the 1.61-factor greedy?
+
+Refines Algorithm 1's output with open/close/swap local search.  The gap
+local search closes upper-bounds what the greedy left on the table; the
+paper calls the offline solution "near-optimal", so the gap should be a
+few percent at most.
+"""
+
+import numpy as np
+
+from repro.core import (
+    DemandPoint,
+    constant_facility_cost,
+    offline_placement,
+    refine_placement,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.geo import Point
+
+
+def test_offline_greedy_vs_local_search(benchmark):
+    def run():
+        rows = []
+        gaps = []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            demands = [
+                DemandPoint(Point(float(x), float(y)))
+                for x, y in rng.uniform(0, 1500, size=(60, 2))
+            ]
+            cost_fn = constant_facility_cost(3000.0)
+            greedy = offline_placement(demands, cost_fn)
+            refined = refine_placement(greedy, cost_fn)
+            gap = 1.0 - refined.total / greedy.total
+            gaps.append(gap)
+            rows.append(
+                [seed, greedy.n_stations, round(greedy.total, 0),
+                 refined.n_stations, round(refined.total, 0),
+                 f"{100 * gap:.1f}%"]
+            )
+        return ExperimentResult(
+            "Ablation: offline refinement",
+            "1.61-factor greedy vs greedy + open/close/swap local search",
+            ["seed", "greedy #", "greedy total", "refined #", "refined total", "gap closed"],
+            rows,
+            extras={"mean_gap": float(np.mean(gaps))},
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.extras["mean_gap"] < 0.08, (
+        "the greedy must already be near a local optimum (paper: near-optimal)"
+    )
+    assert result.extras["mean_gap"] >= 0.0

@@ -1,0 +1,77 @@
+"""Extension bench — operator site-selection policies under a tight shift.
+
+When the shift cannot cover every demand site, which sites to take on is
+a policy decision.  The bench pits the paper's implicit visit-everything
+threshold policy against density triage and budget-aware coverage, on
+the same fleet state, scoring bikes charged within the shift.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.table6_incentives import _build_stations, N_BIKES
+from repro.core import EsharingPlanner
+from repro.energy import Fleet
+from repro.incentives import ChargingCostParams
+from repro.sim import (
+    BudgetCoveragePolicy,
+    ChargingOperator,
+    OperatorConfig,
+    ThresholdPolicy,
+    TopDensityPolicy,
+)
+
+
+def _fresh_fleet(seed=0):
+    anchor, historical, cost_fn, _ = _build_stations(seed, 1200)
+    planner = EsharingPlanner(
+        anchor.stations, cost_fn, historical, np.random.default_rng(seed + 11)
+    )
+    fleet = Fleet(planner.stations, n_bikes=N_BIKES, rng=np.random.default_rng(seed + 13))
+    return fleet
+
+
+def test_operator_policy_comparison(benchmark):
+    def run():
+        config = OperatorConfig(
+            working_hours=2.0, travel_speed_kmh=12.0, service_time_h=0.25
+        )
+        params = ChargingCostParams(service_cost=60.0)
+        policies = {
+            "threshold (visit all)": ThresholdPolicy(min_bikes=1),
+            "top-density triage": TopDensityPolicy(max_sites=7),
+            "budget coverage": BudgetCoveragePolicy(
+                budget_hours=2.0, travel_speed_kmh=12.0, service_time_h=0.25
+            ),
+        }
+        rows = []
+        in_shift = {}
+        for name, policy in policies.items():
+            fleet = _fresh_fleet()
+            report = ChargingOperator(params, config, policy=policy).service_period(fleet)
+            in_shift[name] = report.bikes_charged_in_shift
+            rows.append(
+                [
+                    name,
+                    report.stations_served,
+                    report.bikes_charged_in_shift,
+                    round(report.percent_charged, 1),
+                    round(report.service_cost + report.delay_cost, 0),
+                ]
+            )
+        return ExperimentResult(
+            "Extension: operator policies",
+            "site-selection policies under a 2 h shift",
+            ["policy", "sites owned", "charged in shift", "% charged", "infra cost ($)"],
+            rows,
+            extras={"in_shift": in_shift},
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    x = result.extras["in_shift"]
+    assert x["top-density triage"] >= x["threshold (visit all)"], (
+        "density triage must charge at least as many bikes within the shift"
+    )
+    assert x["budget coverage"] >= x["threshold (visit all)"]

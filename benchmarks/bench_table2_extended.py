@@ -1,0 +1,28 @@
+"""Extension bench — Table II with seasonal statistical baselines.
+
+Hourly bike demand is strongly diurnal, so seasonal-naive and
+Holt-Winters are the *fair* statistical baselines the paper's MA/ARIMA
+grid omits.  The extension asks whether the LSTM's edge survives: the
+seasonal baselines should crush MA/ARIMA, and the LSTM should remain at
+least competitive with them.
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2_with_seasonal_baselines(run_once):
+    result = run_once(run_table2, seed=0, fast=True, include_seasonal=True)
+    rmse = {(r[0], r[1]): r[2] for r in result.rows}
+    best_lstm = min(v for (m, _), v in rmse.items() if m.startswith("LSTM"))
+    best_ma_arima = min(
+        v for (m, _), v in rmse.items() if m in ("MA", "ARIMA")
+    )
+    best_seasonal = min(
+        v for (m, _), v in rmse.items() if m in ("SeasonalNaive", "HoltWinters")
+    )
+    assert best_seasonal < best_ma_arima, (
+        "seasonal baselines must beat the non-seasonal statistical grid"
+    )
+    assert best_lstm < best_seasonal * 1.5, (
+        "the LSTM must stay competitive with the fair seasonal baselines"
+    )

@@ -1,0 +1,24 @@
+"""Table V bench — the main Tier-1 comparison.
+
+Paper: offline 16 / 393.5; Meyerson 32.9 / 609.3; online k-means
+45.2 / 1754.3; E-sharing actual 25.3 / 460.0; predicted 26.0 / 487.6.
+Shape assertions: total ordering offline < E-sharing < Meyerson <<
+online k-means; E-sharing within 35% of offline; prediction gap small.
+"""
+
+from repro.experiments import run_table5
+
+
+def test_table5_plp_comparison(run_once):
+    result = run_once(run_table5, seed=0)
+    total = {r[0]: r[4] for r in result.rows}
+    assert total["Offline*"] < total["E-sharing (actual)"]
+    assert total["E-sharing (actual)"] < total["Meyerson"]
+    assert total["Meyerson"] < total["Online k-means"]
+    assert total["E-sharing (actual)"] < total["Offline*"] * 1.35, (
+        "E-sharing must stay near the offline frontier (paper: within ~17-25%)"
+    )
+    gap = abs(total["E-sharing (predicted)"] / total["E-sharing (actual)"] - 1.0)
+    assert gap < 0.20, "prediction error must stay a small perturbation (paper: 6%)"
+    stations = {r[0]: r[1] for r in result.rows}
+    assert stations["Offline*"] <= stations["E-sharing (actual)"] < stations["Online k-means"]

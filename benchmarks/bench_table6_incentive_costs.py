@@ -1,0 +1,32 @@
+"""Table VI / Fig. 12 bench — charging cost breakdown per incentive level.
+
+Paper: alpha = 0.4 minimises the total at a 47% saving; incentives cut
+service cost ~64% and delay cost ~88%; % charged rises from 42.3% to
+80-96%; the moving distance drops 17.5%.
+"""
+
+from repro.experiments import run_fig12, run_table6
+
+
+def test_table6_incentive_costs(run_once):
+    result = run_once(run_table6, seed=0)
+    totals = result.extras["totals"]
+    best_alpha = min(totals, key=totals.get)
+    assert 0.0 < best_alpha < 1.0, "a moderate alpha must win (paper: 0.4)"
+    saving = 1.0 - totals[best_alpha] / totals[0.0]
+    assert saving > 0.25, f"saving {saving:.0%} too small (paper: 47%)"
+    rows = {r[0]: r for r in result.rows}
+    assert rows["alpha=0.7"][1] < rows["alpha=0.0"][1], "service cost must fall"
+    assert rows["alpha=0.7"][2] < rows["alpha=0.0"][2], "delay cost must fall"
+    assert rows["alpha=0.7"][6] > rows["alpha=0.0"][6], "% charged must rise"
+    assert rows["alpha=0.7"][7] < rows["alpha=0.0"][7], "tour must shorten"
+
+
+def test_fig12_cost_vs_service_cost(run_once):
+    result = run_once(run_fig12, seed=0, service_costs=[10.0, 60.0], alphas=[0.0, 0.4])
+    def total(q, alpha):
+        return next(r[2] for r in result.rows if r[0] == q and r[1] == alpha)
+    # Incentives help most where the per-stop service cost is high.
+    saving_low_q = total(10.0, 0.0) - total(10.0, 0.4)
+    saving_high_q = total(60.0, 0.0) - total(60.0, 0.4)
+    assert saving_high_q > saving_low_q

@@ -1,0 +1,15 @@
+"""Theorem 1 bench — competitive-ratio growth on the adversarial instance.
+
+The geometric sequence (2^-i, 2^-i) with f = 2: the online/offline ratio
+must keep growing with the instance size, illustrating that no online
+PLP algorithm is O(1)-competitive.
+"""
+
+from repro.experiments import run_thm1
+
+
+def test_thm1_lower_bound(run_once):
+    result = run_once(run_thm1, max_n=30, trials=50)
+    ratios = result.column("mean online/offline ratio")
+    assert ratios[-1] > ratios[len(ratios) // 2] > ratios[0], "ratio must keep growing"
+    assert ratios[-1] > 1.5

@@ -1,0 +1,62 @@
+"""Performance benchmarks — serving throughput of the online loop.
+
+Unlike the table/figure benches (one pedantic round each, the output is
+the table), these measure real latency: requests/second through
+Algorithm 2's decision path and the periodic KS test, the two hot spots
+of the server backend.  pytest-benchmark runs them with its normal
+multi-round protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EsharingConfig,
+    EsharingPlanner,
+    constant_facility_cost,
+)
+from repro.geo import Point
+from repro.stats import ks2d_fast
+
+
+@pytest.fixture(scope="module")
+def planner_factory():
+    rng = np.random.default_rng(0)
+    anchors = [Point(float(x), float(y)) for x, y in rng.uniform(0, 3000, (25, 2))]
+    historical = rng.uniform(0, 3000, (800, 2))
+    stream = [Point(float(x), float(y)) for x, y in rng.uniform(0, 3000, (500, 2))]
+
+    def make():
+        planner = EsharingPlanner(
+            anchors, constant_facility_cost(10_000.0), historical,
+            np.random.default_rng(1), EsharingConfig(),
+        )
+        return planner, stream
+
+    return make
+
+
+def test_offer_throughput(benchmark, planner_factory):
+    """Algorithm 2 must serve a 500-request burst in well under a second."""
+
+    def serve():
+        planner, stream = planner_factory()
+        for p in stream:
+            planner.offer(p)
+        return len(planner.decisions)
+
+    served = benchmark(serve)
+    assert served == 500
+    # > 1000 requests/second on any reasonable machine.
+    assert benchmark.stats["mean"] < 0.5
+
+
+def test_ks_test_latency(benchmark):
+    """One periodic KS check (800 vs 800 points) stays under ~100 ms."""
+    rng = np.random.default_rng(2)
+    a = rng.normal(size=(800, 2))
+    b = rng.normal(loc=0.3, size=(800, 2))
+
+    result = benchmark(lambda: ks2d_fast(a, b))
+    assert 0.0 <= result.statistic <= 1.0
+    assert benchmark.stats["mean"] < 0.5

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures
+via its experiment runner, prints the paper-shaped rows, and asserts the
+qualitative claims hold.  Expensive runners execute once per benchmark
+(``rounds=1``) — the interesting output is the table, not the timing.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark clock and print it."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+        print()
+        print(result.to_text())
+        return result
+
+    return _run

@@ -1,0 +1,8 @@
+"""Editable-install shim: this offline environment lacks the `wheel`
+package, so `pip install -e .` (PEP 660) cannot build an editable wheel.
+`python setup.py develop` installs the same editable package using only
+setuptools. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,9 @@
+"""E-Sharing: data-driven online optimization of parking location placement
+for dockless electric bike sharing (ICDCS 2020 reproduction).
+
+The public API re-exports the main entry points of each subsystem; see
+DESIGN.md for the module map and EXPERIMENTS.md for the paper-vs-measured
+record.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,113 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    esharing list
+    esharing run table5
+    esharing run table2 --seed 1 --csv out.csv
+    esharing run all
+    esharing stats                     # describe the synthetic workload
+    esharing stats --mobike trips.csv  # describe a real Mobike CSV
+
+(or ``python -m repro.cli ...``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="esharing",
+        description="E-Sharing (ICDCS 2020) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run.add_argument("--seed", type=int, default=0, help="RNG seed")
+    run.add_argument("--csv", default=None, help="also write rows to this CSV path")
+    stats = sub.add_parser(
+        "stats", help="describe a trip workload (synthetic or a Mobike CSV)"
+    )
+    stats.add_argument("--mobike", default=None, help="path to a Mobike-schema CSV")
+    stats.add_argument("--seed", type=int, default=0, help="synthetic workload seed")
+    stats.add_argument("--days", type=int, default=14, help="synthetic workload days")
+    stats.add_argument(
+        "--volume", type=int, default=1500, help="synthetic weekday trip volume"
+    )
+    return parser
+
+
+def _run_one(exp_id: str, seed: int, csv_path: Optional[str]) -> None:
+    runner = EXPERIMENTS[exp_id]
+    start = time.time()
+    result = runner(seed=seed)
+    elapsed = time.time() - start
+    print(result.to_text())
+    print(f"({exp_id} finished in {elapsed:.1f}s)")
+    if csv_path:
+        result.save_csv(csv_path)
+        print(f"rows written to {csv_path}")
+
+
+def _run_stats(args) -> int:
+    from .datasets import SyntheticConfig, describe, load_mobike_csv, mobike_like_dataset
+    from .geo import UniformGrid
+
+    if args.mobike:
+        dataset = load_mobike_csv(args.mobike)
+        source = args.mobike
+    else:
+        dataset = mobike_like_dataset(
+            seed=args.seed,
+            days=args.days,
+            config=SyntheticConfig(
+                trips_per_weekday=args.volume,
+                trips_per_weekend_day=int(args.volume * 0.75),
+            ),
+        )
+        source = f"synthetic (seed={args.seed}, days={args.days}, volume={args.volume})"
+    grid = UniformGrid(dataset.bounding_box(margin=50.0), cell_size=150.0)
+    print(f"workload: {source}")
+    print(describe(dataset, grid).to_text())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "stats":
+        return _run_stats(args)
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for key in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
+            print(f"{key.ljust(width)}  {doc}")
+        return 0
+    if args.experiment == "all":
+        for key in sorted(EXPERIMENTS):
+            _run_one(key, args.seed, None)
+            print()
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    _run_one(args.experiment, args.seed, args.csv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

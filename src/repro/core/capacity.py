@@ -1,0 +1,151 @@
+"""Capacitated assignment — the overcrowding extension.
+
+The paper assumes station reserves stay balanced by the re-balancing
+procedures of [9]-[11] (Section II-B) and notes overcrowding as an
+operational concern.  This module adds the capacitated variant: each
+parking can absorb at most ``capacity`` arrivals per period, and demand
+is assigned to the cheapest *feasible* station by a greedy
+regret-minimising heuristic, with a transportation-LP-like repair pass.
+
+It composes with any placement: take a :class:`PlacementResult`'s
+stations, impose capacities, and re-assign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..geo.points import Point
+from .costs import DemandPoint
+
+__all__ = ["CapacitatedAssignment", "assign_with_capacity"]
+
+
+@dataclass
+class CapacitatedAssignment:
+    """Outcome of a capacitated assignment.
+
+    Attributes:
+        assignment: per-demand station index, or -1 if the demand could
+            not be placed (insufficient total capacity).
+        walking: total weighted walking cost of placed demand.
+        loads: consumed capacity per station.
+        unassigned: indices of demands that did not fit.
+    """
+
+    assignment: List[int]
+    walking: float
+    loads: List[float]
+    unassigned: List[int]
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether every demand found a station."""
+        return not self.unassigned
+
+
+def assign_with_capacity(
+    demands: Sequence[DemandPoint],
+    stations: Sequence[Point],
+    capacities: Sequence[float],
+) -> CapacitatedAssignment:
+    """Assign weighted demand to stations under capacity limits.
+
+    Uses the classic *regret* heuristic: repeatedly commit the demand
+    whose gap between its best and second-best feasible station is
+    largest (those are the riskiest to defer), then a single repair pass
+    that relocates demand from overloaded detours if a cheaper feasible
+    station freed up.  Demands are treated atomically (a grid's arrivals
+    stay together, matching P1's ``x_ij`` being 0/1 per grid).
+
+    Args:
+        demands: weighted demand points.
+        stations: parking locations.
+        capacities: per-station capacity, aligned with ``stations``.
+
+    Returns:
+        A :class:`CapacitatedAssignment`.
+
+    Raises:
+        ValueError: on length mismatch, negative capacities, or demand
+            with no stations.
+    """
+    demands = list(demands)
+    stations = list(stations)
+    caps = np.asarray(capacities, dtype=float)
+    if len(stations) != caps.size:
+        raise ValueError(
+            f"{len(stations)} stations but {caps.size} capacities"
+        )
+    if np.any(caps < 0):
+        raise ValueError("capacities cannot be negative")
+    if demands and not stations:
+        raise ValueError("no stations to assign demand to")
+    n_d = len(demands)
+    if n_d == 0:
+        return CapacitatedAssignment([], 0.0, caps.tolist(), [])
+
+    d_xy = np.asarray([(d.location.x, d.location.y) for d in demands])
+    s_xy = np.asarray([(p.x, p.y) for p in stations])
+    weights = np.asarray([d.weight for d in demands])
+    dist = np.sqrt(((d_xy[:, None, :] - s_xy[None, :, :]) ** 2).sum(axis=-1))
+    cost = dist * weights[:, None]
+
+    remaining = caps.copy()
+    assignment = np.full(n_d, -1, dtype=int)
+    todo = set(range(n_d))
+    while todo:
+        best_j: Dict[int, int] = {}
+        regret = {}
+        for jdx in todo:
+            feas = np.flatnonzero(remaining >= weights[jdx])
+            if feas.size == 0:
+                continue
+            costs = cost[jdx, feas]
+            order = np.argsort(costs, kind="stable")
+            best_j[jdx] = int(feas[order[0]])
+            second = float(costs[order[1]]) if order.size > 1 else float("inf")
+            regret[jdx] = second - float(costs[order[0]])
+        if not best_j:
+            break  # nothing fits anywhere
+        # Commit the highest-regret demand (ties: heaviest first).
+        pick = max(best_j, key=lambda j: (regret[j], weights[j], -j))
+        station = best_j[pick]
+        assignment[pick] = station
+        remaining[station] -= weights[pick]
+        todo.remove(pick)
+
+    # Repair pass: a demand may now have a cheaper feasible alternative
+    # than the one the greedy order forced on it.
+    improved = True
+    passes = 0
+    while improved and passes < 5:
+        improved = False
+        passes += 1
+        for jdx in range(n_d):
+            cur = assignment[jdx]
+            if cur < 0:
+                continue
+            feas = np.flatnonzero(remaining >= weights[jdx])
+            if feas.size == 0:
+                continue
+            alt = int(feas[np.argmin(cost[jdx, feas])])
+            if cost[jdx, alt] + 1e-12 < cost[jdx, cur]:
+                remaining[cur] += weights[jdx]
+                remaining[alt] -= weights[jdx]
+                assignment[jdx] = alt
+                improved = True
+
+    placed = assignment >= 0
+    walking = float(cost[np.arange(n_d)[placed], assignment[placed]].sum())
+    loads = (caps - remaining).tolist()
+    unassigned = sorted(int(j) for j in np.flatnonzero(~placed))
+    return CapacitatedAssignment(
+        assignment=assignment.tolist(),
+        walking=walking,
+        loads=loads,
+        unassigned=unassigned,
+    )

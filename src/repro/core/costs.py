@@ -1,0 +1,148 @@
+"""Cost model of the Parking Location Placement problem (P1).
+
+Two conflicting terms (Section III-A):
+
+* **User dissatisfaction** ``c_ij = a_j * d_ij`` — expected arrivals at
+  grid ``j`` times walking distance to its assigned parking ``i``
+  (Definition 1).
+* **Space occupation** ``f_i`` — cost of opening a parking at ``i``
+  (Definition 2).
+
+All costs are expressed in metres; monetary facility costs convert at
+1 $ = 1000 m (Section III-C / V).  The evaluation draws ``f_i`` uniformly
+at random with a mean of 10 km (Section V, Experimental Parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..geo.points import Point
+
+__all__ = [
+    "DOLLARS_TO_METERS",
+    "DemandPoint",
+    "FacilityCostFn",
+    "constant_facility_cost",
+    "uniform_facility_cost",
+    "demand_points_from_stream",
+    "walking_cost",
+]
+
+DOLLARS_TO_METERS = 1000.0
+"""Conversion between monetary and walking-distance cost units (Section III-C)."""
+
+FacilityCostFn = Callable[[Point], float]
+"""Maps a candidate location to its space-occupation cost ``f_i`` (metres)."""
+
+
+@dataclass(frozen=True)
+class DemandPoint:
+    """A weighted destination: ``weight`` arrivals at ``location`` (``a_j``).
+
+    Raises:
+        ValueError: if the weight is not positive.
+    """
+
+    location: Point
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+    def cost_to(self, station: Point) -> float:
+        """Dissatisfaction ``c_ij = a_j * d_ij`` of assigning to ``station``."""
+        return self.weight * self.location.distance_to(station)
+
+
+def constant_facility_cost(cost: float) -> FacilityCostFn:
+    """A location-independent opening cost.
+
+    Raises:
+        ValueError: if the cost is negative.
+    """
+    if cost < 0:
+        raise ValueError(f"facility cost must be non-negative, got {cost}")
+
+    def fn(_: Point) -> float:
+        return cost
+
+    return fn
+
+
+def uniform_facility_cost(
+    mean: float, rng: np.random.Generator, half_width_fraction: float = 0.5
+) -> FacilityCostFn:
+    """Random-but-frozen opening costs, uniform around ``mean``.
+
+    Section V draws space-occupation costs "uniformly randomly distributed
+    with mean of 10 (km)".  Costs are drawn lazily per distinct location
+    and memoised so repeated queries are consistent within a run.
+
+    Raises:
+        ValueError: on a non-positive mean or a fraction outside [0, 1].
+    """
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    if not 0.0 <= half_width_fraction <= 1.0:
+        raise ValueError(
+            f"half_width_fraction must be in [0, 1], got {half_width_fraction}"
+        )
+    lo = mean * (1.0 - half_width_fraction)
+    hi = mean * (1.0 + half_width_fraction)
+    cache: dict = {}
+
+    def fn(location: Point) -> float:
+        if location not in cache:
+            cache[location] = float(rng.uniform(lo, hi))
+        return cache[location]
+
+    return fn
+
+
+def demand_points_from_stream(stream: Sequence[Point]) -> List[DemandPoint]:
+    """Collapse a destination stream into weighted demand points.
+
+    Repeated identical destinations merge into one :class:`DemandPoint`
+    with the multiplicity as weight — how the offline algorithm sees a
+    batch of binned arrivals.
+    """
+    counts: dict = {}
+    order: List[Point] = []
+    for p in stream:
+        if p not in counts:
+            order.append(p)
+            counts[p] = 0
+        counts[p] += 1
+    return [DemandPoint(p, float(counts[p])) for p in order]
+
+
+def walking_cost(
+    demands: Sequence[DemandPoint], stations: Sequence[Point]
+) -> Tuple[float, List[int]]:
+    """Nearest-station assignment cost of a finished placement.
+
+    Returns:
+        ``(total_walking_cost, assignment)`` where ``assignment[j]`` is
+        the index of the station serving demand ``j``.
+
+    Raises:
+        ValueError: if there are no stations but demand exists.
+    """
+    if not demands:
+        return 0.0, []
+    if not stations:
+        raise ValueError("no stations to assign demand to")
+    st = np.asarray([(s.x, s.y) for s in stations], dtype=float)
+    total = 0.0
+    assignment: List[int] = []
+    for d in demands:
+        dist = np.hypot(st[:, 0] - d.location.x, st[:, 1] - d.location.y)
+        idx = int(np.argmin(dist))
+        assignment.append(idx)
+        total += d.weight * float(dist[idx])
+    return total, assignment

@@ -1,0 +1,147 @@
+"""Local-search refinement for offline facility location.
+
+The classical open/close/swap local search: starting from any feasible
+station set, greedily apply the single move (open one candidate, close
+one station, or swap one for one) that most reduces the P1 objective,
+until no move improves.  Local search is itself a constant-factor
+approximation for UFL and, applied after the 1.61 greedy, certifies how
+"near-optimal" Algorithm 1's output really is (the gap it closes is an
+upper bound on what the greedy left on the table — see the
+``bench_offline_local_search`` ablation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geo.points import Point
+from .costs import DemandPoint, FacilityCostFn
+from .result import PlacementResult
+
+__all__ = ["local_search", "refine_placement"]
+
+
+def _assignment_cost(conn: np.ndarray, open_idx: Sequence[int]) -> float:
+    """Total connection cost of nearest assignment to ``open_idx``."""
+    return float(conn[list(open_idx), :].min(axis=0).sum())
+
+
+def local_search(
+    demands: Sequence[DemandPoint],
+    candidates: Sequence[Point],
+    facility_cost: FacilityCostFn,
+    initial_open: Sequence[int],
+    max_moves: int = 1000,
+) -> Tuple[List[int], float]:
+    """Improve a station set with open/close/swap moves.
+
+    Args:
+        demands: weighted demand points.
+        candidates: all candidate locations (indices refer to this list).
+        facility_cost: opening cost per candidate.
+        initial_open: indices of the initially open candidates (at least
+            one).
+        max_moves: safety cap on accepted moves.
+
+    Returns:
+        ``(open_indices, total_cost)`` at the local optimum.
+
+    Raises:
+        ValueError: on an empty candidate set, no demands with open
+            stations required, or an empty/out-of-range initial set.
+    """
+    demands = list(demands)
+    candidates = list(candidates)
+    if not candidates:
+        raise ValueError("no candidate locations")
+    if not initial_open:
+        raise ValueError("initial_open cannot be empty")
+    for i in initial_open:
+        if not 0 <= i < len(candidates):
+            raise ValueError(f"initial index {i} out of range")
+    if not demands:
+        open_set = sorted(set(initial_open))
+        return open_set, sum(facility_cost(candidates[i]) for i in open_set)
+
+    weights = np.asarray([d.weight for d in demands])
+    d_xy = np.asarray([(d.location.x, d.location.y) for d in demands])
+    c_xy = np.asarray([(p.x, p.y) for p in candidates])
+    diff = c_xy[:, None, :] - d_xy[None, :, :]
+    conn = np.sqrt((diff**2).sum(axis=-1)) * weights[None, :]
+    f = np.asarray([facility_cost(p) for p in candidates])
+
+    open_set: Set[int] = set(initial_open)
+
+    def total(open_s: Set[int]) -> float:
+        return _assignment_cost(conn, sorted(open_s)) + float(f[sorted(open_s)].sum())
+
+    current = total(open_set)
+    for _ in range(max_moves):
+        best_move: Optional[Set[int]] = None
+        best_cost = current
+        closed = [i for i in range(len(candidates)) if i not in open_set]
+        # Open moves.
+        for i in closed:
+            cand = open_set | {i}
+            cost = total(cand)
+            if cost < best_cost - 1e-9:
+                best_cost = cost
+                best_move = cand
+        # Close moves (keep at least one open).
+        if len(open_set) > 1:
+            for i in open_set:
+                cand = open_set - {i}
+                cost = total(cand)
+                if cost < best_cost - 1e-9:
+                    best_cost = cost
+                    best_move = cand
+        # Swap moves.
+        for i in open_set:
+            for j in closed:
+                cand = (open_set - {i}) | {j}
+                cost = total(cand)
+                if cost < best_cost - 1e-9:
+                    best_cost = cost
+                    best_move = cand
+        if best_move is None:
+            break
+        open_set = best_move
+        current = best_cost
+    return sorted(open_set), current
+
+
+def refine_placement(
+    result: PlacementResult,
+    facility_cost: FacilityCostFn,
+    candidates: Optional[Sequence[Point]] = None,
+    max_moves: int = 1000,
+) -> PlacementResult:
+    """Post-optimise a :class:`PlacementResult` with local search.
+
+    Candidates default to the union of the result's stations and its
+    demand locations.  The returned result's total is never worse.
+
+    Raises:
+        ValueError: if the result has no stations.
+    """
+    if not result.stations:
+        raise ValueError("cannot refine a placement with no stations")
+    if candidates is None:
+        seen = set(result.stations)
+        extra = [d.location for d in result.demands if d.location not in seen]
+        candidates = list(result.stations) + extra
+    candidates = list(candidates)
+    index_of = {p: i for i, p in enumerate(candidates)}
+    initial = sorted({index_of[s] for s in result.stations if s in index_of})
+    if not initial:
+        raise ValueError("none of the result's stations appear in the candidate set")
+    open_idx, _ = local_search(
+        result.demands, candidates, facility_cost, initial, max_moves=max_moves
+    )
+    stations = [candidates[i] for i in open_idx]
+    from .result import evaluate_placement
+
+    refined = evaluate_placement(result.demands, stations, facility_cost)
+    return refined if refined.total <= result.total else result

@@ -1,0 +1,59 @@
+"""The Theorem-1 adversarial instance: no online PLP is O(1)-competitive.
+
+The proof instance places request ``i`` at ``(2^-i, 2^-i)`` with a
+uniform opening cost ``f = 2``.  The offline optimum opens a single
+parking at the origin for total cost ``2 + sqrt(2) - sqrt(2) * 2^-n``;
+any online algorithm either opens unboundedly many parkings or pays
+unbounded walking cost as ``n`` grows.  This module generates the
+instance and computes the exact offline-optimal cost so experiments can
+plot the competitive-ratio growth (bench ``thm1``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..geo.points import Point
+from .costs import DemandPoint
+from .result import PlacementResult
+
+__all__ = [
+    "THEOREM1_FACILITY_COST",
+    "theorem1_requests",
+    "theorem1_offline_optimum",
+    "competitive_ratio",
+]
+
+THEOREM1_FACILITY_COST = 2.0
+"""The opening cost ``f`` used in the Theorem-1 construction."""
+
+
+def theorem1_requests(n: int) -> List[Point]:
+    """The geometric request sequence ``(2^-i, 2^-i)`` for ``i = 1..n``.
+
+    Raises:
+        ValueError: if ``n`` is not positive.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [Point(2.0**-i, 2.0**-i) for i in range(1, n + 1)]
+
+
+def theorem1_offline_optimum(n: int) -> float:
+    """Cost of the single-parking-at-origin solution (the proof's reference).
+
+    ``2 + sqrt(2) * sum_{i=1..n} 2^-i = 2 + sqrt(2) - sqrt(2) * 2^-n``.
+    This upper-bounds the offline optimum — for small ``n`` a parking
+    placed *on* a request is slightly cheaper, so competitive ratios
+    computed against this value are a lower bound on the true ratio
+    (conservative in the direction the theorem needs).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return 2.0 + math.sqrt(2.0) - math.sqrt(2.0) * 2.0**-n
+
+
+def competitive_ratio(online_result: PlacementResult, n: int) -> float:
+    """Online total cost over the offline optimum for the instance."""
+    return online_result.total / theorem1_offline_optimum(n)

@@ -1,0 +1,120 @@
+"""Offline 1.61-factor parking placement (Algorithm 1).
+
+The PLP is the uncapacitated facility location problem; the paper adopts
+the greedy of Jain, Mahdian, Markakis, Saberi and Vazirani [23], whose
+dual-fitting analysis gives a 1.61 approximation factor — close to the
+1.46 inapproximability bound [24].
+
+Each iteration selects the most cost-effective "star": a candidate
+location ``i`` together with a set ``B_i`` of still-unconnected grids,
+where already-connected grids may defect to ``i`` when that lowers their
+cost, and those savings subsidise the opening (Eq. 5):
+
+    i* = argmin_i [ sum_{j in B_i} c_ij + f_i - sum_{j in B'_i} (c_i'j - c_ij) ] / |B_i|
+
+Opening an already-open facility costs nothing (``f_i`` counts once), so
+late arrivals can join existing stations at pure connection cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.points import Point
+from .costs import DemandPoint, FacilityCostFn
+from .result import PlacementResult
+
+__all__ = ["offline_placement"]
+
+_UNCONNECTED = -1
+
+
+def offline_placement(
+    demands: Sequence[DemandPoint],
+    facility_cost: FacilityCostFn,
+    candidates: Optional[Sequence[Point]] = None,
+) -> PlacementResult:
+    """Solve one PLP instance with the 1.61-factor greedy.
+
+    Args:
+        demands: weighted grid-centroid arrivals (the set ``N`` with
+            weights ``a_j``).
+        facility_cost: opening cost ``f_i`` per candidate location.
+        candidates: locations where parking may be established; defaults
+            to the demand locations themselves (``P ⊂ N``).
+
+    Returns:
+        :class:`PlacementResult` with the final assignment after all
+        defections.
+
+    Raises:
+        ValueError: if demand exists but the candidate set is empty.
+    """
+    demands = list(demands)
+    if not demands:
+        return PlacementResult(stations=[], assignment=[], walking=0.0, space=0.0)
+    cand_points = list(candidates) if candidates is not None else [d.location for d in demands]
+    if not cand_points:
+        raise ValueError("no candidate locations")
+
+    n_c = len(cand_points)
+    n_d = len(demands)
+    weights = np.asarray([d.weight for d in demands], dtype=float)
+    d_xy = np.asarray([(d.location.x, d.location.y) for d in demands], dtype=float)
+    c_xy = np.asarray([(p.x, p.y) for p in cand_points], dtype=float)
+    # conn_cost[i, j] = c_ij = a_j * d(i, j)
+    diff = c_xy[:, None, :] - d_xy[None, :, :]
+    conn_cost = np.sqrt((diff**2).sum(axis=-1)) * weights[None, :]
+    open_cost = np.asarray([facility_cost(p) for p in cand_points], dtype=float)
+
+    assigned = np.full(n_d, _UNCONNECTED, dtype=int)  # serving candidate index
+    current_cost = np.full(n_d, np.inf)
+    is_open = np.zeros(n_c, dtype=bool)
+
+    while np.any(assigned == _UNCONNECTED):
+        best_ratio = np.inf
+        best_i = -1
+        best_connect: np.ndarray = np.empty(0, dtype=int)
+        unconnected = np.flatnonzero(assigned == _UNCONNECTED)
+        connected = np.flatnonzero(assigned != _UNCONNECTED)
+        for i in range(n_c):
+            f_eff = 0.0 if is_open[i] else float(open_cost[i])
+            savings = 0.0
+            if connected.size:
+                gain = current_cost[connected] - conn_cost[i, connected]
+                savings = float(gain[gain > 0].sum())
+            costs_u = conn_cost[i, unconnected]
+            order = np.argsort(costs_u, kind="stable")
+            prefix = np.cumsum(costs_u[order])
+            ks = np.arange(1, unconnected.size + 1, dtype=float)
+            ratios = (f_eff - savings + prefix) / ks
+            k_best = int(np.argmin(ratios))
+            if ratios[k_best] < best_ratio - 1e-12:
+                best_ratio = float(ratios[k_best])
+                best_i = i
+                best_connect = unconnected[order[: k_best + 1]]
+        # Open the winning star.
+        is_open[best_i] = True
+        assigned[best_connect] = best_i
+        current_cost[best_connect] = conn_cost[best_i, best_connect]
+        if connected.size:
+            gain = current_cost[connected] - conn_cost[best_i, connected]
+            movers = connected[gain > 0]
+            assigned[movers] = best_i
+            current_cost[movers] = conn_cost[best_i, movers]
+
+    open_idx = sorted(set(assigned.tolist()))
+    stations = [cand_points[i] for i in open_idx]
+    remap = {ci: si for si, ci in enumerate(open_idx)}
+    assignment = [remap[int(a)] for a in assigned]
+    walking = float(current_cost.sum())
+    space = float(sum(open_cost[i] for i in open_idx))
+    return PlacementResult(
+        stations=stations,
+        assignment=assignment,
+        walking=walking,
+        space=space,
+        demands=demands,
+    )

@@ -1,0 +1,83 @@
+"""Meyerson's randomized online facility location [25].
+
+The classical online baseline: requests arrive one at a time and
+decisions are irrevocable.  On arrival at distance ``d`` from the nearest
+open parking, a new parking opens at the request's location with
+probability ``min(d / f, 1)``; otherwise the request walks.  The first
+request always opens a parking (``d`` is infinite).
+
+The paper observes two failure modes (Section III-C) that E-Sharing
+fixes: the algorithm over-opens under bursty demand and commits to poor
+early locations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geo.distance import nearest_point_index
+from ..geo.points import Point
+from .costs import DemandPoint, FacilityCostFn
+from .penalty import PenaltyFunction
+from .result import PlacementResult
+
+__all__ = ["meyerson_placement"]
+
+
+def meyerson_placement(
+    stream: Sequence[Point],
+    facility_cost: FacilityCostFn,
+    rng: np.random.Generator,
+    initial_stations: Optional[Sequence[Point]] = None,
+    penalty: Optional[PenaltyFunction] = None,
+) -> PlacementResult:
+    """Run Meyerson's online algorithm over a destination stream.
+
+    Args:
+        stream: request destinations in arrival order (weight 1 each).
+        facility_cost: opening cost ``f_i`` at each location.
+        rng: randomness for the opening coin flips.
+        initial_stations: optional pre-existing parking (their space cost
+            is charged up front).
+        penalty: optional deviation penalty ``g``; when given, the opening
+            probability becomes ``min(g(d) * d / f, 1)`` — the setting of
+            the paper's Section V-B sector experiment (Table III), where
+            ``no penalty`` is plain Meyerson.
+
+    Returns:
+        :class:`PlacementResult`; ``assignment[t]`` is the irrevocable
+        decision for the ``t``-th request.
+    """
+    stations: List[Point] = list(initial_stations or [])
+    space = sum(facility_cost(s) for s in stations)
+    online_opened: List[int] = []
+    assignment: List[int] = []
+    walking = 0.0
+    for dest in stream:
+        if stations:
+            idx, dist = nearest_point_index(dest, stations)
+        else:
+            idx, dist = -1, float("inf")
+        f = facility_cost(dest)
+        g = 1.0
+        if penalty is not None and np.isfinite(dist):
+            g = penalty.value(dist)
+        prob = 1.0 if f <= 0 else min(g * dist / f, 1.0)
+        if rng.uniform() < prob:
+            online_opened.append(len(stations))
+            stations.append(dest)
+            space += f
+            assignment.append(len(stations) - 1)
+        else:
+            assignment.append(idx)
+            walking += dist
+    return PlacementResult(
+        stations=stations,
+        assignment=assignment,
+        walking=walking,
+        space=space,
+        demands=[DemandPoint(p) for p in stream],
+        online_opened=online_opened,
+    )

@@ -1,0 +1,190 @@
+"""Deviation-penalty functions (Eqs. 6-8) and their selection rule.
+
+The penalty ``g(i, j)`` damps the probability of opening a new parking as
+the request drifts away from the offline anchor: the probability of
+opening is ``min(g(c) * c / f, 1)`` where ``c`` is the distance to the
+nearest existing parking and ``L`` is the tolerance level.
+
+* **Type I** — hyperbolic, ``1 / (c/L + 1)``: gentle decline, keeps >0.2
+  probability beyond ``3L``; best when the live distribution is *less
+  similar* to history (tolerates large deviations).
+* **Type II** — linear cut-off, ``max(0, 1 - c/L)``: plunges to zero at
+  ``L``; best when the live distribution is *very similar* (pin new
+  parking to the offline solution).
+* **Type III** — Gaussian, ``exp(-c^2/L^2)``: in between; best for the
+  *similar* middle regime.
+
+Section V-C calibrates the switch thresholds with the 2-D KS test:
+similarity above 95% -> Type II, 80-95% -> Type III, below 80% -> Type I.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+__all__ = [
+    "PenaltyFunction",
+    "TypeIPenalty",
+    "TypeIIPenalty",
+    "TypeIIIPenalty",
+    "NoPenalty",
+    "PENALTY_REGISTRY",
+    "select_penalty",
+    "VERY_SIMILAR_THRESHOLD",
+    "SIMILAR_THRESHOLD",
+]
+
+VERY_SIMILAR_THRESHOLD = 95.0
+SIMILAR_THRESHOLD = 80.0
+
+
+@dataclass(frozen=True)
+class PenaltyFunction:
+    """A named penalty ``g(c)`` with tolerance ``L`` (metres).
+
+    Subclasses implement :meth:`value`; :meth:`derivative` is computed
+    analytically per type (Fig. 5 plots both).
+
+    Raises:
+        ValueError: if the tolerance is not positive.
+    """
+
+    tolerance: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {self.tolerance}")
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+    def value(self, cost: float) -> float:
+        """Penalty factor ``g(c)`` in [0, 1] for walking cost ``c >= 0``.
+
+        Raises:
+            ValueError: if ``cost`` is negative.
+        """
+        raise NotImplementedError
+
+    def derivative(self, cost: float) -> float:
+        """First derivative ``g'(c)`` (the changing rate of Fig. 5b)."""
+        raise NotImplementedError
+
+    def _check(self, cost: float) -> None:
+        if cost < 0:
+            raise ValueError(f"walking cost must be non-negative, got {cost}")
+
+    def with_tolerance(self, tolerance: float) -> "PenaltyFunction":
+        """Same penalty type with a different tolerance level."""
+        return type(self)(tolerance=tolerance)
+
+
+@dataclass(frozen=True)
+class TypeIPenalty(PenaltyFunction):
+    """Eq. 6: ``g(c) = 1 / (c/L + 1)``."""
+
+    @property
+    def name(self) -> str:
+        return "type_i"
+
+    def value(self, cost: float) -> float:
+        """Hyperbolic decline ``1 / (c/L + 1)``."""
+        self._check(cost)
+        return 1.0 / (cost / self.tolerance + 1.0)
+
+    def derivative(self, cost: float) -> float:
+        """Analytic derivative of the hyperbolic form."""
+        self._check(cost)
+        return -1.0 / (self.tolerance * (cost / self.tolerance + 1.0) ** 2)
+
+
+@dataclass(frozen=True)
+class TypeIIPenalty(PenaltyFunction):
+    """Eq. 7: ``g(c) = 1 - c/L`` for ``c <= L``, else 0."""
+
+    @property
+    def name(self) -> str:
+        return "type_ii"
+
+    def value(self, cost: float) -> float:
+        """Linear decline, hard zero beyond the tolerance ``L``."""
+        self._check(cost)
+        if cost > self.tolerance:
+            return 0.0
+        return 1.0 - cost / self.tolerance
+
+    def derivative(self, cost: float) -> float:
+        """Constant slope ``-1/L`` inside the tolerance, 0 beyond."""
+        self._check(cost)
+        return 0.0 if cost > self.tolerance else -1.0 / self.tolerance
+
+
+@dataclass(frozen=True)
+class TypeIIIPenalty(PenaltyFunction):
+    """Eq. 8: ``g(c) = exp(-c^2 / L^2)``."""
+
+    @property
+    def name(self) -> str:
+        return "type_iii"
+
+    def value(self, cost: float) -> float:
+        """Gaussian decline ``exp(-c^2 / L^2)``."""
+        self._check(cost)
+        return math.exp(-(cost**2) / self.tolerance**2)
+
+    def derivative(self, cost: float) -> float:
+        """Analytic derivative of the Gaussian form."""
+        self._check(cost)
+        return -2.0 * cost / self.tolerance**2 * self.value(cost)
+
+
+@dataclass(frozen=True)
+class NoPenalty(PenaltyFunction):
+    """``g(c) = 1`` — plain Meyerson behaviour (Table III's baseline)."""
+
+    @property
+    def name(self) -> str:
+        return "no_penalty"
+
+    def value(self, cost: float) -> float:
+        """Always 1 — no damping (plain Meyerson behaviour)."""
+        self._check(cost)
+        return 1.0
+
+    def derivative(self, cost: float) -> float:
+        """Identically zero."""
+        self._check(cost)
+        return 0.0
+
+
+PENALTY_REGISTRY: Dict[str, Callable[[float], PenaltyFunction]] = {
+    "type_i": TypeIPenalty,
+    "type_ii": TypeIIPenalty,
+    "type_iii": TypeIIIPenalty,
+    "no_penalty": NoPenalty,
+}
+"""Name -> constructor registry (takes the tolerance)."""
+
+
+def select_penalty(similarity_percent: float, tolerance: float = 200.0) -> PenaltyFunction:
+    """Pick the penalty type from a KS similarity measurement (Section V-C).
+
+    Args:
+        similarity_percent: ``100 * (1 - D)`` from the 2-D KS test.
+        tolerance: the level ``L`` for the constructed penalty.
+
+    Raises:
+        ValueError: if the similarity is outside [0, 100].
+    """
+    if not 0.0 <= similarity_percent <= 100.0:
+        raise ValueError(
+            f"similarity must be in [0, 100], got {similarity_percent}"
+        )
+    if similarity_percent > VERY_SIMILAR_THRESHOLD:
+        return TypeIIPenalty(tolerance=tolerance)
+    if similarity_percent >= SIMILAR_THRESHOLD:
+        return TypeIIIPenalty(tolerance=tolerance)
+    return TypeIPenalty(tolerance=tolerance)

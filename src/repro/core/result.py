@@ -1,0 +1,100 @@
+"""Placement results and their cost accounting.
+
+Every PLP algorithm — offline, Meyerson, online k-means, E-Sharing —
+returns a :class:`PlacementResult` so experiments compare like with like:
+number of parking locations, walking (dissatisfaction) cost, space
+(occupation) cost and their sum, exactly the columns of Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..geo.points import Point
+from .costs import DemandPoint, FacilityCostFn, walking_cost
+
+__all__ = ["PlacementResult", "evaluate_placement"]
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of solving one PLP instance.
+
+    Attributes:
+        stations: opened parking locations.
+        assignment: per-demand station index (into ``stations``); online
+            algorithms record the irrevocable decision-time assignment.
+        walking: total dissatisfaction cost (metres).
+        space: total occupation cost (metres).
+        demands: the demand points that were served (for reporting).
+        online_opened: indices of stations opened by an online step (vs
+            carried over from an offline anchor) — used by Fig. 6.
+    """
+
+    stations: List[Point]
+    assignment: List[int]
+    walking: float
+    space: float
+    demands: List[DemandPoint] = field(default_factory=list)
+    online_opened: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.walking < 0 or self.space < 0:
+            raise ValueError("costs cannot be negative")
+        for idx in self.assignment:
+            if not 0 <= idx < len(self.stations):
+                raise ValueError(f"assignment index {idx} out of range")
+
+    @property
+    def n_stations(self) -> int:
+        """Number of parking locations opened (``|P|``)."""
+        return len(self.stations)
+
+    @property
+    def total(self) -> float:
+        """Objective of P1: walking + space cost."""
+        return self.walking + self.space
+
+    def average_walking_distance(self) -> float:
+        """Mean walking distance per arrival (paper reports ~180 m).
+
+        Raises:
+            ValueError: if the result holds no demand points.
+        """
+        if not self.demands:
+            raise ValueError("result carries no demand points")
+        total_weight = sum(d.weight for d in self.demands)
+        return self.walking / total_weight
+
+    def station_of(self, demand_index: int) -> Point:
+        """The station serving demand ``demand_index``."""
+        return self.stations[self.assignment[demand_index]]
+
+    def summary(self) -> str:
+        """One-line report in Table V's column order."""
+        return (
+            f"#parking={self.n_stations} walking={self.walking:.1f} "
+            f"space={self.space:.1f} total={self.total:.1f}"
+        )
+
+
+def evaluate_placement(
+    demands: Sequence[DemandPoint],
+    stations: Sequence[Point],
+    facility_cost: FacilityCostFn,
+) -> PlacementResult:
+    """Cost a fixed station set against a demand set (nearest assignment).
+
+    Used to score offline solutions and to re-score any station set under
+    a different demand sample (e.g. predicted vs actual in Table V).
+    """
+    walking, assignment = walking_cost(demands, stations)
+    space = sum(facility_cost(s) for s in stations)
+    return PlacementResult(
+        stations=list(stations),
+        assignment=assignment,
+        walking=walking,
+        space=space,
+        demands=list(demands),
+    )

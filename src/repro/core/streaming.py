@@ -1,0 +1,172 @@
+"""The server backend of Fig. 3: a stateful placement service.
+
+Trip requests "are streamed to the server backend, calculated by
+E-sharing and assigned appropriate parking locations" (Section II-B).
+:class:`PlacementService` is that backend: it owns stable station ids,
+routes each trip through Algorithm 2, keeps the fleet inventory in sync,
+and implements footnote 2 — "when customers pick up all the E-bikes from
+a station ... the station is removed from P.  The algorithm can still
+establish a station at this location depending on the requests later."
+
+The planner's internal station list re-indexes on removal; the service
+maintains the stable-id mapping so callers never see indices move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..datasets.trips import TripRecord
+from ..energy.fleet import Fleet
+from ..geo.distance import nearest_point_index
+from ..geo.points import Point
+from .esharing import EsharingPlanner
+
+__all__ = ["ServiceResponse", "PlacementService"]
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """Answer to one trip request.
+
+    Attributes:
+        order_id: the request's id.
+        served: whether a bike was available at the pickup station.
+        origin_station: stable id of the pickup station (or -1).
+        destination_station: stable id of the assigned parking (or -1).
+        opened_new: the request opened a new parking online.
+        removed_station: stable id of a station retired because this
+            pickup emptied it (footnote 2), or None.
+        walking_m: decision-time walking distance to the parking.
+    """
+
+    order_id: int
+    served: bool
+    origin_station: int
+    destination_station: int
+    opened_new: bool
+    removed_station: Optional[int]
+    walking_m: float
+
+
+class PlacementService:
+    """Stateful Tier-1 service wiring the planner to the fleet.
+
+    Args:
+        planner: an anchored Algorithm-2 planner.  Its current stations
+            become stations ``0..k-1``.
+        fleet: a fleet whose stations list matches the planner's.
+
+    Raises:
+        ValueError: if planner and fleet disagree on the station layout.
+    """
+
+    def __init__(self, planner: EsharingPlanner, fleet: Fleet) -> None:
+        if len(planner.stations) != len(fleet.stations):
+            raise ValueError(
+                f"planner has {len(planner.stations)} stations, fleet has "
+                f"{len(fleet.stations)}"
+            )
+        self.planner = planner
+        self.fleet = fleet
+        self.locations: List[Point] = list(fleet.stations)
+        # planner index -> stable id, kept aligned with planner.stations.
+        self._planner_ids: List[int] = list(range(len(self.locations)))
+        self.retired: List[int] = []
+        self.responses: List[ServiceResponse] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def active_station_ids(self) -> List[int]:
+        """Stable ids of stations currently in the planner's set P."""
+        return list(self._planner_ids)
+
+    def station_location(self, station_id: int) -> Point:
+        """Location of a stable station id (active or retired).
+
+        Raises:
+            KeyError: for an unknown id.
+        """
+        if not 0 <= station_id < len(self.locations):
+            raise KeyError(f"unknown station id {station_id}")
+        return self.locations[station_id]
+
+    # ------------------------------------------------------------------
+    def _pickup_station(self, origin: Point) -> Optional[int]:
+        """Stable id of the nearest *active* station holding a bike."""
+        candidates = [
+            (sid, self.locations[sid].distance_to(origin))
+            for sid in self._planner_ids
+            if self.fleet.pick_bike(sid) is not None
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda t: (t[1], t[0]))[0]
+
+    def handle_trip(self, trip: TripRecord) -> ServiceResponse:
+        """Serve one trip end to end.
+
+        Pickup: nearest active station with a bike (the trip is refused
+        when none exists anywhere).  Drop-off: Algorithm 2's decision.
+        If the pickup empties its station, the station retires from P.
+        """
+        origin_id = self._pickup_station(trip.start)
+        if origin_id is None:
+            response = ServiceResponse(
+                order_id=trip.order_id, served=False,
+                origin_station=-1, destination_station=-1,
+                opened_new=False, removed_station=None, walking_m=0.0,
+            )
+            self.responses.append(response)
+            return response
+
+        decision = self.planner.offer(trip.end)
+        if decision.opened:
+            new_id = len(self.locations)
+            new_location = self.planner.stations[decision.station_index]
+            self.locations.append(new_location)
+            self._planner_ids.append(new_id)
+            self.fleet.stations.append(new_location)
+            dest_id = new_id
+        else:
+            dest_id = self._planner_ids[decision.station_index]
+
+        bike = self.fleet.pick_bike(origin_id)
+        assert bike is not None  # guaranteed by _pickup_station
+        self.fleet.ride(bike.bike_id, dest_id, trip.distance)
+
+        removed: Optional[int] = None
+        if not self.fleet.bikes_at(origin_id) and origin_id != dest_id:
+            planner_idx = self._planner_ids.index(origin_id)
+            self.planner.remove_station(planner_idx)
+            del self._planner_ids[planner_idx]
+            self.retired.append(origin_id)
+            removed = origin_id
+
+        response = ServiceResponse(
+            order_id=trip.order_id, served=True,
+            origin_station=origin_id, destination_station=dest_id,
+            opened_new=decision.opened, removed_station=removed,
+            walking_m=decision.walking_cost,
+        )
+        self.responses.append(response)
+        return response
+
+    # ------------------------------------------------------------------
+    def consistency_check(self) -> None:
+        """Assert the planner/fleet/id bookkeeping is coherent.
+
+        Raises:
+            AssertionError: on any drift between the three views.
+        """
+        assert len(self._planner_ids) == len(self.planner.stations)
+        for idx, sid in enumerate(self._planner_ids):
+            assert self.planner.stations[idx] == self.locations[sid], (
+                f"planner slot {idx} diverged from stable id {sid}"
+            )
+        assert len(self.fleet.stations) == len(self.locations)
+        for sid in self.retired:
+            assert sid not in self._planner_ids

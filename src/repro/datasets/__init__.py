@@ -1,0 +1,29 @@
+"""Trip datasets: Mobike CSV schema, synthetic city workloads, POI models."""
+
+from .trips import TripDataset, TripRecord
+from .pois import POI, CityModel, POICategory, default_city
+from .synthetic import SyntheticConfig, generate_day, generate_trips, mobike_like_dataset
+from .mobike import BEIJING_CENTER, MOBIKE_HEADER, load_mobike_csv, save_mobike_csv
+from .scenarios import DemandEvent, Scenario
+from .statistics import DatasetStats, describe
+
+__all__ = [
+    "TripDataset",
+    "TripRecord",
+    "POI",
+    "CityModel",
+    "POICategory",
+    "default_city",
+    "SyntheticConfig",
+    "generate_day",
+    "generate_trips",
+    "mobike_like_dataset",
+    "BEIJING_CENTER",
+    "MOBIKE_HEADER",
+    "load_mobike_csv",
+    "save_mobike_csv",
+    "DemandEvent",
+    "Scenario",
+    "DatasetStats",
+    "describe",
+]

@@ -1,0 +1,145 @@
+"""Demand scenarios: scheduled events layered over the base workload.
+
+Section III-C motivates the online algorithm with temporary fluctuations
+— "events such as concerts or sports games might lead to short-time
+demand surge at previously unexpected locations.  Traffic reroute due to
+road work or accident may not be reflected by historical data either."
+This module turns those into first-class objects: a
+:class:`DemandEvent` redirects a share of trips within its time window
+toward (surge) or away from (closure) a location, and a
+:class:`Scenario` composes events over the simulation horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import List, Optional
+
+import numpy as np
+
+from ..geo.points import Point
+from .pois import CityModel
+from .synthetic import SyntheticConfig, generate_day
+from .trips import TripDataset, TripRecord
+
+__all__ = ["DemandEvent", "Scenario"]
+
+
+@dataclass(frozen=True)
+class DemandEvent:
+    """One scheduled disturbance of the demand field.
+
+    Attributes:
+        start: beginning of the event window.
+        end: end of the window (exclusive).
+        location: centre of the affected area.
+        radius_m: spatial extent of the effect.
+        kind: ``"surge"`` pulls destinations toward the location;
+            ``"closure"`` pushes destinations that would land inside the
+            area out to its boundary (road work / impound zone).
+        intensity: for surges, the fraction of in-window trips redirected
+            to the venue; ignored for closures.
+    """
+
+    start: datetime
+    end: datetime
+    location: Point
+    radius_m: float = 250.0
+    kind: str = "surge"
+    intensity: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"event ends ({self.end}) before it starts ({self.start})")
+        if self.radius_m <= 0:
+            raise ValueError(f"radius_m must be positive, got {self.radius_m}")
+        if self.kind not in ("surge", "closure"):
+            raise ValueError(f"kind must be 'surge' or 'closure', got {self.kind!r}")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {self.intensity}")
+
+    def active_at(self, when: datetime) -> bool:
+        """Whether ``when`` falls inside the event window."""
+        return self.start <= when < self.end
+
+
+@dataclass
+class Scenario:
+    """A base workload plus scheduled demand events.
+
+    Args:
+        city: the study-region model.
+        config: base workload parameters.
+        events: scheduled disturbances (may overlap).
+    """
+
+    city: CityModel
+    config: SyntheticConfig = field(default_factory=SyntheticConfig)
+    events: List[DemandEvent] = field(default_factory=list)
+
+    def add_event(self, event: DemandEvent) -> "Scenario":
+        """Append an event; returns self for chaining."""
+        self.events.append(event)
+        return self
+
+    # ------------------------------------------------------------------
+    def _apply_events(
+        self, rng: np.random.Generator, record: TripRecord
+    ) -> TripRecord:
+        for event in self.events:
+            if not event.active_at(record.start_time):
+                continue
+            if event.kind == "surge":
+                if rng.uniform() < event.intensity:
+                    offset = rng.normal(0.0, event.radius_m / 2.5, size=2)
+                    dest = self.city.box.clamp(
+                        event.location.translate(float(offset[0]), float(offset[1]))
+                    )
+                    record = record.with_end(dest)
+            else:  # closure
+                d = record.end.distance_to(event.location)
+                if d < event.radius_m:
+                    if d == 0:
+                        angle = rng.uniform(0, 2 * np.pi)
+                        direction = Point(float(np.cos(angle)), float(np.sin(angle)))
+                    else:
+                        direction = Point(
+                            (record.end.x - event.location.x) / d,
+                            (record.end.y - event.location.y) / d,
+                        )
+                    pushed = event.location.translate(
+                        direction.x * event.radius_m * 1.05,
+                        direction.y * event.radius_m * 1.05,
+                    )
+                    record = record.with_end(self.city.box.clamp(pushed))
+        return record
+
+    def generate(self, start: datetime, days: int, seed: int = 0) -> TripDataset:
+        """Generate the scenario's trips.
+
+        Raises:
+            ValueError: if ``days`` is not positive.
+        """
+        if days <= 0:
+            raise ValueError(f"days must be positive, got {days}")
+        rng = np.random.default_rng(seed)
+        start = start.replace(hour=0, minute=0, second=0, microsecond=0)
+        records: List[TripRecord] = []
+        order_base = 0
+        from datetime import timedelta
+
+        for d in range(days):
+            day = start + timedelta(days=d)
+            weekend = day.weekday() >= 5
+            volume = (
+                self.config.trips_per_weekend_day
+                if weekend
+                else self.config.trips_per_weekday
+            )
+            day_records = generate_day(
+                rng, self.city, day, volume, self.config, order_base=order_base
+            )
+            records.extend(self._apply_events(rng, r) for r in day_records)
+            order_base += len(day_records)
+        return TripDataset(records)

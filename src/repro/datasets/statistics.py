@@ -1,0 +1,110 @@
+"""Descriptive statistics of a trip dataset.
+
+A drop-in sanity report for any workload — the synthetic generator or
+the real Mobike CSV — covering the properties the paper's pipeline
+relies on: trip-length distribution ("an average ride usually lasts
+within three miles" [1]), the diurnal profile (Fig. 8's peaks),
+weekday/weekend volumes, and spatial concentration (the top-cell mass
+that justifies Section III-A's candidate reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..geo.grid import UniformGrid
+from .trips import TripDataset
+
+__all__ = ["DatasetStats", "describe"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics of one trip dataset.
+
+    Attributes:
+        n_trips: total records.
+        n_days: calendar days spanned.
+        trips_per_weekday: mean volume on weekdays.
+        trips_per_weekend_day: mean volume on weekend days.
+        trip_length_percentiles: metres at the 25/50/75/95th percentiles.
+        hourly_profile: fraction of trips per hour of day (sums to 1).
+        peak_hours: the two busiest hours.
+        top_cell_mass: fraction of destinations inside the busiest 10% of
+            occupied grid cells (spatial concentration).
+        n_occupied_cells: grid cells receiving at least one destination.
+    """
+
+    n_trips: int
+    n_days: int
+    trips_per_weekday: float
+    trips_per_weekend_day: float
+    trip_length_percentiles: Dict[int, float]
+    hourly_profile: Tuple[float, ...]
+    peak_hours: Tuple[int, int]
+    top_cell_mass: float
+    n_occupied_cells: int
+
+    def to_text(self) -> str:
+        """Human-readable report."""
+        p = self.trip_length_percentiles
+        lines = [
+            f"trips: {self.n_trips} over {self.n_days} days "
+            f"(weekday mean {self.trips_per_weekday:.0f}, "
+            f"weekend mean {self.trips_per_weekend_day:.0f})",
+            f"trip length (m): p25={p[25]:.0f} p50={p[50]:.0f} "
+            f"p75={p[75]:.0f} p95={p[95]:.0f}",
+            f"peak hours: {self.peak_hours[0]:02d}:00 and {self.peak_hours[1]:02d}:00",
+            f"spatial concentration: {100 * self.top_cell_mass:.0f}% of demand "
+            f"in the busiest 10% of {self.n_occupied_cells} occupied cells",
+        ]
+        return "\n".join(lines)
+
+
+def describe(dataset: TripDataset, grid: UniformGrid) -> DatasetStats:
+    """Compute :class:`DatasetStats` for a dataset on a grid.
+
+    Raises:
+        ValueError: if the dataset is empty.
+    """
+    if len(dataset) == 0:
+        raise ValueError("cannot describe an empty dataset")
+
+    by_day = dataset.split_by_day()
+    weekday_counts = [len(d) for day, d in by_day.items() if day.weekday() < 5]
+    weekend_counts = [len(d) for day, d in by_day.items() if day.weekday() >= 5]
+
+    lengths = np.asarray([r.distance for r in dataset])
+    percentiles = {
+        q: float(np.percentile(lengths, q)) for q in (25, 50, 75, 95)
+    }
+
+    hour_counts = np.zeros(24)
+    for r in dataset:
+        hour_counts[r.start_time.hour] += 1
+    profile = hour_counts / hour_counts.sum()
+    top_two = np.argsort(-hour_counts)[:2]
+    peak_hours = (int(min(top_two)), int(max(top_two)))
+
+    demand = dataset.demand_grid(grid)
+    cell_counts = sorted(
+        (count for _, count in demand.weighted_points()), reverse=True
+    )
+    n_occupied = len(cell_counts)
+    top_n = max(1, n_occupied // 10)
+    top_mass = sum(cell_counts[:top_n]) / sum(cell_counts)
+
+    return DatasetStats(
+        n_trips=len(dataset),
+        n_days=len(by_day),
+        trips_per_weekday=float(np.mean(weekday_counts)) if weekday_counts else 0.0,
+        trips_per_weekend_day=float(np.mean(weekend_counts)) if weekend_counts else 0.0,
+        trip_length_percentiles=percentiles,
+        hourly_profile=tuple(float(v) for v in profile),
+        peak_hours=peak_hours,
+        top_cell_mass=float(top_mass),
+        n_occupied_cells=n_occupied,
+    )

@@ -1,0 +1,189 @@
+"""Trip records and trip datasets.
+
+The Mobike dataset schema (Section V) is::
+
+    (order id, user id, bike id, bike type, starting time,
+     starting location, ending location)
+
+with locations geohashed.  :class:`TripRecord` mirrors that schema with
+locations decoded into planar metres via a study-region projection, and
+:class:`TripDataset` adds the slicing/binning operations the experiments
+need (day/hour windows, destination extraction, per-grid arrival series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from datetime import datetime, timedelta
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.grid import DemandGrid, UniformGrid
+from ..geo.points import BoundingBox, Point
+
+__all__ = ["TripRecord", "TripDataset"]
+
+
+@dataclass(frozen=True)
+class TripRecord:
+    """One bike trip, locations already projected to planar metres."""
+
+    order_id: int
+    user_id: int
+    bike_id: int
+    bike_type: int
+    start_time: datetime
+    start: Point
+    end: Point
+
+    @property
+    def distance(self) -> float:
+        """Straight-line trip length in metres."""
+        return self.start.distance_to(self.end)
+
+    def with_end(self, end: Point) -> "TripRecord":
+        """Copy of the record with a different destination."""
+        return replace(self, end=end)
+
+
+class TripDataset:
+    """An ordered collection of :class:`TripRecord`.
+
+    Records are kept sorted by ``start_time`` so streaming consumers (the
+    online algorithms) see trips in arrival order.
+    """
+
+    def __init__(self, records: Iterable[TripRecord]) -> None:
+        self._records: List[TripRecord] = sorted(records, key=lambda r: r.start_time)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TripRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TripRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> List[TripRecord]:
+        """The underlying (sorted) record list — treat as read-only."""
+        return self._records
+
+    @property
+    def span(self) -> Tuple[datetime, datetime]:
+        """``(first, last)`` start times.
+
+        Raises:
+            ValueError: if the dataset is empty.
+        """
+        if not self._records:
+            raise ValueError("empty dataset has no time span")
+        return self._records[0].start_time, self._records[-1].start_time
+
+    def filter(self, predicate: Callable[[TripRecord], bool]) -> "TripDataset":
+        """A new dataset keeping records where ``predicate`` holds."""
+        return TripDataset(r for r in self._records if predicate(r))
+
+    def between(self, start: datetime, end: datetime) -> "TripDataset":
+        """Records with ``start <= start_time < end``."""
+        return self.filter(lambda r: start <= r.start_time < end)
+
+    def on_weekday(self, weekday: int) -> "TripDataset":
+        """Records on a given weekday (0=Mon .. 6=Sun).
+
+        Raises:
+            ValueError: if ``weekday`` is outside 0..6.
+        """
+        if not 0 <= weekday <= 6:
+            raise ValueError(f"weekday must be 0..6, got {weekday}")
+        return self.filter(lambda r: r.start_time.weekday() == weekday)
+
+    def in_hour(self, hour: int) -> "TripDataset":
+        """Records starting within a given hour of day (0..23)."""
+        if not 0 <= hour <= 23:
+            raise ValueError(f"hour must be 0..23, got {hour}")
+        return self.filter(lambda r: r.start_time.hour == hour)
+
+    def destinations(self) -> List[Point]:
+        """Trip destinations in arrival order — the request stream of P1."""
+        return [r.end for r in self._records]
+
+    def origins(self) -> List[Point]:
+        """Trip origins in arrival order."""
+        return [r.start for r in self._records]
+
+    def destination_array(self) -> np.ndarray:
+        """Destinations as an ``(n, 2)`` array for the KS test."""
+        if not self._records:
+            return np.empty((0, 2), dtype=float)
+        return np.asarray([(r.end.x, r.end.y) for r in self._records], dtype=float)
+
+    def bounding_box(self, margin: float = 0.0) -> BoundingBox:
+        """Tightest box around all origins and destinations, plus margin."""
+        pts = [r.start for r in self._records] + [r.end for r in self._records]
+        return BoundingBox.from_points(pts).expand(margin)
+
+    def demand_grid(self, grid: UniformGrid) -> DemandGrid:
+        """Bin destinations into ``grid`` cells (the ``a_j`` weights).
+
+        Destinations falling outside the grid's box are clamped onto it,
+        matching the paper's aggregation of the geohashed field.
+        """
+        demand = DemandGrid(grid)
+        for r in self._records:
+            demand.add(grid.box.clamp(r.end))
+        return demand
+
+    def hourly_arrival_series(
+        self,
+        grid: UniformGrid,
+        start: Optional[datetime] = None,
+        hours: Optional[int] = None,
+    ) -> Tuple[np.ndarray, List[datetime]]:
+        """Per-cell hourly arrival counts.
+
+        Returns:
+            ``(series, timestamps)`` where ``series`` has shape
+            ``(hours, n_cells)`` in row-major cell order and
+            ``timestamps[i]`` is the start of hour ``i``.  This is the
+            supervised time series the prediction engine learns from.
+        """
+        if not self._records:
+            raise ValueError("cannot build a series from an empty dataset")
+        first, last = self.span
+        t0 = (start or first).replace(minute=0, second=0, microsecond=0)
+        if hours is None:
+            hours = int((last - t0).total_seconds() // 3600) + 1
+        if hours <= 0:
+            raise ValueError(f"hours must be positive, got {hours}")
+        n_cells = len(grid)
+        series = np.zeros((hours, n_cells), dtype=float)
+        for r in self._records:
+            offset = int((r.start_time - t0).total_seconds() // 3600)
+            if not 0 <= offset < hours:
+                continue
+            cell = grid.cell_of(grid.box.clamp(r.end))
+            series[offset, cell.row * grid.n_cols + cell.col] += 1.0
+        stamps = [t0 + timedelta(hours=h) for h in range(hours)]
+        return series, stamps
+
+    def split_by_day(self) -> Dict[datetime, "TripDataset"]:
+        """Partition records by calendar day (keyed by midnight)."""
+        buckets: Dict[datetime, List[TripRecord]] = {}
+        for r in self._records:
+            day = r.start_time.replace(hour=0, minute=0, second=0, microsecond=0)
+            buckets.setdefault(day, []).append(r)
+        return {day: TripDataset(recs) for day, recs in sorted(buckets.items())}
+
+    def sample(self, rng: np.random.Generator, n: int) -> "TripDataset":
+        """A random subsample of ``n`` records (without replacement).
+
+        Raises:
+            ValueError: if ``n`` exceeds the dataset size.
+        """
+        if n > len(self._records):
+            raise ValueError(f"cannot sample {n} from {len(self._records)} records")
+        idx = rng.choice(len(self._records), size=n, replace=False)
+        return TripDataset(self._records[i] for i in idx)

@@ -1,0 +1,14 @@
+"""E-bike energy substrate: batteries and fleet-level accounting."""
+
+from .battery import LOW_ENERGY_THRESHOLD, Battery, BatteryConfig
+from .fleet import Bike, Fleet, StationEnergySnapshot, replay_trips_onto_fleet
+
+__all__ = [
+    "LOW_ENERGY_THRESHOLD",
+    "Battery",
+    "BatteryConfig",
+    "Bike",
+    "Fleet",
+    "StationEnergySnapshot",
+    "replay_trips_onto_fleet",
+]

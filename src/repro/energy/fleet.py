@@ -1,0 +1,229 @@
+"""Fleet-level energy state.
+
+Tier 2 operates on *sets of low-energy bikes per station* (the sets
+``L_i`` of Section IV).  :class:`Fleet` tracks every bike's battery and
+current station, replays trips to evolve the energy state, and reports the
+station -> low-energy-bike map that the incentive mechanism and the
+operator's tour planner consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..geo.points import Point
+from .battery import Battery, BatteryConfig, LOW_ENERGY_THRESHOLD
+
+__all__ = ["Bike", "Fleet", "StationEnergySnapshot"]
+
+
+@dataclass
+class Bike:
+    """One E-bike: identity, battery, and where it is parked."""
+
+    bike_id: int
+    battery: Battery
+    station: int
+
+    @property
+    def is_low(self) -> bool:
+        return self.battery.is_low
+
+
+@dataclass(frozen=True)
+class StationEnergySnapshot:
+    """Energy census of one station at a point in time.
+
+    Attributes:
+        station: station index.
+        location: station coordinates.
+        total_bikes: bikes parked there.
+        low_bikes: ids of bikes below the service threshold (the set L_i).
+        levels: charge level of every parked bike.
+    """
+
+    station: int
+    location: Point
+    total_bikes: int
+    low_bikes: tuple
+    levels: tuple
+
+    @property
+    def needs_service(self) -> bool:
+        return len(self.low_bikes) > 0
+
+
+class Fleet:
+    """All bikes of the system, with per-station energy accounting.
+
+    Args:
+        stations: coordinates of the parking locations (index = station id).
+        n_bikes: fleet size; bikes start distributed round-robin.
+        config: battery parameters shared by the fleet.
+        rng: randomness for initial charge levels and ride noise.
+        threshold: charge level below which a bike counts as low-energy.
+    """
+
+    def __init__(
+        self,
+        stations: Sequence[Point],
+        n_bikes: int,
+        config: Optional[BatteryConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        threshold: float = LOW_ENERGY_THRESHOLD,
+    ) -> None:
+        if not stations:
+            raise ValueError("fleet needs at least one station")
+        if n_bikes <= 0:
+            raise ValueError(f"n_bikes must be positive, got {n_bikes}")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self.stations = list(stations)
+        self.threshold = threshold
+        self._rng = rng or np.random.default_rng(0)
+        cfg = config or BatteryConfig()
+        self.bikes: List[Bike] = []
+        for i in range(n_bikes):
+            # Initial charge: most bikes healthy, plus an explicit tail of
+            # low-energy bikes — the steady-state shape of Fig. 2(d)
+            # (a majority with sufficient residual energy and a tail that
+            # "necessitates energy replenishment at each station").
+            if self._rng.uniform() < 0.15:
+                level = float(self._rng.uniform(0.05, threshold))
+            else:
+                level = float(np.clip(self._rng.beta(5.0, 1.5), threshold, 1.0))
+            self.bikes.append(
+                Bike(bike_id=i, battery=Battery(cfg, level), station=i % len(self.stations))
+            )
+
+    def __len__(self) -> int:
+        return len(self.bikes)
+
+    def bikes_at(self, station: int) -> List[Bike]:
+        """Bikes currently parked at ``station``."""
+        self._check_station(station)
+        return [b for b in self.bikes if b.station == station]
+
+    def low_energy_map(self) -> Dict[int, List[int]]:
+        """Station -> list of low-energy bike ids (the L_i sets)."""
+        out: Dict[int, List[int]] = {}
+        for b in self.bikes:
+            if b.battery.level < self.threshold:
+                out.setdefault(b.station, []).append(b.bike_id)
+        return {s: sorted(ids) for s, ids in sorted(out.items())}
+
+    def stations_needing_service(self) -> List[int]:
+        """Stations holding at least one low-energy bike."""
+        return sorted(self.low_energy_map())
+
+    def snapshot(self, station: int) -> StationEnergySnapshot:
+        """Energy census of one station."""
+        bikes = self.bikes_at(station)
+        low = tuple(b.bike_id for b in bikes if b.battery.level < self.threshold)
+        return StationEnergySnapshot(
+            station=station,
+            location=self.stations[station],
+            total_bikes=len(bikes),
+            low_bikes=low,
+            levels=tuple(b.battery.level for b in bikes),
+        )
+
+    def snapshots(self) -> List[StationEnergySnapshot]:
+        """Census of every station."""
+        return [self.snapshot(s) for s in range(len(self.stations))]
+
+    def ride(self, bike_id: int, to_station: int, distance_m: float) -> float:
+        """Move a bike to ``to_station``, draining its battery.
+
+        Returns:
+            The bike's new charge level.
+
+        Raises:
+            KeyError: if the bike id is unknown.
+            ValueError: if the target station is invalid.
+        """
+        self._check_station(to_station)
+        bike = self._bike(bike_id)
+        level = bike.battery.ride(distance_m, rng=self._rng)
+        bike.station = to_station
+        return level
+
+    def pick_bike(self, station: int, prefer_low: bool = False) -> Optional[Bike]:
+        """A rider's bike choice at ``station``.
+
+        Riders naturally prefer the highest-charge bike; the incentive
+        mechanism instead asks for a *low*-energy one (``prefer_low``).
+        Returns ``None`` when the station is empty, or when ``prefer_low``
+        is set and no low-energy bike is present.
+        """
+        bikes = self.bikes_at(station)
+        if not bikes:
+            return None
+        if prefer_low:
+            low = [b for b in bikes if b.battery.level < self.threshold]
+            if not low:
+                return None
+            return min(low, key=lambda b: (b.battery.level, b.bike_id))
+        return max(bikes, key=lambda b: (b.battery.level, -b.bike_id))
+
+    def recharge_station(self, station: int) -> int:
+        """Operator services a station: recharge all low-energy bikes there.
+
+        Returns:
+            Number of bikes recharged.
+        """
+        count = 0
+        for b in self.bikes_at(station):
+            if b.battery.level < self.threshold:
+                b.battery.recharge()
+                count += 1
+        return count
+
+    def charge_levels(self) -> np.ndarray:
+        """Charge level of every bike, indexed by bike id."""
+        return np.asarray([b.battery.level for b in self.bikes], dtype=float)
+
+    def low_energy_count(self) -> int:
+        """Total bikes below the service threshold."""
+        return int(np.count_nonzero(self.charge_levels() < self.threshold))
+
+    def _bike(self, bike_id: int) -> Bike:
+        if not 0 <= bike_id < len(self.bikes):
+            raise KeyError(f"unknown bike id {bike_id}")
+        return self.bikes[bike_id]
+
+    def _check_station(self, station: int) -> None:
+        if not 0 <= station < len(self.stations):
+            raise ValueError(f"station {station} out of range 0..{len(self.stations) - 1}")
+
+
+def replay_trips_onto_fleet(
+    fleet: Fleet,
+    station_of_point,
+    trips: Iterable,
+) -> int:
+    """Replay trip records through the fleet to evolve energy state.
+
+    Args:
+        fleet: the fleet to mutate.
+        station_of_point: callable mapping a :class:`Point` to the nearest
+            station index (e.g. built from a placement result).
+        trips: iterable of :class:`~repro.datasets.trips.TripRecord`.
+
+    Returns:
+        Number of trips actually executed (trips from empty stations are
+        skipped).
+    """
+    executed = 0
+    for trip in trips:
+        origin_station = station_of_point(trip.start)
+        dest_station = station_of_point(trip.end)
+        bike = fleet.pick_bike(origin_station)
+        if bike is None:
+            continue
+        fleet.ride(bike.bike_id, dest_station, trip.distance)
+        executed += 1
+    return executed

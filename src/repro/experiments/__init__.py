@@ -1,0 +1,68 @@
+"""Experiment runners — one per table and figure of the paper.
+
+Each ``run_*`` function regenerates the corresponding artifact and
+returns an :class:`~repro.experiments.reporting.ExperimentResult` whose
+rows mirror the paper's table/series.  ``EXPERIMENTS`` maps experiment
+ids to their runners for the CLI and the benchmark harness.
+"""
+
+from typing import Callable, Dict
+
+from .reporting import ExperimentResult, format_table
+from .fig4_example import run_fig4
+from .fig5_penalty_shapes import run_fig5
+from .fig6_esharing_example import run_fig6
+from .fig7_saving_ratio import run_fig7a, run_fig7b
+from .fig8_actual_vs_predicted import run_fig8
+from .fig10_cost_vs_parking import run_fig10
+from .table2_prediction import run_table2
+from .table3_penalty_costs import run_table3
+from .table4_ks_similarity import run_table4
+from .table5_plp_comparison import run_table5
+from .table6_incentives import run_fig11, run_fig12, run_table6
+from .thm1_lower_bound import run_thm1
+from .endtoend import run_pipeline
+from .fig9_penalty_scatter import run_fig9
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7a": run_fig7a,
+    "fig7b": run_fig7b,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "thm1": run_thm1,
+    "pipeline": run_pipeline,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig8",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_thm1",
+    "run_pipeline",
+    "run_fig9",
+]

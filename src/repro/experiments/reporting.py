@@ -1,0 +1,107 @@
+"""Shared result containers and ASCII reporting for the experiments.
+
+Every experiment runner returns an :class:`ExperimentResult` whose rows
+mirror the corresponding paper table/figure series, so the benchmark
+harness can print paper-shaped output and EXPERIMENTS.md can record
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["ExperimentResult", "format_table"]
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e15:
+            return f"{int(cell)}"
+        return f"{cell:.2f}" if abs(cell) >= 0.01 else f"{cell:.4f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]]) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    if not headers:
+        raise ValueError("headers cannot be empty")
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction.
+
+    Attributes:
+        experiment_id: the paper artifact this regenerates (e.g. "Table V").
+        title: one-line description.
+        headers: column names.
+        rows: data rows in the paper's order.
+        notes: free-form remarks (substitutions, parameters, seeds).
+        extras: named auxiliary payloads (e.g. heatmap matrices) that do
+            not fit the tabular shape.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]]
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Full printable report."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def save_csv(self, path: Union[str, Path]) -> None:
+        """Write the rows as CSV (headers first)."""
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(self.headers)
+            writer.writerows(self.rows)
+
+    def column(self, name: str) -> List[Cell]:
+        """Extract one column by header name.
+
+        Raises:
+            KeyError: if the header is unknown.
+        """
+        try:
+            idx = self.headers.index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}; have {self.headers}") from None
+        return [row[idx] for row in self.rows]
+
+    def row_by(self, key_column: str, key: Cell) -> List[Cell]:
+        """First row whose ``key_column`` equals ``key``.
+
+        Raises:
+            KeyError: if no row matches.
+        """
+        idx = self.headers.index(key_column)
+        for row in self.rows:
+            if row[idx] == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")

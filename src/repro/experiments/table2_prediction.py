@@ -1,0 +1,141 @@
+"""Table II — RMSE of LSTM vs MA vs ARIMA on hourly request counts.
+
+The paper trains per-grid predictors on the two-week Mobike window
+(weekdays: 7 train / 3 test days) and reports walk-forward RMSE for 1-6 h
+horizons.  LSTM is swept over depth (1-3 layers) and backward window
+(1-24 h), MA over window size, ARIMA over lag order and differencing.
+Headline shape to match: 2-layer LSTM with back=12 wins, and LSTM beats
+the statistical baselines by ~30% on average.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..datasets.pois import default_city
+from ..datasets.synthetic import SyntheticConfig, mobike_like_dataset
+from ..forecast import (
+    Arima,
+    HoltWinters,
+    LstmConfig,
+    LstmForecaster,
+    MovingAverage,
+    SeasonalNaive,
+    build_demand_series,
+    rolling_rmse,
+    weekday_weekend_split,
+)
+from ..geo.grid import UniformGrid
+from .reporting import ExperimentResult
+
+__all__ = ["run_table2", "demand_train_test"]
+
+
+def demand_train_test(seed: int = 0, volume: int = 900) -> Tuple[np.ndarray, np.ndarray]:
+    """The weekday train/test series used across the prediction experiments."""
+    cfg = SyntheticConfig(trips_per_weekday=volume, trips_per_weekend_day=int(volume * 0.75))
+    dataset = mobike_like_dataset(seed=seed, days=14, config=cfg)
+    grid = UniformGrid(default_city().box, cell_size=300.0)
+    series = build_demand_series(dataset, grid)
+    (wd_train, wd_test), _ = weekday_weekend_split(series)
+    return wd_train, wd_test
+
+
+def run_table2(
+    seed: int = 0,
+    fast: bool = True,
+    horizon: int = 6,
+    include_seasonal: bool = False,
+) -> ExperimentResult:
+    """Reproduce the Table II RMSE grid.
+
+    Args:
+        seed: dataset / initialisation seed.
+        fast: trim the hyperparameter grid and epochs so the experiment
+            runs in minutes on a laptop (the full grid matches the paper's
+            sweep exactly).
+        horizon: forecast horizon in hours (the paper evaluates 1-6 h).
+        include_seasonal: extend the paper's grid with seasonal-naive and
+            Holt-Winters rows — the *fair* statistical baselines for a
+            strongly diurnal series (beyond-the-paper extension).
+    """
+    train, test = demand_train_test(seed=seed)
+    rows: List[List] = []
+
+    if fast:
+        layer_grid = [1, 2]
+        back_grid = [12, 3]
+        epochs = 30
+        hidden = 24
+        ma_grid = [1, 3, 5]
+        arima_p = [2, 6]
+        arima_d = [0, 1]
+    else:
+        layer_grid = [1, 2, 3]
+        back_grid = [24, 12, 6, 3, 1]
+        epochs = 80
+        hidden = 32
+        ma_grid = [1, 2, 3, 4, 5]
+        arima_p = [2, 4, 6, 8, 10]
+        arima_d = [0, 1, 2]
+
+    lstm_rmse: Dict[Tuple[int, int], float] = {}
+    for layers in layer_grid:
+        for back in back_grid:
+            model = LstmForecaster(
+                LstmConfig(
+                    lookback=back, hidden_size=hidden, n_layers=layers,
+                    epochs=epochs, seed=seed,
+                )
+            )
+            err = rolling_rmse(model, train, test, horizon=horizon)
+            lstm_rmse[(layers, back)] = err
+            rows.append([f"LSTM {layers}-layer", f"back={back}", round(err, 2)])
+
+    ma_rmse: Dict[int, float] = {}
+    for wz in ma_grid:
+        err = rolling_rmse(MovingAverage(window=wz), train, test, horizon=horizon)
+        ma_rmse[wz] = err
+        rows.append(["MA", f"wz={wz}", round(err, 2)])
+
+    arima_rmse: Dict[Tuple[int, int], float] = {}
+    for d in arima_d:
+        for p in arima_p:
+            err = rolling_rmse(Arima(p=p, d=d), train, test, horizon=horizon)
+            arima_rmse[(p, d)] = err
+            rows.append(["ARIMA", f"p={p} d={d}", round(err, 2)])
+
+    seasonal_rmse: Dict[str, float] = {}
+    if include_seasonal:
+        for window in (1, 3):
+            err = rolling_rmse(
+                SeasonalNaive(period=24, window=window), train, test, horizon=horizon
+            )
+            seasonal_rmse[f"snaive w={window}"] = err
+            rows.append(["SeasonalNaive", f"window={window}", round(err, 2)])
+        err = rolling_rmse(HoltWinters(period=24), train, test, horizon=horizon)
+        seasonal_rmse["holt-winters"] = err
+        rows.append(["HoltWinters", "period=24", round(err, 2)])
+
+    best_lstm_cfg = min(lstm_rmse, key=lstm_rmse.get)
+    best_lstm = lstm_rmse[best_lstm_cfg]
+    best_stat = min(min(ma_rmse.values()), min(arima_rmse.values()))
+    if seasonal_rmse:
+        best_stat = min(best_stat, min(seasonal_rmse.values()))
+    improvement = 100.0 * (1.0 - best_lstm / best_stat)
+    return ExperimentResult(
+        experiment_id="Table II",
+        title=f"Prediction RMSE over the next {horizon} h (weekday series)",
+        headers=["model", "hyperparameters", "RMSE"],
+        rows=rows,
+        notes=[
+            f"best LSTM: {best_lstm_cfg[0]}-layer back={best_lstm_cfg[1]} "
+            f"RMSE={best_lstm:.2f} (paper: 2-layer back=12, 29.1)",
+            f"LSTM improves {improvement:.0f}% over the best statistical "
+            f"baseline (paper: ~30% on average)",
+            f"fast={fast} seed={seed}",
+        ],
+        extras={"best_lstm_config": best_lstm_cfg},
+    )

@@ -1,0 +1,146 @@
+"""Table III / Fig. 9 — penalty-function costs under synthetic distributions.
+
+The Section V-B sector experiment: the offline-derived parking sits at
+the origin; ~200 requests per trial are drawn from a *uniform*, *Poisson*
+(mid-range ring) or *normal* distribution, representing increasing
+similarity to the prediction; each penalty type (plus *no penalty* =
+plain Meyerson) damps the opening probability.  Costs are averaged over
+many trials and reported in km.
+
+Accounting note.  The paper's Table III charges the *true* space cost per
+opened station while the opening probability runs on Algorithm 2's scaled
+(small) cost — that mismatch is what makes *no penalty* the worst total
+despite its minimum walking cost.  We reproduce that accounting with a
+probability-control cost ``F_PROB`` and a charged cost ``F_TRUE``.
+
+Reproduction status: uniform -> Type I and normal -> Type II match the
+paper, and *no penalty* wins walking everywhere as reported.  For the
+Poisson ring our accounting makes Type III a close *second* behind
+Type I: ``g_III = exp(-c^2/L^2)`` is pointwise more lenient than Type I
+below ~0.55 L and harsher above, so whenever far openings are worth their
+cost Type I edges it out.  See EXPERIMENTS.md for the discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core import constant_facility_cost, meyerson_placement
+from ..core.penalty import (
+    NoPenalty,
+    PenaltyFunction,
+    TypeIPenalty,
+    TypeIIPenalty,
+    TypeIIIPenalty,
+)
+from ..geo.points import Point
+from ..stats.distributions import sample_normal, sample_poisson_ring, sample_uniform
+from .reporting import ExperimentResult
+
+__all__ = ["run_table3", "PENALTY_SET"]
+
+PENALTY_SET = {
+    "no_penalty": NoPenalty,
+    "type_i": TypeIPenalty,
+    "type_ii": TypeIIPenalty,
+    "type_iii": TypeIIIPenalty,
+}
+
+N_REQUESTS = 200
+F_PROB = 200.0
+"""Scaled opening cost driving the probability (Algorithm 2, line 4)."""
+F_TRUE = 500.0
+"""True space-occupation cost charged per opened station."""
+TOLERANCE_M = 200.0
+
+_SAMPLERS = {
+    "uniform": lambda rng: sample_uniform(rng, N_REQUESTS, 500.0),
+    "poisson": lambda rng: sample_poisson_ring(rng, N_REQUESTS, rate=9.0, scale=25.0),
+    "normal": lambda rng: sample_normal(rng, N_REQUESTS, 60.0),
+}
+
+
+def _run_cell(
+    distribution: str,
+    penalty: PenaltyFunction,
+    seed: int,
+    trials: int,
+) -> Dict[str, float]:
+    sampler = _SAMPLERS[distribution]
+    cost_fn = constant_facility_cost(F_PROB)
+    walking = stations = 0.0
+    for t in range(trials):
+        rng = np.random.default_rng(seed + t)
+        stream = sampler(rng)
+        res = meyerson_placement(
+            stream,
+            cost_fn,
+            np.random.default_rng(seed + 10_000 + t),
+            initial_stations=[Point(0.0, 0.0)],
+            penalty=None if isinstance(penalty, NoPenalty) else penalty,
+        )
+        walking += res.walking
+        stations += res.n_stations
+    walking /= trials
+    stations /= trials
+    space = stations * F_TRUE
+    return {
+        "walking_km": walking / 1000.0,
+        "space_km": space / 1000.0,
+        "total_km": (walking + space) / 1000.0,
+        "stations": stations,
+    }
+
+
+def run_table3(seed: int = 0, trials: int = 30) -> ExperimentResult:
+    """Reproduce Table III (averaged over ``trials`` random streams).
+
+    Args:
+        seed: base RNG seed.
+        trials: trials per (distribution, penalty) cell — the paper
+            averages over 100.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    rows: List[List] = []
+    winners: Dict[str, str] = {}
+    min_walking: Dict[str, str] = {}
+    for dist in ("uniform", "poisson", "normal"):
+        best_total = float("inf")
+        best_walk = float("inf")
+        for name, cls in PENALTY_SET.items():
+            cell = _run_cell(dist, cls(tolerance=TOLERANCE_M), seed, trials)
+            rows.append(
+                [
+                    dist,
+                    name,
+                    round(cell["walking_km"], 2),
+                    round(cell["space_km"], 2),
+                    round(cell["total_km"], 2),
+                    round(cell["stations"], 1),
+                ]
+            )
+            if cell["total_km"] < best_total:
+                best_total = cell["total_km"]
+                winners[dist] = name
+            if cell["walking_km"] < best_walk:
+                best_walk = cell["walking_km"]
+                min_walking[dist] = name
+    return ExperimentResult(
+        experiment_id="Table III",
+        title="Penalty-function costs under uniform / Poisson / normal requests",
+        headers=["distribution", "penalty", "walking (km)", "space (km)", "total (km)", "# stations"],
+        rows=rows,
+        notes=[
+            f"min-total winners: {winners} (paper: uniform->type_i, "
+            f"poisson->type_iii, normal->type_ii; see module docstring on "
+            f"the poisson case)",
+            f"min-walking winners: {min_walking} (paper: no_penalty everywhere)",
+            f"{N_REQUESTS} requests/trial, F_prob = {F_PROB:.0f} m, "
+            f"F_true = {F_TRUE:.0f} m, L = {TOLERANCE_M:.0f} m, "
+            f"{trials} trials, seed={seed}",
+        ],
+        extras={"winners": winners, "min_walking": min_walking},
+    )

@@ -1,0 +1,212 @@
+"""Table V — the main Tier-1 comparison on the city workload.
+
+Five solutions of the same PLP instance (a full weekday's request stream
+over the 3x3 km^2 field, uniform-random space costs with mean 10 km):
+
+* **Offline*** — Algorithm 1 with perfect knowledge of the test demand
+  (the near-optimal reference; paper: 16 stations, total 393.5 km).
+* **Meyerson** — online baseline [25] (paper: 32.9 / 609.3).
+* **Online k-means** — [26] with k anchored to the offline count
+  (paper: 45.2 / 1754.3).
+* **E-sharing (actual)** — Algorithm 2 anchored to the offline solution
+  of the *actual historical* demand (paper: 25.3 / 460.0, within ~17% of
+  offline and 25% below Meyerson).
+* **E-sharing (predicted)** — same, but the anchor is computed on
+  LSTM-*predicted* demand (paper: 26.0 / 487.6, ~6% above the actual
+  anchor).
+
+Candidate-space note: following Section III-A ("the space of N can be
+reduced to filter out those less popular locations"), offline candidates
+are the busiest demand cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core import (
+    DemandPoint,
+    EsharingConfig,
+    esharing_placement,
+    evaluate_placement,
+    meyerson_placement,
+    offline_placement,
+    online_kmeans_placement,
+    uniform_facility_cost,
+)
+from ..core.result import PlacementResult
+from ..datasets.pois import default_city
+from ..datasets.synthetic import SyntheticConfig, mobike_like_dataset
+from ..datasets.trips import TripDataset
+from ..forecast import LstmConfig, LstmForecaster
+from ..geo.grid import UniformGrid
+from .reporting import ExperimentResult
+
+__all__ = ["run_table5", "Table5Instance", "build_instance"]
+
+MEAN_SPACE_COST_M = 10_000.0
+CELL_SIZE_M = 150.0
+MAX_CANDIDATES = 120
+
+
+@dataclass
+class Table5Instance:
+    """Everything needed to run the five algorithms on one test day."""
+
+    historical_demands: List[DemandPoint]
+    predicted_demands: List[DemandPoint]
+    test_stream: List
+    test_demands: List[DemandPoint]
+    historical_sample: np.ndarray
+    facility_cost: object
+    grid: UniformGrid
+
+
+def _binned_demands(dataset: TripDataset, grid: UniformGrid, cap: int) -> List[DemandPoint]:
+    demand = dataset.demand_grid(grid)
+    top = demand.top_cells(cap)
+    return [DemandPoint(grid.centroid(cell), float(count)) for cell, count in top if count > 0]
+
+
+def build_instance(seed: int = 0, volume: int = 1500, train_days: int = 7) -> Table5Instance:
+    """Build the shared Table V instance.
+
+    The first ``train_days`` weekdays are history; the next weekday is
+    the test day.  Predicted demand scales each historical cell share by
+    an LSTM forecast of the test day's total hourly volume, so the
+    anchor inherits the model's real prediction error.
+    """
+    cfg = SyntheticConfig(trips_per_weekday=volume, trips_per_weekend_day=int(volume * 0.75))
+    dataset = mobike_like_dataset(seed=seed, days=14, config=cfg)
+    grid = UniformGrid(default_city().box, cell_size=CELL_SIZE_M)
+
+    by_day = dataset.split_by_day()
+    weekdays = [day for day in by_day if day.weekday() < 5]
+    history_days = weekdays[:train_days]
+    test_day = weekdays[train_days]
+    history = TripDataset([r for day in history_days for r in by_day[day]])
+    test = by_day[test_day]
+
+    historical_demands = _binned_demands(history, grid, MAX_CANDIDATES)
+    # Per-day average so the historical anchor sees one day's volume.
+    historical_demands = [
+        DemandPoint(d.location, max(d.weight / len(history_days), 1e-9))
+        for d in historical_demands
+    ]
+    test_demands = _binned_demands(test, grid, MAX_CANDIDATES * 4)
+
+    # LSTM forecast of the test day's total volume, hour by hour.  The
+    # series concatenates weekday hours only (the paper trains weekday and
+    # weekend models separately), so the forecast continues the weekday
+    # regime into the test day.
+    day_totals = []
+    for day in history_days:
+        day_series, _ = by_day[day].hourly_arrival_series(grid, start=day, hours=24)
+        day_totals.append(day_series.sum(axis=1))
+    totals = np.concatenate(day_totals)
+    model = LstmForecaster(
+        LstmConfig(lookback=12, hidden_size=16, n_layers=1, epochs=25, seed=seed)
+    )
+    model.fit(totals)
+    predicted_total = float(np.clip(model.forecast(totals, 24).sum(), 1.0, None))
+    historical_daily_total = float(totals.sum()) / len(history_days)
+    scale = predicted_total / historical_daily_total
+    predicted_demands = [
+        DemandPoint(d.location, max(d.weight * scale, 1e-9)) for d in historical_demands
+    ]
+
+    rng = np.random.default_rng(seed + 99)
+    return Table5Instance(
+        historical_demands=historical_demands,
+        predicted_demands=predicted_demands,
+        test_stream=test.destinations(),
+        test_demands=test_demands,
+        historical_sample=history.destination_array(),
+        facility_cost=uniform_facility_cost(MEAN_SPACE_COST_M, rng),
+        grid=grid,
+    )
+
+
+def _row(name: str, res: PlacementResult) -> List:
+    return [
+        name,
+        res.n_stations,
+        round(res.walking / 1000.0, 1),
+        round(res.space / 1000.0, 1),
+        round(res.total / 1000.0, 1),
+    ]
+
+
+def run_table5(seed: int = 0, volume: int = 1500) -> ExperimentResult:
+    """Reproduce Table V on the synthetic city workload."""
+    inst = build_instance(seed=seed, volume=volume)
+    cost_fn = inst.facility_cost
+
+    offline_test = offline_placement(inst.test_demands, cost_fn)
+    anchor_actual = offline_placement(inst.historical_demands, cost_fn)
+    anchor_predicted = offline_placement(inst.predicted_demands, cost_fn)
+
+    mey = meyerson_placement(inst.test_stream, cost_fn, np.random.default_rng(seed + 1))
+    # Calibration: [26]'s theoretical phase budget gamma = 3k(1+log2 n)
+    # lets the squared-distance rule open a centre on essentially every
+    # request before the first cost doubling (min(d^2/f, 1) saturates on
+    # metric data), which is even worse than the paper reports.  A budget
+    # of ~k/3 reproduces Table V's scale: k-means opens several times more
+    # stations than Meyerson at a far higher total cost.
+    k_anchor = max(offline_test.n_stations, 1)
+    okm = online_kmeans_placement(
+        inst.test_stream,
+        k=k_anchor,
+        facility_cost=cost_fn,
+        rng=np.random.default_rng(seed + 2),
+        gamma=max(2.0, k_anchor / 3.0),
+    )
+    es_actual = esharing_placement(
+        inst.test_stream, anchor_actual.stations, cost_fn,
+        inst.historical_sample, np.random.default_rng(seed + 3),
+    )
+    es_predicted = esharing_placement(
+        inst.test_stream, anchor_predicted.stations, cost_fn,
+        inst.historical_sample, np.random.default_rng(seed + 4),
+    )
+
+    rows = [
+        _row("Offline*", offline_test),
+        _row("Meyerson", mey),
+        _row("Online k-means", okm),
+        _row("E-sharing (actual)", es_actual),
+        _row("E-sharing (predicted)", es_predicted),
+    ]
+    total = {r[0]: r[4] for r in rows}
+    vs_offline = 100.0 * (total["E-sharing (actual)"] / total["Offline*"] - 1.0)
+    vs_meyerson = 100.0 * (1.0 - total["E-sharing (actual)"] / total["Meyerson"])
+    vs_okm = 100.0 * (1.0 - total["E-sharing (actual)"] / total["Online k-means"])
+    pred_gap = 100.0 * (total["E-sharing (predicted)"] / total["E-sharing (actual)"] - 1.0)
+    n_arrivals = len(inst.test_stream)
+    avg_walk = es_actual.walking / max(n_arrivals, 1)
+    return ExperimentResult(
+        experiment_id="Table V",
+        title="PLP comparison: # parking and costs (km) on one test weekday",
+        headers=["algorithm", "# parking", "walking", "space", "total"],
+        rows=rows,
+        notes=[
+            f"E-sharing (actual) is {vs_offline:+.0f}% vs offline "
+            f"(paper: within ~17-25%)",
+            f"E-sharing (actual) is {vs_meyerson:.0f}% below Meyerson (paper: 25%) "
+            f"and {vs_okm:.0f}% below online k-means (paper: 74%)",
+            f"prediction error adds {pred_gap:+.1f}% (paper: +6%)",
+            f"average walking distance {avg_walk:.0f} m per user (paper: ~180 m)",
+            f"{n_arrivals} test arrivals, f ~ U(mean {MEAN_SPACE_COST_M / 1000:.0f} km), seed={seed}",
+        ],
+        extras={
+            "offline": offline_test,
+            "es_actual": es_actual,
+            "es_predicted": es_predicted,
+            "meyerson": mey,
+            "online_kmeans": okm,
+        },
+    )

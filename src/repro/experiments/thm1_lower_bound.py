@@ -1,0 +1,67 @@
+"""Theorem 1 — empirical competitive-ratio growth on the adversarial instance.
+
+Runs Meyerson's online algorithm on the geometric request sequence
+``(2^-i, 2^-i)`` with ``f = 2`` and tabulates the ratio of online to
+offline-optimal cost as the instance grows.  The ratio is bounded away
+from 1 and the instance demonstrates why no online algorithm can be
+O(1)-competitive (the proof's limit needs unbounded precision; the table
+shows the finite-n trend).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import (
+    THEOREM1_FACILITY_COST,
+    competitive_ratio,
+    constant_facility_cost,
+    meyerson_placement,
+    theorem1_offline_optimum,
+    theorem1_requests,
+)
+from .reporting import ExperimentResult
+
+__all__ = ["run_thm1"]
+
+
+def run_thm1(max_n: int = 30, trials: int = 50, seed: int = 0) -> ExperimentResult:
+    """Tabulate the mean competitive ratio vs instance size.
+
+    Args:
+        max_n: largest instance size.
+        trials: random runs averaged per size.
+        seed: base RNG seed.
+    """
+    if max_n < 2:
+        raise ValueError(f"max_n must be >= 2, got {max_n}")
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    cost_fn = constant_facility_cost(THEOREM1_FACILITY_COST)
+    rows = []
+    for n in range(2, max_n + 1, max(1, (max_n - 2) // 10)):
+        reqs = theorem1_requests(n)
+        ratios = []
+        stations = []
+        for t in range(trials):
+            res = meyerson_placement(reqs, cost_fn, np.random.default_rng(seed + t))
+            ratios.append(competitive_ratio(res, n))
+            stations.append(res.n_stations)
+        rows.append(
+            [
+                n,
+                round(theorem1_offline_optimum(n), 4),
+                round(float(np.mean(ratios)), 3),
+                round(float(np.mean(stations)), 2),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="Theorem 1",
+        title="Competitive ratio of online placement on the adversarial instance",
+        headers=["n", "offline optimum", "mean online/offline ratio", "mean # stations"],
+        rows=rows,
+        notes=[
+            "offline optimum: single parking at the origin, cost 2 + sqrt(2) - sqrt(2)/2^n",
+            f"f = {THEOREM1_FACILITY_COST}, {trials} trials per size, seed={seed}",
+        ],
+    )

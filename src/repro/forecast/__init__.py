@@ -1,0 +1,35 @@
+"""Prediction engine: NumPy LSTM plus MA and ARIMA statistical baselines."""
+
+from .base import Forecaster, rolling_forecasts, rolling_rmse, train_test_split_series
+from .metrics import mae, mape, mase, rmse
+from .moving_average import MovingAverage
+from .arima import Arima
+from .exponential_smoothing import HoltWinters, SeasonalNaive
+from .ensemble import MeanEnsemble, ValidationSelector
+from .lstm import LstmConfig, LstmForecaster, sliding_windows
+from .multicell import MultiCellForecaster
+from .features import DemandSeries, build_demand_series, weekday_weekend_split
+
+__all__ = [
+    "Forecaster",
+    "rolling_forecasts",
+    "rolling_rmse",
+    "train_test_split_series",
+    "mae",
+    "mape",
+    "mase",
+    "rmse",
+    "MovingAverage",
+    "Arima",
+    "HoltWinters",
+    "SeasonalNaive",
+    "MeanEnsemble",
+    "ValidationSelector",
+    "LstmConfig",
+    "LstmForecaster",
+    "sliding_windows",
+    "MultiCellForecaster",
+    "DemandSeries",
+    "build_demand_series",
+    "weekday_weekend_split",
+]

@@ -1,0 +1,163 @@
+"""ARIMA baseline (Table II, "ARIMA").
+
+A self-contained ARIMA(p, d, q) in the Box–Jenkins tradition [32]:
+
+* difference the series ``d`` times,
+* estimate the ARMA(p, q) coefficients by minimising the conditional sum
+  of squared one-step residuals (CSS) with scipy,
+* forecast recursively and integrate the differences back.
+
+The paper sweeps the lag order ``p`` and degree of differencing ``d``
+(with an implicit small MA term); ``q`` defaults to 0, making the
+default configuration the AR(I) family shown in the table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+
+from .base import Forecaster
+
+__all__ = ["Arima"]
+
+
+def _difference(series: np.ndarray, d: int) -> np.ndarray:
+    out = series
+    for _ in range(d):
+        out = np.diff(out)
+    return out
+
+
+def _css_residuals(params: np.ndarray, x: np.ndarray, p: int, q: int) -> np.ndarray:
+    """One-step conditional residuals of an ARMA(p, q) with intercept."""
+    c = params[0]
+    ar = params[1 : 1 + p]
+    ma = params[1 + p : 1 + p + q]
+    n = x.size
+    resid = np.zeros(n)
+    start = max(p, 1)
+    for t in range(start, n):
+        ar_part = float(ar @ x[t - p : t][::-1]) if p else 0.0
+        ma_part = 0.0
+        for j in range(1, q + 1):
+            if t - j >= start:
+                ma_part += ma[j - 1] * resid[t - j]
+        resid[t] = x[t] - c - ar_part - ma_part
+    return resid[start:]
+
+
+class Arima(Forecaster):
+    """ARIMA(p, d, q) fit by conditional least squares.
+
+    Args:
+        p: autoregressive lag order.
+        d: degree of differencing.
+        q: moving-average order.
+
+    Raises:
+        ValueError: on negative orders or all-zero model (p=q=0 with no
+            intercept cannot forecast anything useful but is permitted —
+            it degenerates to the mean of the differenced series).
+    """
+
+    def __init__(self, p: int = 2, d: int = 0, q: int = 0) -> None:
+        if p < 0 or d < 0 or q < 0:
+            raise ValueError(f"orders must be non-negative, got p={p} d={d} q={q}")
+        self.p = p
+        self.d = d
+        self.q = q
+        self._params: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._params is not None
+
+    def fit(self, series: np.ndarray) -> "Arima":
+        """Estimate coefficients on ``series`` via CSS.
+
+        Raises:
+            ValueError: if the differenced series is too short to fit.
+        """
+        arr = np.asarray(series, dtype=float).ravel()
+        x = _difference(arr, self.d)
+        min_len = max(self.p, 1) + self.p + self.q + 2
+        if x.size < min_len:
+            raise ValueError(
+                f"series too short for ARIMA({self.p},{self.d},{self.q}): "
+                f"need {min_len} differenced points, have {x.size}"
+            )
+        n_params = 1 + self.p + self.q
+        x0 = np.zeros(n_params)
+        x0[0] = float(x.mean())
+
+        def objective(params: np.ndarray) -> float:
+            resid = _css_residuals(params, x, self.p, self.q)
+            return float(resid @ resid)
+
+        if self.p == 0 and self.q == 0:
+            self._params = x0
+            return self
+        result = optimize.minimize(objective, x0, method="L-BFGS-B")
+        # L-BFGS-B can stall on flat regions; keep whatever point it
+        # reached — CSS is well-behaved for these small models.
+        self._params = np.asarray(result.x, dtype=float)
+        return self
+
+    def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Recursive multi-step forecast from ``history``.
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+            ValueError: if the history is shorter than the model memory.
+        """
+        self._check_horizon(horizon)
+        if self._params is None:
+            raise RuntimeError("Arima.forecast called before fit")
+        hist = np.asarray(history, dtype=float).ravel()
+        if hist.size < self.d + self.p + 1:
+            raise ValueError(
+                f"history of {hist.size} too short for ARIMA({self.p},{self.d},{self.q})"
+            )
+        x = _difference(hist, self.d)
+        c = self._params[0]
+        ar = self._params[1 : 1 + self.p]
+        ma = self._params[1 + self.p :]
+        resid = _css_residuals(self._params, x, self.p, self.q) if (self.p or self.q) else np.array([])
+
+        ext = x.tolist()
+        resid_ext = ([0.0] * (len(ext) - len(resid))) + resid.tolist()
+        for _ in range(horizon):
+            t = len(ext)
+            ar_part = 0.0
+            for i in range(1, self.p + 1):
+                ar_part += ar[i - 1] * ext[t - i]
+            ma_part = 0.0
+            for j in range(1, self.q + 1):
+                if t - j < len(resid_ext):
+                    ma_part += ma[j - 1] * resid_ext[t - j]
+            ext.append(c + ar_part + ma_part)
+            resid_ext.append(0.0)  # future shocks have zero expectation
+
+        diff_forecast = np.asarray(ext[len(x) :], dtype=float)
+        return _integrate(hist, diff_forecast, self.d)
+
+    def __repr__(self) -> str:
+        return f"Arima(p={self.p}, d={self.d}, q={self.q})"
+
+
+def _integrate(history: np.ndarray, diff_forecast: np.ndarray, d: int) -> np.ndarray:
+    """Invert ``d`` rounds of differencing for a forecast continuation."""
+    if d == 0:
+        return diff_forecast
+    # Last values of each differencing level, innermost first.
+    levels = [history]
+    for _ in range(d):
+        levels.append(np.diff(levels[-1]))
+    out = diff_forecast
+    for level in range(d - 1, -1, -1):
+        anchor = levels[level][-1]
+        out = anchor + np.cumsum(out)
+    return out

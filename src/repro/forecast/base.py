@@ -1,0 +1,107 @@
+"""Forecaster interface and rolling evaluation.
+
+All predictors in the engine implement the same contract: ``fit`` on a
+training series, then ``forecast`` the next ``horizon`` values given a
+history.  Section V-A evaluates predictors by forecasting "the next 1 to
+6 hours" over a held-out test segment; :func:`rolling_rmse` reproduces
+that protocol — slide over the test segment, forecast ``horizon`` steps
+from each position, and score all predictions with RMSE.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+import numpy as np
+
+from .metrics import rmse
+
+__all__ = ["Forecaster", "rolling_forecasts", "rolling_rmse", "train_test_split_series"]
+
+
+class Forecaster(ABC):
+    """Common interface of every prediction model in the engine."""
+
+    @abstractmethod
+    def fit(self, series: np.ndarray) -> "Forecaster":
+        """Train on a 1-D series of hourly request counts; returns self."""
+
+    @abstractmethod
+    def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Predict the ``horizon`` values following ``history``.
+
+        ``history`` is the observed series up to "now"; implementations
+        may use only its tail.  Returns an array of length ``horizon``.
+        """
+
+    def _check_horizon(self, horizon: int) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+
+
+def train_test_split_series(series: np.ndarray, train_fraction: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Chronological split of a series into train and test segments.
+
+    Raises:
+        ValueError: if the fraction leaves either side empty.
+    """
+    arr = np.asarray(series, dtype=float).ravel()
+    split = int(round(len(arr) * train_fraction))
+    if split <= 0 or split >= len(arr):
+        raise ValueError(
+            f"train_fraction {train_fraction} leaves an empty split for length {len(arr)}"
+        )
+    return arr[:split], arr[split:]
+
+
+def rolling_forecasts(
+    model: Forecaster,
+    train: np.ndarray,
+    test: np.ndarray,
+    horizon: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Walk-forward predictions over ``test``.
+
+    From each test position ``t`` the model sees
+    ``concat(train, test[:t])`` and forecasts ``horizon`` steps; only
+    forecasts whose targets lie inside ``test`` are kept.
+
+    Returns:
+        ``(pred, actual)`` arrays of equal length.
+
+    Raises:
+        ValueError: if ``test`` is shorter than ``horizon``.
+    """
+    train = np.asarray(train, dtype=float).ravel()
+    test = np.asarray(test, dtype=float).ravel()
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if len(test) < horizon:
+        raise ValueError(f"test segment shorter than horizon {horizon}")
+    preds: List[float] = []
+    actuals: List[float] = []
+    for t in range(0, len(test) - horizon + 1, horizon):
+        history = np.concatenate([train, test[:t]])
+        out = np.asarray(model.forecast(history, horizon), dtype=float).ravel()
+        if out.shape[0] != horizon:
+            raise ValueError(
+                f"forecaster returned {out.shape[0]} values for horizon {horizon}"
+            )
+        preds.extend(out.tolist())
+        actuals.extend(test[t : t + horizon].tolist())
+    return np.asarray(preds), np.asarray(actuals)
+
+
+def rolling_rmse(
+    model: Forecaster,
+    train: np.ndarray,
+    test: np.ndarray,
+    horizon: int = 1,
+    fit: bool = True,
+) -> float:
+    """Fit on ``train`` (optionally) and score walk-forward RMSE on ``test``."""
+    if fit:
+        model.fit(np.asarray(train, dtype=float).ravel())
+    pred, actual = rolling_forecasts(model, train, test, horizon=horizon)
+    return rmse(pred, actual)

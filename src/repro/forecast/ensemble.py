@@ -1,0 +1,128 @@
+"""Model selection and ensembling over forecasters.
+
+Section II-B: the framework "can be integrated with any prediction
+engine".  These combinators make that integration concrete:
+
+* :class:`ValidationSelector` — fit several candidate forecasters, score
+  them walk-forward on a held-out validation tail of the training series,
+  and delegate to the winner (how the paper's Table II effectively picks
+  the 2-layer back=12 LSTM).
+* :class:`MeanEnsemble` — average the member forecasts, a strong
+  variance-reduction baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .base import Forecaster, rolling_rmse, train_test_split_series
+
+__all__ = ["ValidationSelector", "MeanEnsemble"]
+
+
+class MeanEnsemble(Forecaster):
+    """Average of the member forecasters' predictions.
+
+    Args:
+        members: at least one forecaster.
+
+    Raises:
+        ValueError: on an empty member list.
+    """
+
+    def __init__(self, members: Sequence[Forecaster]) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        self.members = list(members)
+
+    def fit(self, series: np.ndarray) -> "MeanEnsemble":
+        """Fit every member on the same series."""
+        for m in self.members:
+            m.fit(series)
+        return self
+
+    def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Elementwise mean of the member forecasts."""
+        self._check_horizon(horizon)
+        outputs = [
+            np.asarray(m.forecast(history, horizon), dtype=float).ravel()
+            for m in self.members
+        ]
+        return np.mean(outputs, axis=0)
+
+    def __repr__(self) -> str:
+        return f"MeanEnsemble({len(self.members)} members)"
+
+
+class ValidationSelector(Forecaster):
+    """Pick the best candidate on a validation tail, then use only it.
+
+    Args:
+        candidates: named forecasters to compete.
+        validation_fraction: tail share of the training series reserved
+            for walk-forward scoring.
+        horizon: the horizon the validation scores (match deployment).
+
+    Raises:
+        ValueError: on no candidates or a degenerate fraction.
+    """
+
+    def __init__(
+        self,
+        candidates: Dict[str, Forecaster],
+        validation_fraction: float = 0.25,
+        horizon: int = 1,
+    ) -> None:
+        if not candidates:
+            raise ValueError("need at least one candidate")
+        if not 0.0 < validation_fraction < 1.0:
+            raise ValueError(
+                f"validation_fraction must be in (0, 1), got {validation_fraction}"
+            )
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.candidates = dict(candidates)
+        self.validation_fraction = validation_fraction
+        self.horizon = horizon
+        self.best_name: Optional[str] = None
+        self.scores: Dict[str, float] = {}
+
+    def fit(self, series: np.ndarray) -> "ValidationSelector":
+        """Score every candidate on the validation tail; refit the winner
+        on the full series.
+
+        Candidates that fail to fit (e.g. a series too short for their
+        lookback) are scored as infinitely bad rather than aborting the
+        selection.
+        """
+        arr = np.asarray(series, dtype=float).ravel()
+        train, valid = train_test_split_series(arr, 1.0 - self.validation_fraction)
+        self.scores = {}
+        for name, model in self.candidates.items():
+            try:
+                self.scores[name] = rolling_rmse(
+                    model, train, valid, horizon=self.horizon
+                )
+            except (ValueError, RuntimeError):
+                self.scores[name] = float("inf")
+        self.best_name = min(self.scores, key=self.scores.get)
+        if not np.isfinite(self.scores[self.best_name]):
+            raise ValueError("no candidate could be fit on the series")
+        self.candidates[self.best_name].fit(arr)
+        return self
+
+    def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Delegate to the selected winner.
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+        """
+        self._check_horizon(horizon)
+        if self.best_name is None:
+            raise RuntimeError("ValidationSelector.forecast called before fit")
+        return self.candidates[self.best_name].forecast(history, horizon)
+
+    def __repr__(self) -> str:
+        return f"ValidationSelector(best={self.best_name!r})"

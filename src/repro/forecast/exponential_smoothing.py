@@ -1,0 +1,184 @@
+"""Holt–Winters exponential smoothing and the seasonal-naive baseline.
+
+Two extra statistical predictors beyond the paper's MA/ARIMA grid.
+Hourly bike demand is strongly seasonal (period 24), so a seasonal model
+is the *fair* statistical baseline for the LSTM — these extend the
+Table II comparison (see ``bench_table2_extended``).
+
+* :class:`SeasonalNaive` — tomorrow's hour h equals today's hour h (or
+  the mean of the last ``k`` same-hour observations).
+* :class:`HoltWinters` — additive level/trend/seasonality, fit by
+  minimising one-step squared error over the smoothing parameters with
+  scipy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+
+from .base import Forecaster
+
+__all__ = ["SeasonalNaive", "HoltWinters"]
+
+
+class SeasonalNaive(Forecaster):
+    """Forecast = mean of the last ``window`` same-phase observations.
+
+    Args:
+        period: season length in steps (24 for hourly daily seasonality).
+        window: how many past seasons to average (1 = plain seasonal naive).
+
+    Raises:
+        ValueError: on non-positive period or window.
+    """
+
+    def __init__(self, period: int = 24, window: int = 1) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.period = period
+        self.window = window
+
+    def fit(self, series: np.ndarray) -> "SeasonalNaive":
+        """No trainable state; provided for interface parity."""
+        return self
+
+    def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Repeat the seasonal pattern of the trailing seasons.
+
+        Raises:
+            ValueError: if the history is shorter than one period.
+        """
+        self._check_horizon(horizon)
+        hist = np.asarray(history, dtype=float).ravel()
+        if hist.size < self.period:
+            raise ValueError(
+                f"history of {hist.size} shorter than period {self.period}"
+            )
+        out = np.empty(horizon)
+        for h in range(horizon):
+            phase_observations = []
+            # Steps back that share the phase of history end + h + 1.
+            offset = (h % self.period) - self.period
+            for k in range(self.window):
+                pos = hist.size + offset - k * self.period
+                if 0 <= pos < hist.size:
+                    phase_observations.append(hist[pos])
+            out[h] = float(np.mean(phase_observations)) if phase_observations else float(hist[-1])
+        return out
+
+    def __repr__(self) -> str:
+        return f"SeasonalNaive(period={self.period}, window={self.window})"
+
+
+class HoltWinters(Forecaster):
+    """Additive Holt–Winters (level + trend + seasonality).
+
+    Smoothing parameters ``(alpha, beta, gamma)`` are estimated on the
+    training series by minimising the one-step sum of squared errors.
+
+    Args:
+        period: season length in steps.
+        damped_trend: multiply the trend by 0.98 per step ahead, a common
+            guard against runaway extrapolation on short series.
+
+    Raises:
+        ValueError: on a non-positive period.
+    """
+
+    def __init__(self, period: int = 24, damped_trend: bool = True) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self.damped_trend = damped_trend
+        self._params: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._params is not None
+
+    # ------------------------------------------------------------------
+    def _decompose(self, x: np.ndarray, alpha: float, beta: float, gamma: float):
+        """Run the recursions; returns (level, trend, season, residual SSE)."""
+        m = self.period
+        season = np.zeros(m)
+        # Initial seasonality: per-phase mean minus overall mean of the
+        # first two seasons.
+        head = x[: 2 * m] if x.size >= 2 * m else x
+        overall = float(head.mean())
+        for phase in range(m):
+            vals = head[phase::m]
+            season[phase] = float(vals.mean()) - overall if vals.size else 0.0
+        level = overall
+        trend = 0.0
+        sse = 0.0
+        for t in range(x.size):
+            phase = t % m
+            pred = level + trend + season[phase]
+            err = x[t] - pred
+            sse += err * err
+            new_level = alpha * (x[t] - season[phase]) + (1 - alpha) * (level + trend)
+            trend = beta * (new_level - level) + (1 - beta) * trend
+            season[phase] = gamma * (x[t] - new_level) + (1 - gamma) * season[phase]
+            level = new_level
+        return level, trend, season, sse
+
+    def fit(self, series: np.ndarray) -> "HoltWinters":
+        """Estimate the smoothing parameters on ``series``.
+
+        Raises:
+            ValueError: if the series is shorter than two periods.
+        """
+        x = np.asarray(series, dtype=float).ravel()
+        if x.size < 2 * self.period:
+            raise ValueError(
+                f"series of {x.size} too short for period {self.period} "
+                f"(need at least {2 * self.period})"
+            )
+
+        def objective(params: np.ndarray) -> float:
+            a, b, g = np.clip(params, 1e-4, 1.0 - 1e-4)
+            return self._decompose(x, float(a), float(b), float(g))[3]
+
+        result = optimize.minimize(
+            objective,
+            x0=np.array([0.3, 0.05, 0.2]),
+            method="Nelder-Mead",
+            options={"maxiter": 200, "xatol": 1e-3, "fatol": 1e-2},
+        )
+        self._params = np.clip(result.x, 1e-4, 1.0 - 1e-4)
+        return self
+
+    def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Extrapolate level + damped trend + seasonal component.
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+            ValueError: if the history is shorter than one period.
+        """
+        self._check_horizon(horizon)
+        if self._params is None:
+            raise RuntimeError("HoltWinters.forecast called before fit")
+        hist = np.asarray(history, dtype=float).ravel()
+        if hist.size < self.period:
+            raise ValueError(
+                f"history of {hist.size} shorter than period {self.period}"
+            )
+        a, b, g = (float(v) for v in self._params)
+        level, trend, season, _ = self._decompose(hist, a, b, g)
+        out = np.empty(horizon)
+        damp = 1.0
+        trend_sum = 0.0
+        for h in range(1, horizon + 1):
+            damp = damp * 0.98 if self.damped_trend else 1.0
+            trend_sum += trend * damp
+            phase = (hist.size + h - 1) % self.period
+            out[h - 1] = level + trend_sum + season[phase]
+        return out
+
+    def __repr__(self) -> str:
+        return f"HoltWinters(period={self.period}, damped={self.damped_trend})"

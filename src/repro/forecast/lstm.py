@@ -1,0 +1,399 @@
+"""A from-scratch NumPy LSTM for short-term demand forecasting.
+
+The paper's prediction engine is a stacked LSTM [30] ("we stack 128 LSTM
+cells as the hidden layer and extend the depth of the network by
+increasing the number of layers") trained on hourly request counts with a
+configurable *backward* window (Table II's ``back`` parameter).
+TensorFlow and a GPU are not available in this reproduction, so the cell
+is implemented directly: fused-gate forward pass, full backpropagation
+through time, Adam optimiser, gradient-norm clipping, z-score input
+normalisation.  Multi-step forecasts are produced recursively.
+
+The implementation is deliberately explicit (one method per pass) so the
+gradient path is auditable; the test suite checks it against numerical
+differentiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .base import Forecaster
+
+__all__ = ["LstmConfig", "LstmForecaster", "sliding_windows"]
+
+
+def sliding_windows(series: np.ndarray, lookback: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Supervised pairs: windows of ``lookback`` values and their successor.
+
+    Returns:
+        ``(X, y)`` with ``X`` of shape ``(n, lookback)`` and ``y`` of
+        shape ``(n,)``.
+
+    Raises:
+        ValueError: if the series is too short to produce one window.
+    """
+    arr = np.asarray(series, dtype=float).ravel()
+    if lookback <= 0:
+        raise ValueError(f"lookback must be positive, got {lookback}")
+    n = arr.size - lookback
+    if n <= 0:
+        raise ValueError(
+            f"series of length {arr.size} too short for lookback {lookback}"
+        )
+    X = np.stack([arr[i : i + lookback] for i in range(n)])
+    y = arr[lookback:]
+    return X, y
+
+
+@dataclass(frozen=True)
+class LstmConfig:
+    """Hyperparameters of the LSTM forecaster.
+
+    Attributes:
+        lookback: backward window in time steps (paper's ``back``).
+        hidden_size: units per layer (paper uses 128).
+        n_layers: stacked LSTM layers (paper sweeps 1-3).
+        epochs: training epochs.
+        batch_size: minibatch size.
+        learning_rate: Adam step size.
+        clip_norm: global gradient-norm clip.
+        seed: parameter-init / shuffling seed.
+    """
+
+    lookback: int = 12
+    hidden_size: int = 32
+    n_layers: int = 2
+    epochs: int = 60
+    batch_size: int = 32
+    learning_rate: float = 5e-3
+    clip_norm: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lookback <= 0:
+            raise ValueError(f"lookback must be positive, got {self.lookback}")
+        if self.hidden_size <= 0:
+            raise ValueError(f"hidden_size must be positive, got {self.hidden_size}")
+        if self.n_layers <= 0:
+            raise ValueError(f"n_layers must be positive, got {self.n_layers}")
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -40.0, 40.0)))
+
+
+@dataclass
+class _LayerCache:
+    """Per-timestep intermediates one LSTM layer needs for BPTT."""
+
+    x: List[np.ndarray] = field(default_factory=list)
+    h_prev: List[np.ndarray] = field(default_factory=list)
+    c_prev: List[np.ndarray] = field(default_factory=list)
+    i: List[np.ndarray] = field(default_factory=list)
+    f: List[np.ndarray] = field(default_factory=list)
+    g: List[np.ndarray] = field(default_factory=list)
+    o: List[np.ndarray] = field(default_factory=list)
+    c: List[np.ndarray] = field(default_factory=list)
+    tanh_c: List[np.ndarray] = field(default_factory=list)
+    h_seq: Optional[np.ndarray] = None
+
+
+class LstmForecaster(Forecaster):
+    """Stacked-LSTM one-step-ahead forecaster with recursive multi-step.
+
+    Parameters (per layer ``l``): ``W[l]`` (input->gates), ``U[l]``
+    (hidden->gates), ``b[l]``; a dense head ``Wy, by`` reads the final
+    hidden state.  Gate order in the fused matrices is ``i, f, g, o``.
+    """
+
+    def __init__(self, config: Optional[LstmConfig] = None, **kwargs) -> None:
+        self.config = config or LstmConfig(**kwargs)
+        if config is not None and kwargs:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self._rng = np.random.default_rng(self.config.seed)
+        self._params: Dict[str, np.ndarray] = {}
+        self._adam_m: Dict[str, np.ndarray] = {}
+        self._adam_v: Dict[str, np.ndarray] = {}
+        self._adam_t = 0
+        self._mean = 0.0
+        self._std = 1.0
+        self.loss_history: List[float] = []
+        self._init_params()
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    def _init_params(self) -> None:
+        cfg = self.config
+        H = cfg.hidden_size
+        for layer in range(cfg.n_layers):
+            D = 1 if layer == 0 else H
+            scale_w = 1.0 / np.sqrt(D)
+            scale_u = 1.0 / np.sqrt(H)
+            self._params[f"W{layer}"] = self._rng.normal(0, scale_w, size=(D, 4 * H))
+            self._params[f"U{layer}"] = self._rng.normal(0, scale_u, size=(H, 4 * H))
+            b = np.zeros(4 * H)
+            b[H : 2 * H] = 1.0  # forget-gate bias trick: remember by default
+            self._params[f"b{layer}"] = b
+        self._params["Wy"] = self._rng.normal(0, 1.0 / np.sqrt(H), size=(H, 1))
+        self._params["by"] = np.zeros(1)
+        for key, val in self._params.items():
+            self._adam_m[key] = np.zeros_like(val)
+            self._adam_v[key] = np.zeros_like(val)
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def _forward(self, X: np.ndarray) -> Tuple[np.ndarray, List[_LayerCache]]:
+        """Run the network on normalised windows ``X`` of shape (B, T).
+
+        Returns:
+            ``(y_pred, caches)`` with ``y_pred`` of shape (B,).
+        """
+        cfg = self.config
+        B, T = X.shape
+        H = cfg.hidden_size
+        inputs = X[:, :, None]  # (B, T, 1)
+        caches: List[_LayerCache] = []
+        for layer in range(cfg.n_layers):
+            W = self._params[f"W{layer}"]
+            U = self._params[f"U{layer}"]
+            b = self._params[f"b{layer}"]
+            h = np.zeros((B, H))
+            c = np.zeros((B, H))
+            cache = _LayerCache()
+            h_seq = np.empty((B, T, H))
+            for t in range(T):
+                x_t = inputs[:, t, :]
+                gates = x_t @ W + h @ U + b
+                i = _sigmoid(gates[:, :H])
+                f = _sigmoid(gates[:, H : 2 * H])
+                g = np.tanh(gates[:, 2 * H : 3 * H])
+                o = _sigmoid(gates[:, 3 * H :])
+                cache.x.append(x_t)
+                cache.h_prev.append(h)
+                cache.c_prev.append(c)
+                c = f * c + i * g
+                tanh_c = np.tanh(c)
+                h = o * tanh_c
+                cache.i.append(i)
+                cache.f.append(f)
+                cache.g.append(g)
+                cache.o.append(o)
+                cache.c.append(c)
+                cache.tanh_c.append(tanh_c)
+                h_seq[:, t, :] = h
+            cache.h_seq = h_seq
+            caches.append(cache)
+            inputs = h_seq
+        y = inputs[:, -1, :] @ self._params["Wy"] + self._params["by"]
+        return y[:, 0], caches
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def _backward(
+        self, X: np.ndarray, y_pred: np.ndarray, y_true: np.ndarray,
+        caches: List[_LayerCache],
+    ) -> Dict[str, np.ndarray]:
+        """Full BPTT; returns gradients of mean-squared-error / 2."""
+        cfg = self.config
+        B, T = X.shape
+        H = cfg.hidden_size
+        grads = {k: np.zeros_like(v) for k, v in self._params.items()}
+
+        dy = (y_pred - y_true)[:, None] / B  # (B, 1)
+        top_h_last = caches[-1].h_seq[:, -1, :]
+        grads["Wy"] = top_h_last.T @ dy
+        grads["by"] = dy.sum(axis=0)
+
+        # Gradient flowing into each layer's output sequence.
+        d_out = np.zeros((B, T, H))
+        d_out[:, -1, :] = dy @ self._params["Wy"].T
+
+        for layer in range(cfg.n_layers - 1, -1, -1):
+            cache = caches[layer]
+            W = self._params[f"W{layer}"]
+            U = self._params[f"U{layer}"]
+            D = W.shape[0]
+            dW = grads[f"W{layer}"]
+            dU = grads[f"U{layer}"]
+            db = grads[f"b{layer}"]
+            d_in = np.zeros((B, T, D))
+            dh_next = np.zeros((B, H))
+            dc_next = np.zeros((B, H))
+            for t in range(T - 1, -1, -1):
+                dh = d_out[:, t, :] + dh_next
+                o = cache.o[t]
+                tanh_c = cache.tanh_c[t]
+                do = dh * tanh_c
+                dc = dh * o * (1.0 - tanh_c**2) + dc_next
+                i = cache.i[t]
+                f = cache.f[t]
+                g = cache.g[t]
+                di = dc * g
+                df = dc * cache.c_prev[t]
+                dg = dc * i
+                da = np.concatenate(
+                    [
+                        di * i * (1.0 - i),
+                        df * f * (1.0 - f),
+                        dg * (1.0 - g**2),
+                        do * o * (1.0 - o),
+                    ],
+                    axis=1,
+                )
+                dW += cache.x[t].T @ da
+                dU += cache.h_prev[t].T @ da
+                db += da.sum(axis=0)
+                d_in[:, t, :] = da @ W.T
+                dh_next = da @ U.T
+                dc_next = dc * f
+            d_out = d_in  # becomes the output-gradient of the layer below
+        return grads
+
+    def _adam_step(self, grads: Dict[str, np.ndarray]) -> None:
+        cfg = self.config
+        norm = np.sqrt(sum(float((g**2).sum()) for g in grads.values()))
+        scale = min(1.0, cfg.clip_norm / (norm + 1e-12))
+        self._adam_t += 1
+        b1, b2, eps = 0.9, 0.999, 1e-8
+        lr = cfg.learning_rate
+        for key, g in grads.items():
+            g = g * scale
+            self._adam_m[key] = b1 * self._adam_m[key] + (1 - b1) * g
+            self._adam_v[key] = b2 * self._adam_v[key] + (1 - b2) * g * g
+            m_hat = self._adam_m[key] / (1 - b1**self._adam_t)
+            v_hat = self._adam_v[key] / (1 - b2**self._adam_t)
+            self._params[key] -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fit(self, series: np.ndarray) -> "LstmForecaster":
+        """Train on a 1-D series of hourly counts.
+
+        Raises:
+            ValueError: if the series is too short for the lookback.
+        """
+        cfg = self.config
+        arr = np.asarray(series, dtype=float).ravel()
+        self._mean = float(arr.mean())
+        self._std = float(arr.std()) or 1.0
+        normed = (arr - self._mean) / self._std
+        X, y = sliding_windows(normed, cfg.lookback)
+        self.fit_windows(X, y)
+        return self
+
+    def fit_windows(self, X: np.ndarray, y: np.ndarray) -> "LstmForecaster":
+        """Train directly on pre-normalised supervised windows.
+
+        Used by multi-series wrappers (e.g. the per-grid forecaster) that
+        pool windows from many cells under shared weights.  No input
+        scaling is applied — callers own the normalisation, and
+        :meth:`forecast` will de-normalise with whatever ``_mean`` /
+        ``_std`` the caller configured (defaults: identity).
+
+        Raises:
+            ValueError: on shape mismatches.
+        """
+        cfg = self.config
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[1] != cfg.lookback:
+            raise ValueError(
+                f"expected windows of shape (n, {cfg.lookback}), got {X.shape}"
+            )
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"{X.shape[0]} windows but {y.shape[0]} targets"
+            )
+        if X.shape[0] == 0:
+            raise ValueError("no training windows")
+        n = X.shape[0]
+        self.loss_history = []
+        for _ in range(cfg.epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                y_pred, caches = self._forward(X[idx])
+                grads = self._backward(X[idx], y_pred, y[idx], caches)
+                self._adam_step(grads)
+                epoch_loss += float(((y_pred - y[idx]) ** 2).sum())
+            self.loss_history.append(epoch_loss / n)
+        return self
+
+    def predict_normalised(self, window: np.ndarray) -> float:
+        """One-step prediction on an already-normalised window.
+
+        Raises:
+            RuntimeError: if called before training.
+            ValueError: on a wrong-length window.
+        """
+        return float(self.predict_normalised_batch(np.asarray(window)[None, :])[0])
+
+    def predict_normalised_batch(self, windows: np.ndarray) -> np.ndarray:
+        """One-step predictions for a batch of normalised windows.
+
+        Args:
+            windows: shape ``(batch, lookback)``.
+
+        Returns:
+            Array of ``batch`` predictions.
+
+        Raises:
+            RuntimeError: if called before training.
+            ValueError: on a wrong window width.
+        """
+        if not self.loss_history:
+            raise RuntimeError("predict_normalised_batch called before fit")
+        W = np.asarray(windows, dtype=float)
+        if W.ndim != 2 or W.shape[1] != self.config.lookback:
+            raise ValueError(
+                f"expected windows of shape (n, {self.config.lookback}), got {W.shape}"
+            )
+        y, _ = self._forward(W)
+        return np.asarray(y, dtype=float)
+
+    def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Recursive multi-step forecast from the tail of ``history``.
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+            ValueError: if the history is shorter than the lookback.
+        """
+        self._check_horizon(horizon)
+        if not self.loss_history:
+            raise RuntimeError("LstmForecaster.forecast called before fit")
+        cfg = self.config
+        hist = np.asarray(history, dtype=float).ravel()
+        if hist.size < cfg.lookback:
+            raise ValueError(
+                f"history of {hist.size} shorter than lookback {cfg.lookback}"
+            )
+        window = ((hist[-cfg.lookback :] - self._mean) / self._std).tolist()
+        out = []
+        for _ in range(horizon):
+            y, _ = self._forward(np.asarray(window[-cfg.lookback :])[None, :])
+            nxt = float(y[0])
+            window.append(nxt)
+            out.append(nxt * self._std + self._mean)
+        return np.asarray(out)
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"LstmForecaster(lookback={cfg.lookback}, hidden={cfg.hidden_size}, "
+            f"layers={cfg.n_layers})"
+        )

@@ -1,0 +1,66 @@
+"""Forecast error metrics.
+
+The paper scores predictors with RMSE (Eq. 14):
+``RMSE(h*) = sqrt(E[(h* - h)^2])`` where ``h*`` is the predicted and
+``h`` the actual number of requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "mae", "mape", "mase"]
+
+
+def _validate(pred, actual) -> tuple:
+    p = np.asarray(pred, dtype=float).ravel()
+    a = np.asarray(actual, dtype=float).ravel()
+    if p.shape != a.shape:
+        raise ValueError(f"shape mismatch: pred {p.shape} vs actual {a.shape}")
+    if p.size == 0:
+        raise ValueError("empty inputs")
+    return p, a
+
+
+def rmse(pred, actual) -> float:
+    """Root mean square error (Eq. 14)."""
+    p, a = _validate(pred, actual)
+    return float(np.sqrt(np.mean((p - a) ** 2)))
+
+
+def mae(pred, actual) -> float:
+    """Mean absolute error."""
+    p, a = _validate(pred, actual)
+    return float(np.mean(np.abs(p - a)))
+
+
+def mape(pred, actual, eps: float = 1e-9) -> float:
+    """Mean absolute percentage error against ``max(|actual|, eps)``."""
+    p, a = _validate(pred, actual)
+    return float(np.mean(np.abs(p - a) / np.maximum(np.abs(a), eps)))
+
+
+def mase(pred, actual, train, period: int = 24) -> float:
+    """Mean absolute scaled error against the seasonal-naive baseline.
+
+    The scale is the in-sample MAE of the period-``period`` naive
+    forecast on ``train`` — values below 1 mean the model beats the
+    seasonal naive, the scale-free comparison appropriate for hourly
+    demand counts.
+
+    Raises:
+        ValueError: if the training series is too short for one period
+            or the naive scale is zero (a perfectly periodic series).
+    """
+    p, a = _validate(pred, actual)
+    t = np.asarray(train, dtype=float).ravel()
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if t.size <= period:
+        raise ValueError(
+            f"training series of {t.size} too short for period {period}"
+        )
+    scale = float(np.mean(np.abs(t[period:] - t[:-period])))
+    if scale == 0:
+        raise ValueError("seasonal-naive scale is zero; MASE undefined")
+    return float(np.mean(np.abs(p - a)) / scale)

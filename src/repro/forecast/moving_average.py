@@ -1,0 +1,49 @@
+"""Moving-average baseline (Table II, "MA").
+
+The simplest statistical predictor: the forecast for every future step is
+the mean of the last ``window`` observations ("wz" in the paper's table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Forecaster
+
+__all__ = ["MovingAverage"]
+
+
+class MovingAverage(Forecaster):
+    """Flat forecast equal to the trailing window mean.
+
+    Args:
+        window: number of trailing observations averaged (``wz``).
+
+    Raises:
+        ValueError: if ``window`` is not positive.
+    """
+
+    def __init__(self, window: int = 3) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+
+    def fit(self, series: np.ndarray) -> "MovingAverage":
+        """MA has no trainable state; provided for interface parity."""
+        return self
+
+    def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Mean of the last ``window`` points, repeated ``horizon`` times.
+
+        Raises:
+            ValueError: if the history is empty.
+        """
+        self._check_horizon(horizon)
+        hist = np.asarray(history, dtype=float).ravel()
+        if hist.size == 0:
+            raise ValueError("cannot forecast from an empty history")
+        tail = hist[-self.window :]
+        return np.full(horizon, float(tail.mean()))
+
+    def __repr__(self) -> str:
+        return f"MovingAverage(window={self.window})"

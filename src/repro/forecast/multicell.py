@@ -1,0 +1,135 @@
+"""Spatially-resolved demand forecasting with shared LSTM weights.
+
+The paper trains the LSTM "for each grid" (Section V-A) — with 23.9K
+bins that is only tractable on their GPU farm.  This module gets the
+per-grid resolution at laptop cost by *pooling*: every active cell's
+z-scored history contributes supervised windows to one shared-weight
+LSTM (bike-demand dynamics are similar across cells once scaled), and
+forecasts are produced per cell by de-normalising with that cell's own
+statistics.  Inactive cells (no variance) forecast their constant mean.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .lstm import LstmConfig, LstmForecaster, sliding_windows
+
+__all__ = ["MultiCellForecaster"]
+
+
+class MultiCellForecaster:
+    """One shared LSTM over many per-cell series.
+
+    Args:
+        config: hyperparameters of the shared LSTM.
+        min_std: cells whose series' standard deviation is below this are
+            treated as constant (forecast = historical mean).
+    """
+
+    def __init__(self, config: Optional[LstmConfig] = None, min_std: float = 1e-6) -> None:
+        self.config = config or LstmConfig()
+        if min_std < 0:
+            raise ValueError(f"min_std cannot be negative, got {min_std}")
+        self.min_std = min_std
+        self._model = LstmForecaster(self.config)
+        self._means: Optional[np.ndarray] = None
+        self._stds: Optional[np.ndarray] = None
+        self._active: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._means is not None
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells seen at fit time.
+
+        Raises:
+            RuntimeError: before :meth:`fit`.
+        """
+        if self._means is None:
+            raise RuntimeError("n_cells unavailable before fit")
+        return int(self._means.size)
+
+    # ------------------------------------------------------------------
+    def fit(self, series: np.ndarray) -> "MultiCellForecaster":
+        """Train on an ``(hours, cells)`` matrix of per-cell counts.
+
+        Raises:
+            ValueError: on a non-2-D input, a series too short for the
+                lookback, or no active cells.
+        """
+        arr = np.asarray(series, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError(f"expected an (hours, cells) matrix, got shape {arr.shape}")
+        hours, cells = arr.shape
+        if hours <= self.config.lookback:
+            raise ValueError(
+                f"{hours} hours too short for lookback {self.config.lookback}"
+            )
+        self._means = arr.mean(axis=0)
+        self._stds = arr.std(axis=0)
+        self._active = self._stds > self.min_std
+        if not np.any(self._active):
+            raise ValueError("no cell has variance; nothing to learn")
+        xs: List[np.ndarray] = []
+        ys: List[np.ndarray] = []
+        for c in np.flatnonzero(self._active):
+            normed = (arr[:, c] - self._means[c]) / self._stds[c]
+            X, y = sliding_windows(normed, self.config.lookback)
+            xs.append(X)
+            ys.append(y)
+        self._model.fit_windows(np.vstack(xs), np.concatenate(ys))
+        return self
+
+    def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Per-cell recursive forecast.
+
+        Args:
+            history: ``(hours, cells)`` matrix ending "now"; the cell
+                count must match the fit-time layout.
+            horizon: steps ahead.
+
+        Returns:
+            ``(horizon, cells)`` forecast matrix (clipped at zero —
+            demand counts cannot be negative).
+
+        Raises:
+            RuntimeError: before :meth:`fit`.
+            ValueError: on layout mismatch, short history, or bad horizon.
+        """
+        if self._means is None:
+            raise RuntimeError("MultiCellForecaster.forecast called before fit")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        arr = np.asarray(history, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != self.n_cells:
+            raise ValueError(
+                f"history must be (hours, {self.n_cells}), got {arr.shape}"
+            )
+        if arr.shape[0] < self.config.lookback:
+            raise ValueError(
+                f"history of {arr.shape[0]} hours shorter than lookback "
+                f"{self.config.lookback}"
+            )
+        out = np.empty((horizon, self.n_cells))
+        active = np.flatnonzero(self._active)
+        for c in np.flatnonzero(~self._active):
+            out[:, c] = self._means[c]
+        if active.size:
+            # One batched forward pass per step for all active cells.
+            means = self._means[active]
+            stds = self._stds[active]
+            windows = (arr[-self.config.lookback:, active].T - means[:, None]) / stds[:, None]
+            for h in range(horizon):
+                nxt = self._model.predict_normalised_batch(windows)
+                out[h, active] = nxt * stds + means
+                windows = np.hstack([windows[:, 1:], nxt[:, None]])
+        return np.clip(out, 0.0, None)
+
+    def forecast_totals(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Convenience: per-step total demand across all cells."""
+        return self.forecast(history, horizon).sum(axis=1)

@@ -1,0 +1,37 @@
+"""Planar geometry, grids and geohashing — the spatial substrate of P1."""
+
+from .points import BoundingBox, Point, array_to_points, points_to_array
+from .distance import (
+    EARTH_RADIUS_M,
+    LocalProjection,
+    cross_distances,
+    euclidean,
+    haversine_m,
+    nearest_point_index,
+    pairwise_distances,
+)
+from .grid import DemandGrid, GridCell, UniformGrid
+from .spatial_index import NearestNeighborIndex
+from .streets import StreetNetwork, street_walking_cost
+from . import geohash
+
+__all__ = [
+    "BoundingBox",
+    "Point",
+    "array_to_points",
+    "points_to_array",
+    "EARTH_RADIUS_M",
+    "LocalProjection",
+    "cross_distances",
+    "euclidean",
+    "haversine_m",
+    "nearest_point_index",
+    "pairwise_distances",
+    "DemandGrid",
+    "GridCell",
+    "UniformGrid",
+    "NearestNeighborIndex",
+    "StreetNetwork",
+    "street_walking_cost",
+    "geohash",
+]

@@ -1,0 +1,105 @@
+"""Distance functions and distance matrices.
+
+User dissatisfaction in the paper is proportional to *walking distance*
+measured as Euclidean distance (Section V, "Experimental Parameters").
+Trip records, however, carry geographic coordinates, so a haversine
+implementation and a local equirectangular projection are provided to move
+between the two frames.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .points import Point, points_to_array
+
+__all__ = [
+    "euclidean",
+    "haversine_m",
+    "pairwise_distances",
+    "cross_distances",
+    "nearest_point_index",
+    "LocalProjection",
+    "EARTH_RADIUS_M",
+]
+
+EARTH_RADIUS_M = 6_371_008.8
+"""Mean Earth radius in metres (IUGG)."""
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two planar points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def haversine_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in metres between two WGS-84 coordinates."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlam = math.radians(lon2 - lon1)
+    h = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def pairwise_distances(points: Sequence[Point]) -> np.ndarray:
+    """Symmetric ``(n, n)`` matrix of Euclidean distances."""
+    arr = points_to_array(points)
+    if arr.shape[0] == 0:
+        return np.empty((0, 0), dtype=float)
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+def cross_distances(sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
+    """``(len(sources), len(targets))`` matrix of Euclidean distances."""
+    a = points_to_array(sources)
+    b = points_to_array(targets)
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        return np.empty((a.shape[0], b.shape[0]), dtype=float)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+def nearest_point_index(query: Point, candidates: Sequence[Point]) -> Tuple[int, float]:
+    """Index of, and distance to, the candidate nearest ``query``.
+
+    Raises:
+        ValueError: if ``candidates`` is empty.
+    """
+    if not candidates:
+        raise ValueError("no candidates to search")
+    arr = points_to_array(candidates)
+    d = np.hypot(arr[:, 0] - query.x, arr[:, 1] - query.y)
+    idx = int(np.argmin(d))
+    return idx, float(d[idx])
+
+
+class LocalProjection:
+    """Equirectangular projection around a reference coordinate.
+
+    Good to sub-metre accuracy across a metropolitan study region (a few
+    tens of km), which is all the paper's grid model requires.  Maps
+    (lat, lon) to planar metres with the reference at the origin.
+    """
+
+    def __init__(self, ref_lat: float, ref_lon: float) -> None:
+        if not -90.0 <= ref_lat <= 90.0:
+            raise ValueError(f"latitude out of range: {ref_lat}")
+        self.ref_lat = ref_lat
+        self.ref_lon = ref_lon
+        self._cos_lat = math.cos(math.radians(ref_lat))
+
+    def to_plane(self, lat: float, lon: float) -> Point:
+        """Project a geographic coordinate to local planar metres."""
+        x = math.radians(lon - self.ref_lon) * EARTH_RADIUS_M * self._cos_lat
+        y = math.radians(lat - self.ref_lat) * EARTH_RADIUS_M
+        return Point(x, y)
+
+    def to_geo(self, point: Point) -> Tuple[float, float]:
+        """Inverse of :meth:`to_plane`; returns ``(lat, lon)``."""
+        lat = self.ref_lat + math.degrees(point.y / EARTH_RADIUS_M)
+        lon = self.ref_lon + math.degrees(point.x / (EARTH_RADIUS_M * self._cos_lat))
+        return lat, lon

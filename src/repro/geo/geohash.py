@@ -1,0 +1,131 @@
+"""Geohash encoding and decoding.
+
+The Mobike dataset stores start/end locations as geohashes ("The locations
+are geohashed. We re-interpret them into the corresponding latitudes and
+longitudes", Section V).  This module implements the standard base-32
+geohash so the dataset layer can round-trip records exactly as the paper's
+pipeline does.  Precision 7 (~76 m cells) roughly matches the paper's
+100x100 m^2 bins.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["encode", "decode", "decode_bbox", "neighbors", "GEOHASH_ALPHABET"]
+
+GEOHASH_ALPHABET = "0123456789bcdefghjkmnpqrstuvwxyz"
+_DECODE = {ch: i for i, ch in enumerate(GEOHASH_ALPHABET)}
+
+
+def encode(lat: float, lon: float, precision: int = 7) -> str:
+    """Encode a WGS-84 coordinate as a geohash string.
+
+    Args:
+        lat: latitude in degrees, [-90, 90].
+        lon: longitude in degrees, [-180, 180].
+        precision: number of base-32 characters (1..12).
+
+    Raises:
+        ValueError: on out-of-range inputs.
+    """
+    if not -90.0 <= lat <= 90.0:
+        raise ValueError(f"latitude out of range: {lat}")
+    if not -180.0 <= lon <= 180.0:
+        raise ValueError(f"longitude out of range: {lon}")
+    if not 1 <= precision <= 12:
+        raise ValueError(f"precision out of range: {precision}")
+
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    chars = []
+    bits = 0
+    bit_count = 0
+    even = True  # even bits refine longitude
+    while len(chars) < precision:
+        if even:
+            mid = (lon_lo + lon_hi) / 2
+            if lon >= mid:
+                bits = (bits << 1) | 1
+                lon_lo = mid
+            else:
+                bits <<= 1
+                lon_hi = mid
+        else:
+            mid = (lat_lo + lat_hi) / 2
+            if lat >= mid:
+                bits = (bits << 1) | 1
+                lat_lo = mid
+            else:
+                bits <<= 1
+                lat_hi = mid
+        even = not even
+        bit_count += 1
+        if bit_count == 5:
+            chars.append(GEOHASH_ALPHABET[bits])
+            bits = 0
+            bit_count = 0
+    return "".join(chars)
+
+
+def decode_bbox(geohash: str) -> Tuple[float, float, float, float]:
+    """Decode a geohash to its cell ``(lat_lo, lat_hi, lon_lo, lon_hi)``.
+
+    Raises:
+        ValueError: if the string is empty or has invalid characters.
+    """
+    if not geohash:
+        raise ValueError("empty geohash")
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    even = True
+    for ch in geohash.lower():
+        if ch not in _DECODE:
+            raise ValueError(f"invalid geohash character: {ch!r}")
+        val = _DECODE[ch]
+        for shift in range(4, -1, -1):
+            bit = (val >> shift) & 1
+            if even:
+                mid = (lon_lo + lon_hi) / 2
+                if bit:
+                    lon_lo = mid
+                else:
+                    lon_hi = mid
+            else:
+                mid = (lat_lo + lat_hi) / 2
+                if bit:
+                    lat_lo = mid
+                else:
+                    lat_hi = mid
+            even = not even
+    return lat_lo, lat_hi, lon_lo, lon_hi
+
+
+def decode(geohash: str) -> Tuple[float, float]:
+    """Decode a geohash to its cell-centre ``(lat, lon)``."""
+    lat_lo, lat_hi, lon_lo, lon_hi = decode_bbox(geohash)
+    return (lat_lo + lat_hi) / 2, (lon_lo + lon_hi) / 2
+
+
+def neighbors(geohash: str) -> list:
+    """The up-to-8 geohashes adjacent to ``geohash`` at the same precision.
+
+    Computed by nudging the decoded centre by one cell width/height in each
+    direction and re-encoding; cells that would leave the valid coordinate
+    range are dropped.
+    """
+    lat_lo, lat_hi, lon_lo, lon_hi = decode_bbox(geohash)
+    lat_c = (lat_lo + lat_hi) / 2
+    lon_c = (lon_lo + lon_hi) / 2
+    dlat = lat_hi - lat_lo
+    dlon = lon_hi - lon_lo
+    out = []
+    for dr in (-1, 0, 1):
+        for dc in (-1, 0, 1):
+            if dr == 0 and dc == 0:
+                continue
+            lat = lat_c + dr * dlat
+            lon = lon_c + dc * dlon
+            if -90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0:
+                out.append(encode(lat, lon, precision=len(geohash)))
+    return out

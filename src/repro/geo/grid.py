@@ -1,0 +1,172 @@
+"""Uniform grids over a study region.
+
+Section III-A divides the metropolitan area into grids — "the minimum
+granularity such that users all agree to walk within a grid" — and
+represents each grid by its centroid.  The set of all grid centroids is
+the candidate set ``N`` of problem P1.  The evaluation uses 100x100 m^2
+grid cells aggregated over a 3x3 km^2 field.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .points import BoundingBox, Point
+
+__all__ = ["GridCell", "UniformGrid", "DemandGrid"]
+
+
+@dataclass(frozen=True, order=True)
+class GridCell:
+    """Integer (column, row) index of a cell within a :class:`UniformGrid`."""
+
+    col: int
+    row: int
+
+
+class UniformGrid:
+    """A rectangular grid of square cells covering a bounding box.
+
+    Points on the outer edge are clamped into the boundary cells, so every
+    point inside the box maps to a valid cell.
+
+    Args:
+        box: the study region.
+        cell_size: side of each square cell, in the box's unit (metres).
+
+    Raises:
+        ValueError: if ``cell_size`` is not positive.
+    """
+
+    def __init__(self, box: BoundingBox, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self.box = box
+        self.cell_size = float(cell_size)
+        self.n_cols = max(1, int(np.ceil(box.width / cell_size)))
+        self.n_rows = max(1, int(np.ceil(box.height / cell_size)))
+
+    def __len__(self) -> int:
+        return self.n_cols * self.n_rows
+
+    def __contains__(self, cell: GridCell) -> bool:
+        return 0 <= cell.col < self.n_cols and 0 <= cell.row < self.n_rows
+
+    def cell_of(self, point: Point) -> GridCell:
+        """The cell containing ``point`` (clamped onto the grid).
+
+        Raises:
+            ValueError: if the point lies outside the bounding box.
+        """
+        if not self.box.contains(point):
+            raise ValueError(f"point {point} outside grid box {self.box}")
+        col = int((point.x - self.box.min_x) / self.cell_size)
+        row = int((point.y - self.box.min_y) / self.cell_size)
+        return GridCell(min(col, self.n_cols - 1), min(row, self.n_rows - 1))
+
+    def centroid(self, cell: GridCell) -> Point:
+        """Centre point of ``cell``.
+
+        Raises:
+            ValueError: if the cell index is out of range.
+        """
+        if cell not in self:
+            raise ValueError(f"cell {cell} outside grid {self.n_cols}x{self.n_rows}")
+        return Point(
+            self.box.min_x + (cell.col + 0.5) * self.cell_size,
+            self.box.min_y + (cell.row + 0.5) * self.cell_size,
+        )
+
+    def snap(self, point: Point) -> Point:
+        """Centroid of the cell containing ``point``."""
+        return self.centroid(self.cell_of(point))
+
+    def cells(self) -> Iterator[GridCell]:
+        """Iterate over every cell in row-major order."""
+        for row in range(self.n_rows):
+            for col in range(self.n_cols):
+                yield GridCell(col, row)
+
+    def centroids(self) -> List[Point]:
+        """Centroids of every cell, row-major — the candidate set ``N``."""
+        return [self.centroid(c) for c in self.cells()]
+
+    def neighbors(self, cell: GridCell, radius: int = 1) -> List[GridCell]:
+        """Cells within Chebyshev distance ``radius`` of ``cell`` (excl. itself)."""
+        out: List[GridCell] = []
+        for dr in range(-radius, radius + 1):
+            for dc in range(-radius, radius + 1):
+                if dr == 0 and dc == 0:
+                    continue
+                cand = GridCell(cell.col + dc, cell.row + dr)
+                if cand in self:
+                    out.append(cand)
+        return out
+
+
+class DemandGrid:
+    """Arrival counts per grid cell — the ``a_j`` weights of Definition 1.
+
+    Binning all arrivals of a window into their cells and representing each
+    cell by (centroid, count) is exactly how the paper turns raw trips into
+    the weighted demand points of problem P1.
+    """
+
+    def __init__(self, grid: UniformGrid) -> None:
+        self.grid = grid
+        self._counts: Counter = Counter()
+
+    def add(self, point: Point, weight: int = 1) -> None:
+        """Record ``weight`` arrivals at ``point``.
+
+        Raises:
+            ValueError: if ``weight`` is negative or the point is off-grid.
+        """
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        self._counts[self.grid.cell_of(point)] += weight
+
+    def add_many(self, points: Iterable[Point]) -> None:
+        """Record one arrival at each of ``points``."""
+        for p in points:
+            self.add(p)
+
+    def count(self, cell: GridCell) -> int:
+        """Arrivals recorded in ``cell`` so far."""
+        return self._counts.get(cell, 0)
+
+    @property
+    def total(self) -> int:
+        """Total arrivals across all cells."""
+        return sum(self._counts.values())
+
+    @property
+    def occupied_cells(self) -> List[GridCell]:
+        """Cells with at least one arrival, in deterministic order."""
+        return sorted(self._counts)
+
+    def weighted_points(self) -> List[Tuple[Point, int]]:
+        """``(centroid, count)`` pairs for each occupied cell."""
+        return [(self.grid.centroid(c), self._counts[c]) for c in self.occupied_cells]
+
+    def as_matrix(self) -> np.ndarray:
+        """Counts as an ``(n_rows, n_cols)`` array (for heatmaps)."""
+        mat = np.zeros((self.grid.n_rows, self.grid.n_cols), dtype=int)
+        for cell, cnt in self._counts.items():
+            mat[cell.row, cell.col] = cnt
+        return mat
+
+    def top_cells(self, k: int) -> List[Tuple[GridCell, int]]:
+        """The ``k`` busiest cells, ties broken by cell order.
+
+        This implements the candidate-space reduction of Section III-A
+        ("the space of N can be reduced to filter out those less popular
+        locations").
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]

@@ -1,0 +1,158 @@
+"""Planar points and bounding boxes.
+
+All Tier-1 geometry in the paper happens in a projected planar frame: a
+metropolitan area is cut into grids, distances are Euclidean and measured
+in metres (Definition 1).  ``Point`` is the minimal immutable value type
+used throughout :mod:`repro`; ``BoundingBox`` describes the study region
+(e.g. the 3x3 km^2 field of Section V).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Point", "BoundingBox", "points_to_array", "array_to_points"]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable point in a planar metric space (metres).
+
+    The ordering is lexicographic ``(x, y)`` which makes sets of points
+    deterministic to iterate after sorting — useful for reproducible
+    experiment output.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in the same unit as the coords."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance, occasionally useful for street-grid walking."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Point halfway between ``self`` and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Raises:
+        ValueError: if the box is inverted (``max < min`` on either axis).
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError(
+                f"inverted bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def square(cls, side: float, origin: Point = Point(0.0, 0.0)) -> "BoundingBox":
+        """A square box of side ``side`` with lower-left corner ``origin``."""
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        return cls(origin.x, origin.y, origin.x + side, origin.y + side)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "BoundingBox":
+        """The tightest box containing every point in ``points``.
+
+        Raises:
+            ValueError: if ``points`` is empty.
+        """
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot build a bounding box from no points")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the closed box."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the box (nearest point inside it)."""
+        return Point(
+            min(max(point.x, self.min_x), self.max_x),
+            min(max(point.y, self.min_y), self.max_y),
+        )
+
+    def expand(self, margin: float) -> "BoundingBox":
+        """A copy grown by ``margin`` on every side (may be negative)."""
+        box = BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+        return box
+
+    def sample(self, rng: np.random.Generator, n: int) -> list:
+        """``n`` points sampled uniformly at random within the box."""
+        xs = rng.uniform(self.min_x, self.max_x, size=n)
+        ys = rng.uniform(self.min_y, self.max_y, size=n)
+        return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def points_to_array(points: Sequence[Point]) -> np.ndarray:
+    """Stack points into an ``(n, 2)`` float array (empty -> shape (0, 2))."""
+    if not points:
+        return np.empty((0, 2), dtype=float)
+    return np.asarray([(p.x, p.y) for p in points], dtype=float)
+
+
+def array_to_points(array: np.ndarray) -> list:
+    """Inverse of :func:`points_to_array`."""
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) array, got shape {arr.shape}")
+    return [Point(float(x), float(y)) for x, y in arr]

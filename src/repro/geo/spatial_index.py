@@ -1,0 +1,154 @@
+"""Grid-bucketed nearest-neighbour index.
+
+The online algorithms query "nearest open parking to this destination"
+once per request; a linear scan is O(|P|) per query.  This index buckets
+points into square cells and expands ring-by-ring from the query cell, so
+typical queries touch only a few buckets.  It supports dynamic insertion
+(stations open mid-stream) and removal (footnote 2: emptied stations
+leave ``P``), which rules out a static KD-tree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .points import Point
+
+__all__ = ["NearestNeighborIndex"]
+
+
+class NearestNeighborIndex:
+    """Dynamic nearest-neighbour queries over points in the plane.
+
+    Args:
+        cell_size: bucket side length; pick roughly the expected spacing
+            of the indexed points.  Too small wastes ring expansions, too
+            large degenerates to a linear scan.
+
+    Raises:
+        ValueError: if ``cell_size`` is not positive.
+    """
+
+    def __init__(self, cell_size: float, points: Optional[Iterable[Point]] = None) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = float(cell_size)
+        self._buckets: Dict[Tuple[int, int], List[int]] = {}
+        self._points: List[Optional[Point]] = []
+        self._size = 0
+        for p in points or []:
+            self.add(p)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _key(self, p: Point) -> Tuple[int, int]:
+        return (math.floor(p.x / self.cell_size), math.floor(p.y / self.cell_size))
+
+    # ------------------------------------------------------------------
+    def add(self, point: Point) -> int:
+        """Insert a point; returns its stable index."""
+        idx = len(self._points)
+        self._points.append(point)
+        self._buckets.setdefault(self._key(point), []).append(idx)
+        self._size += 1
+        return idx
+
+    def remove(self, index: int) -> None:
+        """Remove the point with the given index.
+
+        Raises:
+            KeyError: if the index is unknown or already removed.
+        """
+        if not 0 <= index < len(self._points) or self._points[index] is None:
+            raise KeyError(f"no point with index {index}")
+        point = self._points[index]
+        self._points[index] = None
+        bucket = self._buckets[self._key(point)]
+        bucket.remove(index)
+        if not bucket:
+            del self._buckets[self._key(point)]
+        self._size -= 1
+
+    def point(self, index: int) -> Point:
+        """The point stored at ``index``.
+
+        Raises:
+            KeyError: if the index is unknown or removed.
+        """
+        if not 0 <= index < len(self._points) or self._points[index] is None:
+            raise KeyError(f"no point with index {index}")
+        return self._points[index]
+
+    # ------------------------------------------------------------------
+    def nearest(self, query: Point) -> Tuple[int, float]:
+        """Index of, and distance to, the nearest stored point.
+
+        Expands square rings of buckets around the query until the best
+        candidate provably beats anything in unexplored rings.
+
+        Raises:
+            ValueError: if the index is empty.
+        """
+        if self._size == 0:
+            raise ValueError("nearest() on an empty index")
+        qc, qr = self._key(query)
+        best_idx = -1
+        best_dist = math.inf
+        ring = 0
+        # Upper bound on rings: enough to cover all buckets.
+        while True:
+            found_any = False
+            for key in self._ring_keys(qc, qr, ring):
+                for idx in self._buckets.get(key, ()):  # pragma: no branch
+                    found_any = True
+                    d = query.distance_to(self._points[idx])
+                    if d < best_dist or (d == best_dist and idx < best_idx):
+                        best_dist = d
+                        best_idx = idx
+            # Any point in ring r+1 or beyond is at least r*cell away.
+            if best_idx >= 0 and best_dist <= ring * self.cell_size:
+                break
+            ring += 1
+            if ring > self._max_ring(qc, qr):
+                break
+        return best_idx, best_dist
+
+    def within(self, query: Point, radius: float) -> List[Tuple[int, float]]:
+        """All stored points within ``radius`` of ``query`` as (idx, dist).
+
+        Raises:
+            ValueError: if ``radius`` is negative.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        qc, qr = self._key(query)
+        max_ring = int(math.ceil(radius / self.cell_size)) + 1
+        out: List[Tuple[int, float]] = []
+        for ring in range(max_ring + 1):
+            for key in self._ring_keys(qc, qr, ring):
+                for idx in self._buckets.get(key, ()):
+                    d = query.distance_to(self._points[idx])
+                    if d <= radius:
+                        out.append((idx, d))
+        return sorted(out, key=lambda t: (t[1], t[0]))
+
+    # ------------------------------------------------------------------
+    def _ring_keys(self, qc: int, qr: int, ring: int):
+        if ring == 0:
+            yield (qc, qr)
+            return
+        for dc in range(-ring, ring + 1):
+            yield (qc + dc, qr - ring)
+            yield (qc + dc, qr + ring)
+        for dr in range(-ring + 1, ring):
+            yield (qc - ring, qr + dr)
+            yield (qc + ring, qr + dr)
+
+    def _max_ring(self, qc: int, qr: int) -> int:
+        if not self._buckets:
+            return 0
+        return max(
+            max(abs(c - qc), abs(r - qr)) for c, r in self._buckets
+        )

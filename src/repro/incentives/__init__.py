@@ -1,0 +1,25 @@
+"""Tier 2: charging-cost model and the online incentive mechanism."""
+
+from .charging_cost import (
+    ChargingCostParams,
+    per_bike_cost,
+    saving_ratio,
+    tour_charging_cost,
+)
+from .user_model import UserPopulation, UserPreferences, accepts_offer
+from .mechanism import IncentiveConfig, IncentiveMechanism, OfferOutcome
+from .adaptive import AdaptiveAlphaController
+
+__all__ = [
+    "ChargingCostParams",
+    "per_bike_cost",
+    "saving_ratio",
+    "tour_charging_cost",
+    "UserPopulation",
+    "UserPreferences",
+    "accepts_offer",
+    "IncentiveConfig",
+    "IncentiveMechanism",
+    "OfferOutcome",
+    "AdaptiveAlphaController",
+]

@@ -1,0 +1,84 @@
+"""Adaptive incentive levels — the Remarks of Section IV-C.
+
+The paper sets ``alpha`` by hand per demand regime ("during rush hours
+... a slightly larger alpha can be given; on weekends ... a smaller
+alpha") and notes the failure mode where no user takes the offer and the
+system "can raise alpha to attract more users" at the risk of exceeding
+the budget.  :class:`AdaptiveAlphaController` automates exactly that
+feedback loop: a multiplicative controller steers the observed acceptance
+rate toward a target while clamping ``alpha`` inside a budget-safe band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["AdaptiveAlphaController"]
+
+
+@dataclass
+class AdaptiveAlphaController:
+    """Multiplicative-feedback controller for the incentive level.
+
+    Call :meth:`observe` after every offer; read :attr:`alpha` when
+    making the next one.  Every ``window`` offers the controller compares
+    the window's acceptance rate with the target and scales ``alpha`` up
+    (too few acceptances) or down (over-paying) by ``step``, clamped to
+    ``[alpha_min, alpha_max]``.
+
+    Attributes:
+        target_acceptance: desired fraction of accepted offers.
+        alpha: the current incentive level (mutated by observations).
+        alpha_min: lower clamp (0 disables incentives entirely).
+        alpha_max: upper clamp; keep below 1 so every relocated station
+            still nets a saving (Eq. 12).
+        window: offers per adjustment.
+        step: multiplicative adjustment factor (> 1).
+    """
+
+    target_acceptance: float = 0.5
+    alpha: float = 0.4
+    alpha_min: float = 0.05
+    alpha_max: float = 0.95
+    window: int = 20
+    step: float = 1.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_acceptance < 1.0:
+            raise ValueError(
+                f"target_acceptance must be in (0, 1), got {self.target_acceptance}"
+            )
+        if not 0.0 <= self.alpha_min <= self.alpha <= self.alpha_max <= 1.0:
+            raise ValueError(
+                f"need 0 <= alpha_min <= alpha <= alpha_max <= 1, got "
+                f"{self.alpha_min} / {self.alpha} / {self.alpha_max}"
+            )
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.step <= 1.0:
+            raise ValueError(f"step must exceed 1, got {self.step}")
+        self._offers = 0
+        self._accepted = 0
+        self.history: List[float] = [self.alpha]
+
+    def observe(self, accepted: bool) -> float:
+        """Record one offer outcome; returns the (possibly updated) alpha."""
+        self._offers += 1
+        if accepted:
+            self._accepted += 1
+        if self._offers >= self.window:
+            rate = self._accepted / self._offers
+            if rate < self.target_acceptance:
+                self.alpha = min(self.alpha * self.step, self.alpha_max)
+            elif rate > self.target_acceptance:
+                self.alpha = max(self.alpha / self.step, self.alpha_min)
+            self.history.append(self.alpha)
+            self._offers = 0
+            self._accepted = 0
+        return self.alpha
+
+    @property
+    def adjustments(self) -> int:
+        """Number of completed adjustment windows."""
+        return len(self.history) - 1

@@ -1,0 +1,104 @@
+"""Charging-cost model of Tier 2 (Section IV-A / IV-B).
+
+Serving ``n`` stations holding ``l = sum l_i`` low-energy bikes costs
+
+    C = n*q + l*b + (n^2 - n)/2 * d                     (Eq. 10)
+
+where ``q`` is the per-stop service cost (parking tickets, setup), ``b``
+the per-bike charging cost and ``d`` the per-position delay cost: the
+station served ``t``-th in the sequence accrues ``t*d`` of monetised
+missed demand.  Aggregating the same bikes onto ``m < n`` sites saves
+
+    (C - C*) / C = 1 - (m*q + (m^2-m)/2*d) / (n*q + (n^2-n)/2*d)   (Eq. 11)
+
+(the ``l*b`` term cancels — every bike still gets charged once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ChargingCostParams", "tour_charging_cost", "saving_ratio", "per_bike_cost"]
+
+
+@dataclass(frozen=True)
+class ChargingCostParams:
+    """Unit costs of the charging operation.
+
+    The evaluation (Section V) uses a unit delay cost of $5 and a unit
+    energy cost of $2 per charge; the per-stop service cost is swept in
+    Fig. 12.
+
+    Attributes:
+        service_cost: ``q`` — cost per station visit ($).
+        delay_cost: ``d`` — cost per position of delay in the sequence ($).
+        energy_cost: ``b`` — cost of charging one bike ($).
+    """
+
+    service_cost: float = 5.0
+    delay_cost: float = 5.0
+    energy_cost: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.service_cost < 0 or self.delay_cost < 0 or self.energy_cost < 0:
+            raise ValueError("unit costs cannot be negative")
+
+
+def tour_charging_cost(params: ChargingCostParams, bikes_per_station: Sequence[int]) -> float:
+    """Total charging cost ``C`` of one service tour (Eq. 10).
+
+    Args:
+        params: unit costs.
+        bikes_per_station: ``l_i`` for each of the ``n`` stations visited,
+            in any order (Eq. 10 depends only on ``n`` and ``sum l_i``).
+
+    Raises:
+        ValueError: if any station count is negative.
+    """
+    n = len(bikes_per_station)
+    if any(l < 0 for l in bikes_per_station):
+        raise ValueError("bike counts cannot be negative")
+    total_bikes = sum(bikes_per_station)
+    return (
+        n * params.service_cost
+        + total_bikes * params.energy_cost
+        + (n * n - n) / 2.0 * params.delay_cost
+    )
+
+
+def per_bike_cost(params: ChargingCostParams, l_i: int, position: int) -> float:
+    """Average cost per bike at a station served ``position``-th.
+
+    ``b + q/l_i + t*d/l_i`` (Section IV-A) — decreasing in ``l_i``, the
+    economics behind aggregation.
+
+    Raises:
+        ValueError: if ``l_i`` is not positive or ``position`` is not
+            positive.
+    """
+    if l_i <= 0:
+        raise ValueError(f"l_i must be positive, got {l_i}")
+    if position <= 0:
+        raise ValueError(f"position must be positive, got {position}")
+    return (
+        params.energy_cost
+        + params.service_cost / l_i
+        + position * params.delay_cost / l_i
+    )
+
+
+def saving_ratio(params: ChargingCostParams, n: int, m: int) -> float:
+    """Relative saving of aggregating ``n`` service sites down to ``m`` (Eq. 11).
+
+    Raises:
+        ValueError: unless ``0 < m <= n``.
+    """
+    if not 0 < m <= n:
+        raise ValueError(f"need 0 < m <= n, got m={m} n={n}")
+    q, d = params.service_cost, params.delay_cost
+    denom = n * q + (n * n - n) / 2.0 * d
+    if denom == 0:
+        return 0.0
+    numer = m * q + (m * m - m) / 2.0 * d
+    return 1.0 - numer / denom

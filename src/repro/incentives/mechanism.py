@@ -1,0 +1,247 @@
+"""The online incentive mechanism (Algorithm 3, Section IV-C).
+
+When a rider departs station ``i`` (which holds low-energy bikes
+``L_i``) toward destination parking ``j``, the system offers a uniform
+incentive
+
+    v = alpha * (q + t*d) / |L_i|,   0 < alpha < 1
+
+to ride a *low-energy* bike to a neighbouring aggregation site ``k``
+instead.  ``k`` is chosen mileage-equivalent to the original trip (so no
+extra metered charge) and reachable on the bike's residual battery; ``t``
+is the station's position in the prospective charging sequence.  The
+rider accepts per Eq. 13.  Since at most ``|L_i|`` riders are paid and
+``v * |L_i| = alpha * (q + t*d) < Delta_i`` (Eq. 12), the mechanism never
+pays more than the cost it saves per station.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..energy.fleet import Fleet
+from ..geo.points import Point
+from .adaptive import AdaptiveAlphaController
+from .charging_cost import ChargingCostParams
+from .user_model import UserPopulation, accepts_offer
+
+__all__ = ["IncentiveConfig", "OfferOutcome", "IncentiveMechanism"]
+
+
+@dataclass(frozen=True)
+class IncentiveConfig:
+    """Parameters of Algorithm 3.
+
+    Attributes:
+        alpha: fraction of the saveable cost paid out as incentives
+            (``0`` disables the mechanism; ``< 1`` guarantees a net
+            saving per relocated station).
+        mileage_slack: relative tolerance when matching the aggregation
+            site's distance to the original trip mileage.
+        battery_margin: consumption safety factor for the relocation ride.
+        position_cap: cap on the service position ``t`` used in the offer
+            ``v = alpha * (q + t*d) / |L_i|``.  Eq. 12's saving bound uses
+            the station's true sequence position, but budgeting offers on
+            the *post-aggregation* tour length (a small cap) keeps the
+            payout below the realised saving when stations are only
+            partially emptied.  ``None`` uses the uncapped position.
+    """
+
+    alpha: float = 0.4
+    mileage_slack: float = 0.35
+    battery_margin: float = 1.2
+    position_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.mileage_slack < 0:
+            raise ValueError(f"mileage_slack cannot be negative, got {self.mileage_slack}")
+        if self.battery_margin < 1.0:
+            raise ValueError(f"battery_margin must be >= 1, got {self.battery_margin}")
+        if self.position_cap is not None and self.position_cap < 1:
+            raise ValueError(f"position_cap must be >= 1, got {self.position_cap}")
+
+
+@dataclass(frozen=True)
+class OfferOutcome:
+    """Result of one incentive interaction."""
+
+    offered: bool
+    accepted: bool
+    incentive_paid: float = 0.0
+    bike_id: Optional[int] = None
+    aggregation_station: Optional[int] = None
+    reason: str = ""
+
+
+class IncentiveMechanism:
+    """Stateful Algorithm 3 bound to a fleet.
+
+    Args:
+        fleet: the bike fleet (stations indexed as in ``fleet.stations``).
+        params: charging unit costs (``q``, ``d``, ``b``).
+        config: mechanism parameters.
+        population: rider-preference distribution.
+        rng: randomness for sampling rider preferences.
+        aggregation_targets: per-station preferred aggregation site; when
+            absent the mechanism picks the mileage-matching neighbour
+            holding the most low-energy bikes (greedy consolidation).
+        alpha_controller: optional adaptive controller; when given, the
+            live ``alpha`` it maintains overrides ``config.alpha`` and is
+            updated from every offer outcome (Section IV-C Remarks).
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        params: ChargingCostParams,
+        config: Optional[IncentiveConfig] = None,
+        population: Optional[UserPopulation] = None,
+        rng: Optional[np.random.Generator] = None,
+        aggregation_targets: Optional[Dict[int, int]] = None,
+        alpha_controller: Optional[AdaptiveAlphaController] = None,
+    ) -> None:
+        self.fleet = fleet
+        self.params = params
+        self.config = config or IncentiveConfig()
+        self.population = population or UserPopulation()
+        self._rng = rng or np.random.default_rng(0)
+        self._targets = dict(aggregation_targets or {})
+        self.alpha_controller = alpha_controller
+        self.total_incentives_paid = 0.0
+        self.offers_made = 0
+        self.offers_accepted = 0
+        self.relocations: List[OfferOutcome] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def alpha(self) -> float:
+        """The live incentive level (controller-driven when one is set)."""
+        if self.alpha_controller is not None:
+            return self.alpha_controller.alpha
+        return self.config.alpha
+
+    def service_position(self, station: int) -> int:
+        """Prospective 1-based service position ``t`` of ``station``.
+
+        Uses the station's rank among stations currently needing service
+        (a cheap stand-in for its position in the eventual TSP tour; the
+        bound of Eq. 12 holds for any consistent ordering).
+        """
+        needing = self.fleet.stations_needing_service()
+        if station in needing:
+            return needing.index(station) + 1
+        return len(needing) + 1
+
+    def incentive_for(self, station: int) -> float:
+        """The uniform offer ``v = alpha * (q + t*d) / |L_i|``.
+
+        Returns 0 when the station holds no low-energy bikes.
+        """
+        low = self.fleet.low_energy_map().get(station, [])
+        if not low:
+            return 0.0
+        t = self.service_position(station)
+        if self.config.position_cap is not None:
+            t = min(t, self.config.position_cap)
+        return (
+            self.alpha
+            * (self.params.service_cost + t * self.params.delay_cost)
+            / len(low)
+        )
+
+    def choose_aggregation_site(
+        self, origin: int, destination: int
+    ) -> Optional[int]:
+        """Pick the neighbour ``k`` for a rider going ``origin -> destination``.
+
+        Mileage-equivalence: ``|origin -> k|`` must match
+        ``|origin -> destination|`` within the configured slack, so the
+        rider pays no extra metered distance.  Among valid sites, prefer
+        the one already holding the most low-energy bikes (consolidation),
+        then the closest match.  Returns ``None`` when no site qualifies.
+        """
+        stations = self.fleet.stations
+        trip_len = stations[origin].distance_to(stations[destination])
+        if trip_len <= 0:
+            return None
+        low_map = self.fleet.low_energy_map()
+        explicit = self._targets.get(origin)
+        best: Optional[int] = None
+        best_key = None
+        for k in range(len(stations)):
+            if k in (origin, destination):
+                continue
+            leg = stations[origin].distance_to(stations[k])
+            if abs(leg - trip_len) > self.config.mileage_slack * trip_len:
+                continue
+            low_here = len(low_map.get(k, []))
+            key = (k != explicit, -low_here, abs(leg - trip_len))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = k
+        return best
+
+    # ------------------------------------------------------------------
+    def offer_ride(
+        self, origin: int, destination: int, final_destination: Point
+    ) -> OfferOutcome:
+        """Run one incentive interaction for a departing rider.
+
+        Args:
+            origin: station ``i`` the rider picks up from.
+            destination: parking ``j`` assigned for the trip (Algorithm 2).
+            final_destination: the rider's true destination ``j*``.
+
+        Returns:
+            An :class:`OfferOutcome`; on acceptance the fleet is mutated
+            (low bike ridden to the aggregation site, incentive paid).
+        """
+        if self.alpha == 0.0:
+            return OfferOutcome(offered=False, accepted=False, reason="alpha=0")
+        low = self.fleet.low_energy_map().get(origin, [])
+        if not low:
+            return OfferOutcome(offered=False, accepted=False, reason="no low-energy bikes")
+        k = self.choose_aggregation_site(origin, destination)
+        if k is None:
+            return OfferOutcome(offered=False, accepted=False, reason="no mileage-equivalent site")
+        bike = self.fleet.pick_bike(origin, prefer_low=True)
+        if bike is None:
+            return OfferOutcome(offered=False, accepted=False, reason="no low-energy bikes")
+        leg = self.fleet.stations[origin].distance_to(self.fleet.stations[k])
+        if not bike.battery.can_ride(leg, margin=self.config.battery_margin):
+            return OfferOutcome(offered=False, accepted=False, reason="battery too low for relocation")
+        v = self.incentive_for(origin)
+        extra_walk = self.fleet.stations[k].distance_to(final_destination)
+        prefs = self.population.sample(self._rng)
+        self.offers_made += 1
+        if not accepts_offer(prefs, extra_walk, v):
+            if self.alpha_controller is not None:
+                self.alpha_controller.observe(False)
+            return OfferOutcome(offered=True, accepted=False, reason="declined")
+        if self.alpha_controller is not None:
+            self.alpha_controller.observe(True)
+        self.fleet.ride(bike.bike_id, k, leg)
+        self.total_incentives_paid += v
+        self.offers_accepted += 1
+        outcome = OfferOutcome(
+            offered=True,
+            accepted=True,
+            incentive_paid=v,
+            bike_id=bike.bike_id,
+            aggregation_station=k,
+            reason="accepted",
+        )
+        self.relocations.append(outcome)
+        return outcome
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of made offers that were accepted."""
+        if self.offers_made == 0:
+            return 0.0
+        return self.offers_accepted / self.offers_made

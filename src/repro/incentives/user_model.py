@@ -1,0 +1,95 @@
+"""User acceptance behaviour (Eq. 13).
+
+A user offered an incentive ``v`` to ride a low-energy bike to a
+neighbouring site ``k`` accepts iff
+
+* the *extra walking* from ``k`` to her true destination ``j*`` is below
+  her personal maximum ``c_u``, and
+* the incentive covers her personal minimum reward ``v_u*``.
+
+Populations of ``(c_u, v_u*)`` pairs model the demand-side regimes the
+paper discusses (rush hour: short walks, high reward demands; weekends:
+relaxed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["UserPreferences", "UserPopulation", "accepts_offer"]
+
+
+@dataclass(frozen=True)
+class UserPreferences:
+    """One user's private thresholds.
+
+    Attributes:
+        max_walk_m: ``c_u`` — largest acceptable extra walk (metres).
+        min_reward: ``v_u*`` — smallest acceptable incentive ($).
+    """
+
+    max_walk_m: float
+    min_reward: float
+
+    def __post_init__(self) -> None:
+        if self.max_walk_m < 0:
+            raise ValueError(f"max_walk_m cannot be negative, got {self.max_walk_m}")
+        if self.min_reward < 0:
+            raise ValueError(f"min_reward cannot be negative, got {self.min_reward}")
+
+
+def accepts_offer(prefs: UserPreferences, extra_walk_m: float, incentive: float) -> bool:
+    """Eq. 13: accept iff ``extra_walk < c_u`` and ``v >= v_u*``.
+
+    Raises:
+        ValueError: if the extra walk is negative.
+    """
+    if extra_walk_m < 0:
+        raise ValueError(f"extra_walk_m cannot be negative, got {extra_walk_m}")
+    return extra_walk_m < prefs.max_walk_m and incentive >= prefs.min_reward
+
+
+@dataclass(frozen=True)
+class UserPopulation:
+    """A distribution of user preferences to sample riders from.
+
+    Defaults model an off-peak population: acceptable walks around 250 m
+    and reward thresholds around $0.6.  Rush-hour populations should use
+    smaller ``walk_mean`` and larger ``reward_mean`` (Section IV-C).
+
+    Attributes:
+        walk_mean: mean of the (truncated-normal) ``c_u`` distribution.
+        walk_std: its standard deviation.
+        reward_mean: mean of the ``v_u*`` distribution.
+        reward_std: its standard deviation.
+    """
+
+    walk_mean: float = 250.0
+    walk_std: float = 100.0
+    reward_mean: float = 0.6
+    reward_std: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.walk_mean <= 0 or self.reward_mean < 0:
+            raise ValueError("population means must be positive (walk) / non-negative (reward)")
+        if self.walk_std < 0 or self.reward_std < 0:
+            raise ValueError("population deviations cannot be negative")
+
+    def sample(self, rng: np.random.Generator) -> UserPreferences:
+        """Draw one rider's private thresholds (truncated at zero)."""
+        walk = max(0.0, float(rng.normal(self.walk_mean, self.walk_std)))
+        reward = max(0.0, float(rng.normal(self.reward_mean, self.reward_std)))
+        return UserPreferences(max_walk_m=walk, min_reward=reward)
+
+    @classmethod
+    def rush_hour(cls) -> "UserPopulation":
+        """Impatient riders: short walks, higher reward demands."""
+        return cls(walk_mean=150.0, walk_std=60.0, reward_mean=1.0, reward_std=0.4)
+
+    @classmethod
+    def weekend(cls) -> "UserPopulation":
+        """Relaxed riders: longer walks, lower reward demands."""
+        return cls(walk_mean=350.0, walk_std=120.0, reward_mean=0.4, reward_std=0.2)

@@ -1,0 +1,15 @@
+"""Operator routing: TSP tours over charging demand sites."""
+
+from .tsp import Tour, held_karp, nearest_neighbor_tour, solve_tsp, two_opt
+from .scheduling import MultiOperatorPlan, OperatorSchedule, plan_multi_operator
+
+__all__ = [
+    "Tour",
+    "held_karp",
+    "nearest_neighbor_tour",
+    "solve_tsp",
+    "two_opt",
+    "MultiOperatorPlan",
+    "OperatorSchedule",
+    "plan_multi_operator",
+]

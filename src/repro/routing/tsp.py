@@ -1,0 +1,193 @@
+"""Travelling-salesman tours for the charging operator.
+
+Section V-E: "The operator traverses through all the demand sites with the
+shortest route by solving the Traveling Salesman Problem".  Exact TSP is
+infeasible beyond a handful of sites, so we use the standard
+nearest-neighbour construction improved by 2-opt — the same practical
+recipe used for mobile-charger routing in WRSNs [34].  An exact
+Held–Karp solver is included for small instances and for testing the
+heuristics' quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geo.distance import pairwise_distances
+from ..geo.points import Point
+
+__all__ = ["Tour", "nearest_neighbor_tour", "two_opt", "solve_tsp", "held_karp"]
+
+
+@dataclass(frozen=True)
+class Tour:
+    """A visiting order over a set of sites.
+
+    Attributes:
+        order: site indices in visiting sequence (no repeats); the tour is
+            *open* (the operator does not return to the depot) matching the
+            per-position delay model ``t·d`` of Eq. 10.
+        length: total travel distance along ``order``.
+    """
+
+    order: tuple
+    length: float
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.order)
+
+    def position_of(self, site: int) -> int:
+        """1-based service position ``t`` of ``site`` in the sequence.
+
+        Raises:
+            ValueError: if the site is not on the tour.
+        """
+        try:
+            return self.order.index(site) + 1
+        except ValueError:
+            raise ValueError(f"site {site} not on tour") from None
+
+
+def _tour_length(dist: np.ndarray, order: Sequence[int]) -> float:
+    return float(sum(dist[order[i], order[i + 1]] for i in range(len(order) - 1)))
+
+
+def nearest_neighbor_tour(
+    points: Sequence[Point], start: int = 0, dist: Optional[np.ndarray] = None
+) -> Tour:
+    """Greedy nearest-neighbour open tour from ``points[start]``.
+
+    Raises:
+        ValueError: if there are no points or ``start`` is out of range.
+    """
+    n = len(points)
+    if n == 0:
+        raise ValueError("no sites to tour")
+    if not 0 <= start < n:
+        raise ValueError(f"start index {start} out of range")
+    d = dist if dist is not None else pairwise_distances(points)
+    unvisited = set(range(n))
+    unvisited.remove(start)
+    order = [start]
+    while unvisited:
+        here = order[-1]
+        nxt = min(unvisited, key=lambda j: (d[here, j], j))
+        unvisited.remove(nxt)
+        order.append(nxt)
+    return Tour(tuple(order), _tour_length(d, order))
+
+
+def two_opt(tour: Tour, points: Sequence[Point], max_passes: int = 20,
+            dist: Optional[np.ndarray] = None) -> Tour:
+    """Improve an open tour with 2-opt segment reversals until no gain.
+
+    Args:
+        tour: the starting tour.
+        points: site coordinates (index-aligned with the tour).
+        max_passes: safety cap on full improvement sweeps.
+        dist: optional precomputed distance matrix.
+    """
+    d = dist if dist is not None else pairwise_distances(points)
+    order = list(tour.order)
+    n = len(order)
+    if n < 4:
+        return tour
+    for _ in range(max_passes):
+        improved = False
+        for i in range(n - 2):
+            for j in range(i + 2, n - 1):
+                a, b = order[i], order[i + 1]
+                c, e = order[j], order[j + 1]
+                delta = (d[a, c] + d[b, e]) - (d[a, b] + d[c, e])
+                if delta < -1e-9:
+                    order[i + 1 : j + 1] = reversed(order[i + 1 : j + 1])
+                    improved = True
+        if not improved:
+            break
+    return Tour(tuple(order), _tour_length(d, order))
+
+
+def solve_tsp(points: Sequence[Point], start: Optional[int] = None) -> Tour:
+    """Nearest-neighbour + 2-opt open tour — the operator's route planner.
+
+    Open tours are sensitive to where they start (2-opt cannot move the
+    endpoints), so unless ``start`` is pinned we restart the construction
+    from every site on small instances and from a spread of sites on
+    large ones, keeping the shortest result.
+    """
+    n = len(points)
+    if n == 0:
+        raise ValueError("no sites to tour")
+    d = pairwise_distances(points)
+    if start is not None:
+        starts = [start]
+    elif n <= 12:
+        starts = list(range(n))
+    else:
+        starts = sorted({0, n // 4, n // 2, 3 * n // 4, n - 1})
+    best: Optional[Tour] = None
+    for s in starts:
+        cand = two_opt(nearest_neighbor_tour(points, start=s, dist=d), points, dist=d)
+        if best is None or cand.length < best.length:
+            best = cand
+    assert best is not None
+    return best
+
+
+def held_karp(points: Sequence[Point], start: int = 0) -> Tour:
+    """Exact open-TSP via Held–Karp dynamic programming.
+
+    Exponential in the number of sites; refuse anything beyond 15 sites.
+
+    Raises:
+        ValueError: on empty input or more than 15 sites.
+    """
+    n = len(points)
+    if n == 0:
+        raise ValueError("no sites to tour")
+    if n > 15:
+        raise ValueError(f"held_karp limited to 15 sites, got {n}")
+    if n == 1:
+        return Tour((start,), 0.0)
+    d = pairwise_distances(points)
+    others = [i for i in range(n) if i != start]
+    index = {site: k for k, site in enumerate(others)}
+    m = len(others)
+    FULL = 1 << m
+    INF = float("inf")
+    # cost[mask][k] = shortest path from start visiting exactly `mask`,
+    # ending at others[k].
+    cost = np.full((FULL, m), INF)
+    parent = np.full((FULL, m), -1, dtype=int)
+    for k, site in enumerate(others):
+        cost[1 << k, k] = d[start, site]
+    for mask in range(FULL):
+        for k in range(m):
+            if cost[mask, k] == INF or not (mask >> k) & 1:
+                continue
+            for k2 in range(m):
+                if (mask >> k2) & 1:
+                    continue
+                nmask = mask | (1 << k2)
+                cand = cost[mask, k] + d[others[k], others[k2]]
+                if cand < cost[nmask, k2]:
+                    cost[nmask, k2] = cand
+                    parent[nmask, k2] = k
+    last = int(np.argmin(cost[FULL - 1]))
+    length = float(cost[FULL - 1, last])
+    order = [others[last]]
+    mask = FULL - 1
+    k = last
+    while parent[mask, k] != -1:
+        prev = parent[mask, k]
+        mask ^= 1 << k
+        k = prev
+        order.append(others[k])
+    order.append(start)
+    order.reverse()
+    return Tour(tuple(order), length)

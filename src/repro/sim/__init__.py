@@ -1,0 +1,62 @@
+"""End-to-end system simulation: trips, incentives and the charging tour."""
+
+from .events import (
+    BikeRelocated,
+    Event,
+    EventLog,
+    OfferMade,
+    OperatorStop,
+    PeriodClosed,
+    PlacementDecided,
+    StationOpened,
+    TripExecuted,
+    TripRequested,
+    TripSkipped,
+    load_jsonl,
+)
+from .operator import ChargingOperator, OperatorConfig, ServiceReport
+from .policies import (
+    BudgetCoveragePolicy,
+    SiteSelectionPolicy,
+    ThresholdPolicy,
+    TopDensityPolicy,
+)
+from .metrics import ServiceMetrics, analyze_log
+from .rebalancing import (
+    RebalanceMove,
+    RebalanceReport,
+    rebalance_fleet,
+    target_distribution,
+)
+from .simulator import PeriodReport, SimulationSummary, SystemSimulator
+
+__all__ = [
+    "BikeRelocated",
+    "Event",
+    "EventLog",
+    "OfferMade",
+    "OperatorStop",
+    "PeriodClosed",
+    "PlacementDecided",
+    "StationOpened",
+    "TripExecuted",
+    "TripRequested",
+    "TripSkipped",
+    "load_jsonl",
+    "ChargingOperator",
+    "OperatorConfig",
+    "ServiceReport",
+    "BudgetCoveragePolicy",
+    "SiteSelectionPolicy",
+    "ThresholdPolicy",
+    "TopDensityPolicy",
+    "ServiceMetrics",
+    "analyze_log",
+    "RebalanceMove",
+    "RebalanceReport",
+    "rebalance_fleet",
+    "target_distribution",
+    "PeriodReport",
+    "SimulationSummary",
+    "SystemSimulator",
+]

@@ -1,0 +1,210 @@
+"""Typed event log for the system simulation.
+
+Every consequential action in a simulated period — a trip request, a
+Tier-1 placement decision, an incentive offer, a ride, an operator stop —
+can be recorded as a typed event.  The log makes simulation runs
+auditable (tests assert on event sequences rather than only aggregate
+counters) and exportable (JSON-lines) for external analysis.
+
+The log is deliberately passive: producers call :meth:`EventLog.emit`,
+consumers filter/replay.  The simulator attaches one when constructed
+with ``event_log=...``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Type, TypeVar, Union
+
+from ..geo.points import Point
+
+__all__ = [
+    "Event",
+    "TripRequested",
+    "PlacementDecided",
+    "OfferMade",
+    "BikeRelocated",
+    "TripExecuted",
+    "TripSkipped",
+    "StationOpened",
+    "OperatorStop",
+    "PeriodClosed",
+    "EventLog",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: a sequence number is assigned by the log."""
+
+    seq: int = field(default=-1, compare=False)
+
+    @property
+    def kind(self) -> str:
+        """Event type name (stable identifier for filtering/export)."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class TripRequested(Event):
+    order_id: int = -1
+    origin_x: float = 0.0
+    origin_y: float = 0.0
+    dest_x: float = 0.0
+    dest_y: float = 0.0
+
+
+@dataclass(frozen=True)
+class PlacementDecided(Event):
+    order_id: int = -1
+    station_index: int = -1
+    opened_new: bool = False
+    walking_cost: float = 0.0
+    penalty: str = ""
+
+
+@dataclass(frozen=True)
+class OfferMade(Event):
+    order_id: int = -1
+    origin_station: int = -1
+    accepted: bool = False
+    incentive: float = 0.0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class BikeRelocated(Event):
+    bike_id: int = -1
+    from_station: int = -1
+    to_station: int = -1
+
+
+@dataclass(frozen=True)
+class TripExecuted(Event):
+    order_id: int = -1
+    bike_id: int = -1
+    from_station: int = -1
+    to_station: int = -1
+
+
+@dataclass(frozen=True)
+class TripSkipped(Event):
+    order_id: int = -1
+    origin_station: int = -1
+    reason: str = "no bike available"
+
+
+@dataclass(frozen=True)
+class StationOpened(Event):
+    station_index: int = -1
+    x: float = 0.0
+    y: float = 0.0
+
+
+@dataclass(frozen=True)
+class OperatorStop(Event):
+    station: int = -1
+    position: int = -1
+    bikes_charged: int = 0
+    within_shift: bool = True
+
+
+@dataclass(frozen=True)
+class PeriodClosed(Event):
+    period: int = -1
+    total_cost: float = 0.0
+    percent_charged: float = 0.0
+
+
+E = TypeVar("E", bound=Event)
+
+
+class EventLog:
+    """An append-only, filterable log of simulation events."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def emit(self, event: Event) -> Event:
+        """Append an event, stamping its sequence number; returns it."""
+        stamped = _with_seq(event, len(self._events))
+        self._events.append(stamped)
+        return stamped
+
+    def of_type(self, event_type: Type[E]) -> List[E]:
+        """All events of the exact given type, in order."""
+        return [e for e in self._events if type(e) is event_type]
+
+    def where(self, predicate: Callable[[Event], bool]) -> List[Event]:
+        """All events matching ``predicate``, in order."""
+        return [e for e in self._events if predicate(e)]
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts per kind."""
+        out: Dict[str, int] = {}
+        for e in self._events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        """Drop all events."""
+        self._events.clear()
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialise the log as JSON-lines (one event per line)."""
+        lines = []
+        for e in self._events:
+            payload = asdict(e)
+            payload["kind"] = e.kind
+            lines.append(json.dumps(payload, sort_keys=True))
+        return "\n".join(lines)
+
+    def save(self, path) -> None:
+        """Write the JSON-lines serialisation to ``path``."""
+        with open(path, "w") as f:
+            f.write(self.to_jsonl())
+            if self._events:
+                f.write("\n")
+
+
+_EVENT_TYPES: Dict[str, Type[Event]] = {
+    cls.__name__: cls
+    for cls in (
+        TripRequested, PlacementDecided, OfferMade, BikeRelocated,
+        TripExecuted, TripSkipped, StationOpened, OperatorStop, PeriodClosed,
+    )
+}
+
+
+def _with_seq(event: Event, seq: int) -> Event:
+    data = asdict(event)
+    data["seq"] = seq
+    return type(event)(**data)
+
+
+def load_jsonl(text: str) -> EventLog:
+    """Parse a JSON-lines dump back into an :class:`EventLog`.
+
+    Raises:
+        ValueError: on an unknown event kind.
+    """
+    log = EventLog()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        kind = payload.pop("kind")
+        payload.pop("seq", None)
+        if kind not in _EVENT_TYPES:
+            raise ValueError(f"unknown event kind {kind!r}")
+        log.emit(_EVENT_TYPES[kind](**payload))
+    return log

@@ -1,0 +1,130 @@
+"""Service-quality analytics over the simulation event log.
+
+The paper's evaluation reports system-level aggregates; a deployment
+also watches *experience* metrics: how far riders actually walk, how the
+incentive funnel converts, which stations carry the load.  This module
+derives all of them from the typed event log, so any simulated period
+can be audited after the fact without re-running it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .events import (
+    EventLog,
+    OfferMade,
+    OperatorStop,
+    PlacementDecided,
+    StationOpened,
+    TripExecuted,
+    TripRequested,
+    TripSkipped,
+)
+
+__all__ = ["ServiceMetrics", "analyze_log"]
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Experience metrics of one (or more) simulated periods.
+
+    Attributes:
+        trips_requested: total requests seen.
+        service_rate: executed / requested.
+        walk_percentiles: decision-time walking distance (m) at the
+            25/50/75/95th percentiles, over assigned (non-opening) trips.
+        offer_funnel: ``(offers made, offers accepted)``.
+        stations_opened_online: count of online openings.
+        station_load: destination share per station id (top stations
+            first), as a fraction of executed trips.
+        load_concentration: share of drop-offs at the busiest 10% of
+            destination stations.
+        operator_stops: stops the charging tour made.
+        bikes_charged: bikes recharged across those stops.
+    """
+
+    trips_requested: int
+    service_rate: float
+    walk_percentiles: Dict[int, float]
+    offer_funnel: Tuple[int, int]
+    stations_opened_online: int
+    station_load: Dict[int, float]
+    load_concentration: float
+    operator_stops: int
+    bikes_charged: int
+
+    def to_text(self) -> str:
+        """Human-readable report."""
+        p = self.walk_percentiles
+        made, accepted = self.offer_funnel
+        rate = 0.0 if made == 0 else 100.0 * accepted / made
+        lines = [
+            f"requests: {self.trips_requested}, served "
+            f"{100 * self.service_rate:.0f}%",
+            f"walk to assigned parking (m): p25={p.get(25, 0):.0f} "
+            f"p50={p.get(50, 0):.0f} p75={p.get(75, 0):.0f} p95={p.get(95, 0):.0f}",
+            f"incentive funnel: {made} offers -> {accepted} accepted ({rate:.0f}%)",
+            f"stations opened online: {self.stations_opened_online}; "
+            f"busiest 10% of destinations take "
+            f"{100 * self.load_concentration:.0f}% of drop-offs",
+            f"operator: {self.operator_stops} stops, "
+            f"{self.bikes_charged} bikes charged",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_log(log: EventLog) -> ServiceMetrics:
+    """Derive :class:`ServiceMetrics` from an event log.
+
+    Raises:
+        ValueError: if the log holds no trip requests.
+    """
+    requested = log.of_type(TripRequested)
+    if not requested:
+        raise ValueError("log holds no TripRequested events")
+    executed = log.of_type(TripExecuted)
+    skipped = log.of_type(TripSkipped)
+    decided = log.of_type(PlacementDecided)
+    offers = log.of_type(OfferMade)
+    opened = log.of_type(StationOpened)
+    stops = log.of_type(OperatorStop)
+
+    walks = np.asarray(
+        [d.walking_cost for d in decided if not d.opened_new], dtype=float
+    )
+    walk_percentiles = (
+        {q: float(np.percentile(walks, q)) for q in (25, 50, 75, 95)}
+        if walks.size
+        else {q: 0.0 for q in (25, 50, 75, 95)}
+    )
+
+    load: Dict[int, int] = {}
+    for e in executed:
+        load[e.to_station] = load.get(e.to_station, 0) + 1
+    total_exec = max(len(executed), 1)
+    station_load = {
+        s: c / total_exec
+        for s, c in sorted(load.items(), key=lambda kv: (-kv[1], kv[0]))
+    }
+    counts = sorted(load.values(), reverse=True)
+    if counts:
+        top_n = max(1, len(counts) // 10)
+        concentration = sum(counts[:top_n]) / sum(counts)
+    else:
+        concentration = 0.0
+
+    return ServiceMetrics(
+        trips_requested=len(requested),
+        service_rate=len(executed) / len(requested),
+        walk_percentiles=walk_percentiles,
+        offer_funnel=(len(offers), sum(1 for o in offers if o.accepted)),
+        stations_opened_online=len(opened),
+        station_load=station_load,
+        load_concentration=float(concentration),
+        operator_stops=len(stops),
+        bikes_charged=sum(s.bikes_charged for s in stops),
+    )

@@ -1,0 +1,141 @@
+"""Operator site-selection policies.
+
+Section II-B: "the operators follow a policy to refill those E-bikes with
+energy less than a threshold at each location."  Which *sites* a shift
+should take on is itself a policy decision once the shift is shorter than
+the demand list.  Three policies are provided:
+
+* :class:`ThresholdPolicy` — every site holding at least ``min_bikes``
+  low bikes (the paper's default; the operator owns the whole list).
+* :class:`TopDensityPolicy` — only the ``max_sites`` densest sites: the
+  rush-hour triage the paper's Remarks suggest.
+* :class:`BudgetCoveragePolicy` — greedy maximum coverage: pick sites in
+  descending bike count until an estimated time budget is spent, ordering
+  marginal travel into the estimate.
+
+Pass a policy to :class:`~repro.sim.operator.ChargingOperator` via
+``OperatorConfig`` composition — the operator asks the policy which sites
+qualify, then tours them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..geo.points import Point
+
+__all__ = [
+    "SiteSelectionPolicy",
+    "ThresholdPolicy",
+    "TopDensityPolicy",
+    "BudgetCoveragePolicy",
+]
+
+
+class SiteSelectionPolicy(ABC):
+    """Decides which stations a charging shift takes responsibility for."""
+
+    @abstractmethod
+    def select(
+        self, low_map: Dict[int, List[int]], locations: Sequence[Point]
+    ) -> List[int]:
+        """Pick the stations to serve.
+
+        Args:
+            low_map: station -> low-energy bike ids.
+            locations: station coordinates (indexable by station id).
+
+        Returns:
+            Station ids in no particular order (the operator routes them).
+        """
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy(SiteSelectionPolicy):
+    """Serve every site with at least ``min_bikes`` low-energy bikes.
+
+    Raises:
+        ValueError: if ``min_bikes`` is not positive.
+    """
+
+    min_bikes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_bikes < 1:
+            raise ValueError(f"min_bikes must be >= 1, got {self.min_bikes}")
+
+    def select(self, low_map, locations) -> List[int]:
+        """All stations meeting the bike-count threshold."""
+        return sorted(s for s, bikes in low_map.items() if len(bikes) >= self.min_bikes)
+
+
+@dataclass(frozen=True)
+class TopDensityPolicy(SiteSelectionPolicy):
+    """Serve only the ``max_sites`` sites holding the most low bikes.
+
+    Raises:
+        ValueError: if ``max_sites`` is not positive.
+    """
+
+    max_sites: int = 10
+
+    def __post_init__(self) -> None:
+        if self.max_sites < 1:
+            raise ValueError(f"max_sites must be >= 1, got {self.max_sites}")
+
+    def select(self, low_map, locations) -> List[int]:
+        """The densest sites, ties broken by station id."""
+        ranked = sorted(low_map.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+        return sorted(s for s, _ in ranked[: self.max_sites])
+
+
+@dataclass(frozen=True)
+class BudgetCoveragePolicy(SiteSelectionPolicy):
+    """Greedy max-coverage under an estimated time budget.
+
+    Sites are added in descending bike count; each addition is charged
+    its service time plus the travel from the nearest already-selected
+    site (a cheap tour-length proxy).  Selection stops when the budget
+    would be exceeded.
+
+    Raises:
+        ValueError: on non-positive budget, speed or service time.
+    """
+
+    budget_hours: float = 4.0
+    travel_speed_kmh: float = 12.0
+    service_time_h: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.budget_hours <= 0:
+            raise ValueError(f"budget_hours must be positive, got {self.budget_hours}")
+        if self.travel_speed_kmh <= 0:
+            raise ValueError(
+                f"travel_speed_kmh must be positive, got {self.travel_speed_kmh}"
+            )
+        if self.service_time_h < 0:
+            raise ValueError(
+                f"service_time_h cannot be negative, got {self.service_time_h}"
+            )
+
+    def select(self, low_map, locations) -> List[int]:
+        """Greedy densest-first selection under the time budget."""
+        ranked = sorted(low_map.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+        speed_m_h = self.travel_speed_kmh * 1000.0
+        selected: List[int] = []
+        time_used = 0.0
+        for station, _ in ranked:
+            travel_h = 0.0
+            if selected:
+                nearest = min(
+                    locations[s].distance_to(locations[station]) for s in selected
+                )
+                travel_h = nearest / speed_m_h
+            needed = travel_h + self.service_time_h
+            if time_used + needed > self.budget_hours:
+                continue
+            time_used += needed
+            selected.append(station)
+        return sorted(selected)

@@ -1,0 +1,25 @@
+"""Statistical testing — Peacock 2-D KS test and request distributions."""
+
+from .ks2d import KSResult, ks2d_fast, ks2d_peacock, similarity_percent
+from .bootstrap import bootstrap_ci, ks_similarity_ci
+from .distributions import (
+    REQUEST_DISTRIBUTIONS,
+    empirical_cdf_2d,
+    sample_normal,
+    sample_poisson_ring,
+    sample_uniform,
+)
+
+__all__ = [
+    "KSResult",
+    "ks2d_fast",
+    "ks2d_peacock",
+    "similarity_percent",
+    "bootstrap_ci",
+    "ks_similarity_ci",
+    "REQUEST_DISTRIBUTIONS",
+    "empirical_cdf_2d",
+    "sample_normal",
+    "sample_poisson_ring",
+    "sample_uniform",
+]

@@ -1,0 +1,85 @@
+"""Synthetic 2-D request distributions used by Section V-B (Fig. 9 / Table III).
+
+The penalty-function evaluation draws ~200 requests per sector from three
+families — *uniform*, *Poisson* (mid-range concentration) and *normal*
+(aggregated around the origin / offline parking) — so the three penalty
+types can be matched against increasing similarity between actual and
+predicted requests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..geo.points import Point
+
+__all__ = [
+    "sample_uniform",
+    "sample_normal",
+    "sample_poisson_ring",
+    "REQUEST_DISTRIBUTIONS",
+    "empirical_cdf_2d",
+]
+
+
+def sample_uniform(
+    rng: np.random.Generator, n: int, extent: float = 1000.0
+) -> List[Point]:
+    """``n`` points uniform in the square ``[-extent, extent]^2``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    xy = rng.uniform(-extent, extent, size=(n, 2))
+    return [Point(float(x), float(y)) for x, y in xy]
+
+
+def sample_normal(
+    rng: np.random.Generator, n: int, sigma: float = 250.0
+) -> List[Point]:
+    """``n`` points from an isotropic Gaussian centred at the origin.
+
+    Models requests aggregating around the offline-derived parking — the
+    "very similar" regime where Type II penalties win (Table III).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    xy = rng.normal(0.0, sigma, size=(n, 2))
+    return [Point(float(x), float(y)) for x, y in xy]
+
+
+def sample_poisson_ring(
+    rng: np.random.Generator, n: int, rate: float = 3.0, scale: float = 150.0
+) -> List[Point]:
+    """``n`` points with Poisson-distributed radial distance from origin.
+
+    Radii are ``scale * (Poisson(rate) + U[0,1))`` with uniform angles,
+    concentrating requests in the mid-range from the origin — the regime
+    where Type III penalties win (Table III).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    radii = scale * (rng.poisson(rate, size=n) + rng.uniform(0.0, 1.0, size=n))
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    return [
+        Point(float(r * np.cos(a)), float(r * np.sin(a)))
+        for r, a in zip(radii, angles)
+    ]
+
+
+REQUEST_DISTRIBUTIONS: Dict[str, Callable[..., List[Point]]] = {
+    "uniform": sample_uniform,
+    "poisson": sample_poisson_ring,
+    "normal": sample_normal,
+}
+"""Name -> sampler registry used by the Table III experiment."""
+
+
+def empirical_cdf_2d(points: np.ndarray, x: float, y: float) -> float:
+    """Empirical CDF value ``P(X < x, Y < y)`` of a 2-D sample."""
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) sample, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError("empty sample")
+    return float(np.count_nonzero((arr[:, 0] < x) & (arr[:, 1] < y))) / arr.shape[0]

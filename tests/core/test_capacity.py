@@ -1,0 +1,117 @@
+"""Tests for repro.core.capacity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DemandPoint, assign_with_capacity
+from repro.geo import Point
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            assign_with_capacity(
+                [DemandPoint(Point(0, 0))], [Point(0, 0)], [1.0, 2.0]
+            )
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            assign_with_capacity([DemandPoint(Point(0, 0))], [Point(0, 0)], [-1.0])
+
+    def test_no_stations_with_demand_rejected(self):
+        with pytest.raises(ValueError):
+            assign_with_capacity([DemandPoint(Point(0, 0))], [], [])
+
+    def test_empty_demand_ok(self):
+        out = assign_with_capacity([], [Point(0, 0)], [3.0])
+        assert out.assignment == []
+        assert out.is_feasible
+
+
+class TestAssignment:
+    def test_unconstrained_matches_nearest(self):
+        demands = [DemandPoint(Point(0, 0)), DemandPoint(Point(10, 0))]
+        stations = [Point(1, 0), Point(9, 0)]
+        out = assign_with_capacity(demands, stations, [10.0, 10.0])
+        assert out.assignment == [0, 1]
+        assert out.walking == pytest.approx(2.0)
+        assert out.is_feasible
+
+    def test_capacity_forces_detour(self):
+        # Both demands prefer station 0, but it only fits one.
+        demands = [DemandPoint(Point(0, 0)), DemandPoint(Point(1, 0))]
+        stations = [Point(0, 0), Point(100, 0)]
+        out = assign_with_capacity(demands, stations, [1.0, 10.0])
+        assert sorted(out.assignment) == [0, 1]
+        assert out.is_feasible
+        # The demand sitting exactly on station 0 should keep it.
+        assert out.assignment[0] == 0
+
+    def test_insufficient_capacity_reports_unassigned(self):
+        demands = [DemandPoint(Point(0, 0), weight=2.0), DemandPoint(Point(1, 0), weight=2.0)]
+        stations = [Point(0, 0)]
+        out = assign_with_capacity(demands, stations, [2.0])
+        assert len(out.unassigned) == 1
+        assert not out.is_feasible
+
+    def test_atomic_demands_not_split(self):
+        # A weight-3 demand cannot be split across two capacity-2 stations.
+        demands = [DemandPoint(Point(0, 0), weight=3.0)]
+        stations = [Point(0, 0), Point(1, 0)]
+        out = assign_with_capacity(demands, stations, [2.0, 2.0])
+        assert out.assignment == [-1]
+        assert out.unassigned == [0]
+
+    def test_loads_respect_capacity(self):
+        rng = np.random.default_rng(0)
+        demands = [
+            DemandPoint(Point(float(x), float(y)), weight=float(w))
+            for (x, y), w in zip(rng.uniform(0, 100, (20, 2)), rng.integers(1, 4, 20))
+        ]
+        stations = [Point(25, 25), Point(75, 75), Point(25, 75)]
+        caps = [15.0, 15.0, 15.0]
+        out = assign_with_capacity(demands, stations, caps)
+        for load, cap in zip(out.loads, caps):
+            assert load <= cap + 1e-9
+
+    def test_walking_consistent_with_assignment(self):
+        rng = np.random.default_rng(1)
+        demands = [
+            DemandPoint(Point(float(x), float(y)))
+            for x, y in rng.uniform(0, 100, (15, 2))
+        ]
+        stations = [Point(20, 20), Point(80, 80)]
+        out = assign_with_capacity(demands, stations, [8.0, 8.0])
+        manual = sum(
+            d.weight * d.location.distance_to(stations[a])
+            for d, a in zip(demands, out.assignment)
+            if a >= 0
+        )
+        assert out.walking == pytest.approx(manual)
+
+    def test_capacitated_never_cheaper_than_uncapacitated(self):
+        rng = np.random.default_rng(2)
+        demands = [
+            DemandPoint(Point(float(x), float(y)))
+            for x, y in rng.uniform(0, 200, (25, 2))
+        ]
+        stations = [Point(50, 50), Point(150, 150), Point(50, 150)]
+        free = assign_with_capacity(demands, stations, [100.0] * 3)
+        tight = assign_with_capacity(demands, stations, [9.0, 9.0, 9.0])
+        assert tight.is_feasible
+        assert tight.walking >= free.walking - 1e-9
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_feasible_when_capacity_sufficient(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 15))
+        demands = [
+            DemandPoint(Point(float(x), float(y)))
+            for x, y in rng.uniform(0, 100, (n, 2))
+        ]
+        stations = [Point(float(x), float(y)) for x, y in rng.uniform(0, 100, (3, 2))]
+        out = assign_with_capacity(demands, stations, [float(n)] * 3)
+        assert out.is_feasible
+        assert all(0 <= a < 3 for a in out.assignment)

@@ -1,0 +1,117 @@
+"""Tests for repro.core.costs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    DemandPoint,
+    constant_facility_cost,
+    demand_points_from_stream,
+    uniform_facility_cost,
+    walking_cost,
+)
+from repro.geo import Point
+
+
+class TestDemandPoint:
+    def test_positive_weight_required(self):
+        with pytest.raises(ValueError):
+            DemandPoint(Point(0, 0), weight=0)
+        with pytest.raises(ValueError):
+            DemandPoint(Point(0, 0), weight=-1)
+
+    def test_cost_to_scales_with_weight(self):
+        d = DemandPoint(Point(0, 0), weight=3.0)
+        assert d.cost_to(Point(0, 10)) == pytest.approx(30.0)
+
+    def test_cost_to_self_zero(self):
+        d = DemandPoint(Point(5, 5), weight=2.0)
+        assert d.cost_to(Point(5, 5)) == 0.0
+
+
+class TestFacilityCostFns:
+    def test_constant(self):
+        fn = constant_facility_cost(5000.0)
+        assert fn(Point(0, 0)) == 5000.0
+        assert fn(Point(99, 99)) == 5000.0
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ValueError):
+            constant_facility_cost(-1.0)
+
+    def test_uniform_memoised(self):
+        fn = uniform_facility_cost(10_000.0, np.random.default_rng(0))
+        p = Point(1, 2)
+        assert fn(p) == fn(p)
+
+    def test_uniform_mean_and_range(self):
+        fn = uniform_facility_cost(10_000.0, np.random.default_rng(1))
+        vals = [fn(Point(float(i), 0.0)) for i in range(500)]
+        assert np.mean(vals) == pytest.approx(10_000.0, rel=0.05)
+        assert all(5_000.0 <= v <= 15_000.0 for v in vals)
+
+    def test_uniform_bad_params_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            uniform_facility_cost(0.0, rng)
+        with pytest.raises(ValueError):
+            uniform_facility_cost(100.0, rng, half_width_fraction=1.5)
+
+
+class TestDemandPointsFromStream:
+    def test_merges_duplicates(self):
+        stream = [Point(0, 0), Point(1, 1), Point(0, 0)]
+        pts = demand_points_from_stream(stream)
+        assert len(pts) == 2
+        assert pts[0].weight == 2.0
+        assert pts[1].weight == 1.0
+
+    def test_preserves_first_seen_order(self):
+        stream = [Point(1, 1), Point(0, 0), Point(1, 1)]
+        pts = demand_points_from_stream(stream)
+        assert pts[0].location == Point(1, 1)
+
+    def test_empty(self):
+        assert demand_points_from_stream([]) == []
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=40))
+    def test_total_weight_preserved(self, raw):
+        stream = [Point(float(x), float(y)) for x, y in raw]
+        pts = demand_points_from_stream(stream)
+        assert sum(p.weight for p in pts) == len(stream)
+
+
+class TestWalkingCost:
+    def test_no_demand(self):
+        total, assignment = walking_cost([], [Point(0, 0)])
+        assert total == 0.0
+        assert assignment == []
+
+    def test_no_stations_raises(self):
+        with pytest.raises(ValueError):
+            walking_cost([DemandPoint(Point(0, 0))], [])
+
+    def test_nearest_assignment(self):
+        demands = [DemandPoint(Point(0, 0)), DemandPoint(Point(10, 0))]
+        stations = [Point(1, 0), Point(9, 0)]
+        total, assignment = walking_cost(demands, stations)
+        assert assignment == [0, 1]
+        assert total == pytest.approx(2.0)
+
+    def test_weights_applied(self):
+        demands = [DemandPoint(Point(0, 0), weight=5.0)]
+        total, _ = walking_cost(demands, [Point(0, 2)])
+        assert total == pytest.approx(10.0)
+
+    @given(
+        st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=15),
+        st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=5),
+    )
+    def test_assignment_is_argmin(self, d_raw, s_raw):
+        demands = [DemandPoint(Point(x, y)) for x, y in d_raw]
+        stations = [Point(x, y) for x, y in s_raw]
+        _, assignment = walking_cost(demands, stations)
+        for d, a in zip(demands, assignment):
+            best = min(d.location.distance_to(s) for s in stations)
+            assert d.location.distance_to(stations[a]) == pytest.approx(best)

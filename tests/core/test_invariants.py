@@ -1,0 +1,157 @@
+"""Property-based invariants of the placement algorithms.
+
+Hypothesis drives random instances through every placement algorithm and
+checks the structural invariants that must hold regardless of inputs:
+cost accounting closes, assignments are valid, station counts reconcile
+with the decision traces, determinism under fixed seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    DemandPoint,
+    EsharingConfig,
+    constant_facility_cost,
+    demand_points_from_stream,
+    esharing_placement,
+    meyerson_placement,
+    offline_placement,
+    online_kmeans_placement,
+)
+from repro.geo import Point
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+stream_sizes = st.integers(min_value=1, max_value=60)
+costs = st.sampled_from([100.0, 1_000.0, 10_000.0])
+
+
+def random_stream(seed, n, extent=1000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, extent, (n, 2))]
+
+
+def check_result(res, n_requests):
+    """The invariants every PlacementResult must satisfy."""
+    assert res.total == pytest.approx(res.walking + res.space)
+    assert res.walking >= 0 and res.space >= 0
+    assert len(res.assignment) == n_requests
+    assert all(0 <= a < res.n_stations for a in res.assignment)
+    assert len(set(res.online_opened)) == len(res.online_opened)
+    for idx in res.online_opened:
+        assert 0 <= idx < res.n_stations
+
+
+class TestMeyersonInvariants:
+    @given(seed=seeds, n=stream_sizes, f=costs)
+    @settings(max_examples=40, deadline=None)
+    def test_structure(self, seed, n, f):
+        stream = random_stream(seed, n)
+        res = meyerson_placement(
+            stream, constant_facility_cost(f), np.random.default_rng(seed)
+        )
+        check_result(res, n)
+        # Every station was opened by some arrival.
+        assert len(res.online_opened) == res.n_stations
+        assert res.space == pytest.approx(f * res.n_stations)
+
+    @given(seed=seeds, n=stream_sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_under_seed(self, seed, n):
+        stream = random_stream(seed, n)
+        a = meyerson_placement(
+            stream, constant_facility_cost(1000.0), np.random.default_rng(seed)
+        )
+        b = meyerson_placement(
+            stream, constant_facility_cost(1000.0), np.random.default_rng(seed)
+        )
+        assert a.stations == b.stations
+        assert a.assignment == b.assignment
+
+
+class TestOfflineInvariants:
+    @given(seed=seeds, n=stream_sizes, f=costs)
+    @settings(max_examples=30, deadline=None)
+    def test_structure(self, seed, n, f):
+        demands = demand_points_from_stream(random_stream(seed, n))
+        res = offline_placement(demands, constant_facility_cost(f))
+        check_result(res, len(demands))
+        # Offline stations all serve someone.
+        assert set(res.assignment) == set(range(res.n_stations))
+
+    @given(seed=seeds, n=st.integers(min_value=2, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_walking_matches_assignment_distances(self, seed, n):
+        demands = demand_points_from_stream(random_stream(seed, n))
+        res = offline_placement(demands, constant_facility_cost(500.0))
+        manual = sum(
+            d.weight * d.location.distance_to(res.stations[a])
+            for d, a in zip(res.demands, res.assignment)
+        )
+        assert res.walking == pytest.approx(manual)
+
+    @given(seed=seeds, n=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_assignment_is_nearest_open_station(self, seed, n):
+        """After the greedy's defections settle, every demand sits at its
+        nearest open station (otherwise a defection was missed)."""
+        demands = demand_points_from_stream(random_stream(seed, n))
+        res = offline_placement(demands, constant_facility_cost(800.0))
+        for d, a in zip(res.demands, res.assignment):
+            best = min(d.location.distance_to(s) for s in res.stations)
+            assert d.location.distance_to(res.stations[a]) == pytest.approx(best)
+
+
+class TestOnlineKmeansInvariants:
+    @given(seed=seeds, n=stream_sizes, k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_structure(self, seed, n, k):
+        stream = random_stream(seed, n)
+        res = online_kmeans_placement(
+            stream, k=k, facility_cost=constant_facility_cost(1000.0),
+            rng=np.random.default_rng(seed),
+        )
+        check_result(res, n)
+        assert res.n_stations >= min(n, k + 1) or n <= k + 1
+
+
+class TestEsharingInvariants:
+    @given(seed=seeds, n=stream_sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_structure(self, seed, n):
+        rng = np.random.default_rng(seed)
+        anchors = [Point(float(x), float(y)) for x, y in rng.uniform(0, 1000, (3, 2))]
+        historical = rng.uniform(0, 1000, (50, 2))
+        stream = random_stream(seed + 1, n)
+        cost_fn = constant_facility_cost(5000.0)
+        res = esharing_placement(
+            stream, anchors, cost_fn, historical, np.random.default_rng(seed)
+        )
+        check_result(res, n)
+        # Stations = anchors + online openings (no removals happened).
+        assert res.n_stations == 3 + len(res.online_opened)
+        # Space cost covers anchors plus every opening.
+        assert res.space == pytest.approx(5000.0 * res.n_stations)
+        # Opened stations sit exactly at some request destination.
+        dests = set(stream)
+        for idx in res.online_opened:
+            assert res.stations[idx] in dests
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_walking_equals_trace_sum(self, seed):
+        rng = np.random.default_rng(seed)
+        anchors = [Point(200, 200), Point(800, 800)]
+        historical = rng.uniform(0, 1000, (40, 2))
+        stream = random_stream(seed + 2, 40)
+        from repro.core import EsharingPlanner
+
+        planner = EsharingPlanner(
+            anchors, constant_facility_cost(5000.0), historical,
+            np.random.default_rng(seed),
+        )
+        for p in stream:
+            planner.offer(p)
+        trace_sum = sum(d.walking_cost for d in planner.decisions)
+        assert planner.walking == pytest.approx(trace_sum)

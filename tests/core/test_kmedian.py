@@ -1,0 +1,114 @@
+"""Tests for repro.core.kmedian."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DemandPoint,
+    constant_facility_cost,
+    kmedian_placement,
+    offline_placement,
+)
+from repro.geo import Point
+
+
+def uniform_demands(seed, n, extent=500.0):
+    rng = np.random.default_rng(seed)
+    return [
+        DemandPoint(Point(float(x), float(y)))
+        for x, y in rng.uniform(0, extent, size=(n, 2))
+    ]
+
+
+def brute_force_kmedian(demands, candidates, k):
+    best = float("inf")
+    for subset in itertools.combinations(range(len(candidates)), k):
+        walking = 0.0
+        for d in demands:
+            walking += d.weight * min(
+                d.location.distance_to(candidates[i]) for i in subset
+            )
+        best = min(best, walking)
+    return best
+
+
+class TestValidation:
+    def test_k_positive(self):
+        with pytest.raises(ValueError):
+            kmedian_placement([DemandPoint(Point(0, 0))], k=0)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            kmedian_placement([DemandPoint(Point(0, 0))], k=1, candidates=[])
+
+    def test_empty_demand(self):
+        res = kmedian_placement([], k=3)
+        assert res.n_stations == 0
+        assert res.total == 0.0
+
+
+class TestPlacement:
+    def test_exactly_k_stations(self):
+        demands = uniform_demands(0, 30)
+        for k in (1, 3, 7):
+            res = kmedian_placement(demands, k=k)
+            assert res.n_stations == k
+
+    def test_k_capped_by_candidates(self):
+        demands = uniform_demands(1, 4)
+        res = kmedian_placement(demands, k=10)
+        assert res.n_stations == 4
+        assert res.walking == pytest.approx(0.0)
+
+    def test_single_median_is_weighted_center(self):
+        demands = [
+            DemandPoint(Point(0, 0), weight=10.0),
+            DemandPoint(Point(100, 0), weight=1.0),
+        ]
+        res = kmedian_placement(demands, k=1)
+        assert res.stations == [Point(0, 0)]
+
+    def test_two_clusters_two_medians(self):
+        cluster_a = [DemandPoint(Point(float(i), 0.0)) for i in range(4)]
+        cluster_b = [DemandPoint(Point(5000.0 + i, 0.0)) for i in range(4)]
+        res = kmedian_placement(cluster_a + cluster_b, k=2)
+        xs = sorted(s.x for s in res.stations)
+        assert xs[0] < 100 and xs[1] > 4900
+
+    def test_assignment_is_nearest(self):
+        demands = uniform_demands(2, 25)
+        res = kmedian_placement(demands, k=4)
+        for d, a in zip(res.demands, res.assignment):
+            best = min(d.location.distance_to(s) for s in res.stations)
+            assert d.location.distance_to(res.stations[a]) == pytest.approx(best)
+
+    def test_walking_decreases_with_k(self):
+        demands = uniform_demands(3, 40)
+        walks = [kmedian_placement(demands, k=k).walking for k in (1, 3, 6, 10)]
+        assert all(a >= b - 1e-9 for a, b in zip(walks, walks[1:]))
+
+    def test_space_reported_with_cost_fn(self):
+        demands = uniform_demands(4, 10)
+        res = kmedian_placement(
+            demands, k=3, facility_cost=constant_facility_cost(500.0)
+        )
+        assert res.space == pytest.approx(1500.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_near_bruteforce_optimum(self, seed):
+        demands = uniform_demands(seed + 10, 8, extent=200.0)
+        candidates = [d.location for d in demands]
+        res = kmedian_placement(demands, k=2)
+        optimum = brute_force_kmedian(demands, candidates, 2)
+        assert res.walking <= optimum * 1.2 + 1e-6
+
+    def test_competitive_with_offline_at_same_k(self):
+        """At the offline solution's own k, k-median should reach a
+        walking cost at most slightly above (it optimises walking only)."""
+        demands = uniform_demands(20, 40)
+        cost_fn = constant_facility_cost(1000.0)
+        offline = offline_placement(demands, cost_fn)
+        km = kmedian_placement(demands, k=offline.n_stations)
+        assert km.walking <= offline.walking * 1.05 + 1e-6

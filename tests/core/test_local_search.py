@@ -1,0 +1,140 @@
+"""Tests for repro.core.local_search."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DemandPoint,
+    constant_facility_cost,
+    evaluate_placement,
+    local_search,
+    offline_placement,
+    refine_placement,
+)
+from repro.geo import Point
+
+
+def uniform_demands(seed, n, extent=500.0):
+    rng = np.random.default_rng(seed)
+    xy = rng.uniform(0, extent, size=(n, 2))
+    return [DemandPoint(Point(float(x), float(y))) for x, y in xy]
+
+
+def brute_force(demands, candidates, cost_fn):
+    best = float("inf")
+    for r in range(1, len(candidates) + 1):
+        for subset in itertools.combinations(range(len(candidates)), r):
+            stations = [candidates[i] for i in subset]
+            best = min(best, evaluate_placement(demands, stations, cost_fn).total)
+    return best
+
+
+class TestLocalSearch:
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            local_search([DemandPoint(Point(0, 0))], [], constant_facility_cost(1.0), [0])
+
+    def test_empty_initial_rejected(self):
+        with pytest.raises(ValueError):
+            local_search(
+                [DemandPoint(Point(0, 0))], [Point(0, 0)], constant_facility_cost(1.0), []
+            )
+
+    def test_out_of_range_initial_rejected(self):
+        with pytest.raises(ValueError):
+            local_search(
+                [DemandPoint(Point(0, 0))], [Point(0, 0)], constant_facility_cost(1.0), [5]
+            )
+
+    def test_no_demand_returns_initial(self):
+        open_idx, cost = local_search(
+            [], [Point(0, 0), Point(1, 1)], constant_facility_cost(7.0), [0, 1]
+        )
+        assert open_idx == [0, 1]
+        assert cost == pytest.approx(14.0)
+
+    def test_closes_redundant_station(self):
+        demands = [DemandPoint(Point(0, 0))]
+        candidates = [Point(0, 0), Point(1000, 1000)]
+        open_idx, cost = local_search(
+            demands, candidates, constant_facility_cost(10.0), [0, 1]
+        )
+        assert open_idx == [0]
+        assert cost == pytest.approx(10.0)
+
+    def test_opens_missing_station(self):
+        demands = [DemandPoint(Point(0, 0)), DemandPoint(Point(10_000, 0))]
+        candidates = [Point(0, 0), Point(10_000, 0)]
+        open_idx, cost = local_search(
+            demands, candidates, constant_facility_cost(10.0), [0]
+        )
+        assert open_idx == [0, 1]
+
+    def test_swaps_to_better_location(self):
+        demands = [DemandPoint(Point(100, 0), weight=5.0)]
+        candidates = [Point(0, 0), Point(100, 0)]
+        open_idx, _ = local_search(
+            demands, candidates, constant_facility_cost(10.0), [0]
+        )
+        assert open_idx == [1]
+
+    def test_never_worse_than_initial(self):
+        for seed in range(5):
+            demands = uniform_demands(seed, 25)
+            candidates = [d.location for d in demands]
+            cost_fn = constant_facility_cost(800.0)
+            initial = [0, 1, 2]
+            initial_cost = evaluate_placement(
+                demands, [candidates[i] for i in initial], cost_fn
+            ).total
+            _, cost = local_search(demands, candidates, cost_fn, initial)
+            assert cost <= initial_cost + 1e-6
+
+    def test_reaches_optimum_on_tiny_instances(self):
+        for seed in range(4):
+            demands = uniform_demands(seed + 10, 6, extent=200.0)
+            candidates = [d.location for d in demands]
+            cost_fn = constant_facility_cost(120.0)
+            _, cost = local_search(demands, candidates, cost_fn, [0])
+            optimum = brute_force(demands, candidates, cost_fn)
+            # Single-move local search is near-optimal on tiny instances.
+            assert cost <= optimum * 1.15 + 1e-6
+
+
+class TestRefinePlacement:
+    def test_no_stations_rejected(self):
+        from repro.core.result import PlacementResult
+
+        empty = PlacementResult([], [], 0.0, 0.0)
+        with pytest.raises(ValueError):
+            refine_placement(empty, constant_facility_cost(1.0))
+
+    def test_never_increases_total(self):
+        for seed in range(5):
+            demands = uniform_demands(seed + 20, 30)
+            cost_fn = constant_facility_cost(500.0)
+            greedy = offline_placement(demands, cost_fn)
+            refined = refine_placement(greedy, cost_fn)
+            assert refined.total <= greedy.total + 1e-6
+
+    def test_greedy_already_near_local_optimum(self):
+        """The 1.61 greedy should leave little for local search to close."""
+        gaps = []
+        for seed in range(5):
+            demands = uniform_demands(seed + 40, 40)
+            cost_fn = constant_facility_cost(800.0)
+            greedy = offline_placement(demands, cost_fn)
+            refined = refine_placement(greedy, cost_fn)
+            gaps.append(1.0 - refined.total / greedy.total)
+        assert np.mean(gaps) < 0.10
+
+    def test_custom_candidates(self):
+        demands = [DemandPoint(Point(50, 50), weight=10.0)]
+        cost_fn = constant_facility_cost(100.0)
+        greedy = offline_placement(demands, cost_fn, candidates=[Point(0, 0)])
+        refined = refine_placement(
+            greedy, cost_fn, candidates=[Point(0, 0), Point(50, 50)]
+        )
+        assert refined.stations == [Point(50, 50)]

@@ -1,0 +1,64 @@
+"""Tests for repro.core.lower_bound (Theorem 1 instance)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    THEOREM1_FACILITY_COST,
+    competitive_ratio,
+    constant_facility_cost,
+    meyerson_placement,
+    theorem1_offline_optimum,
+    theorem1_requests,
+)
+
+
+class TestInstance:
+    def test_request_coordinates(self):
+        reqs = theorem1_requests(3)
+        assert reqs[0].x == pytest.approx(0.5)
+        assert reqs[1].x == pytest.approx(0.25)
+        assert reqs[2].y == pytest.approx(0.125)
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(ValueError):
+            theorem1_requests(0)
+        with pytest.raises(ValueError):
+            theorem1_offline_optimum(0)
+
+    def test_offline_optimum_formula(self):
+        # 2 + sqrt(2) - sqrt(2) * 2^-n
+        assert theorem1_offline_optimum(1) == pytest.approx(2 + math.sqrt(2) / 2)
+        assert theorem1_offline_optimum(50) == pytest.approx(2 + math.sqrt(2), rel=1e-9)
+
+    def test_offline_optimum_monotone_bounded(self):
+        vals = [theorem1_offline_optimum(n) for n in range(1, 30)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+        assert vals[-1] < 2 + math.sqrt(2)
+
+    def test_each_walking_distance_below_f(self):
+        # The proof's premise: walking to origin is cheaper than opening.
+        for p in theorem1_requests(20):
+            assert math.hypot(p.x, p.y) < THEOREM1_FACILITY_COST
+
+
+class TestOnlineStruggles:
+    def test_meyerson_ratio_above_one(self):
+        reqs = theorem1_requests(25)
+        res = meyerson_placement(
+            reqs, constant_facility_cost(THEOREM1_FACILITY_COST), np.random.default_rng(0)
+        )
+        assert competitive_ratio(res, 25) > 1.0
+
+    def test_ratio_depends_on_randomness(self):
+        reqs = theorem1_requests(25)
+        ratios = set()
+        for seed in range(5):
+            res = meyerson_placement(
+                reqs, constant_facility_cost(THEOREM1_FACILITY_COST),
+                np.random.default_rng(seed),
+            )
+            ratios.add(round(competitive_ratio(res, 25), 6))
+        assert len(ratios) > 1

@@ -1,0 +1,147 @@
+"""Tests for repro.core.offline (the 1.61-factor greedy, Algorithm 1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    DemandPoint,
+    constant_facility_cost,
+    evaluate_placement,
+    offline_placement,
+)
+from repro.geo import Point
+
+
+def uniform_demands(seed, n, extent=1000.0):
+    rng = np.random.default_rng(seed)
+    xy = rng.uniform(0, extent, size=(n, 2))
+    return [DemandPoint(Point(float(x), float(y))) for x, y in xy]
+
+
+def brute_force_optimum(demands, facility_cost):
+    """Exact optimum by enumerating candidate subsets (tiny instances)."""
+    candidates = [d.location for d in demands]
+    best = float("inf")
+    for r in range(1, len(candidates) + 1):
+        for subset in itertools.combinations(range(len(candidates)), r):
+            stations = [candidates[i] for i in subset]
+            res = evaluate_placement(demands, stations, facility_cost)
+            best = min(best, res.total)
+    return best
+
+
+class TestBasics:
+    def test_empty_demand(self):
+        res = offline_placement([], constant_facility_cost(10.0))
+        assert res.n_stations == 0
+        assert res.total == 0.0
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            offline_placement(
+                [DemandPoint(Point(0, 0))], constant_facility_cost(1.0), candidates=[]
+            )
+
+    def test_single_demand_opens_there(self):
+        res = offline_placement([DemandPoint(Point(3, 4))], constant_facility_cost(10.0))
+        assert res.n_stations == 1
+        assert res.stations[0] == Point(3, 4)
+        assert res.walking == 0.0
+        assert res.space == 10.0
+
+    def test_assignment_valid(self):
+        demands = uniform_demands(0, 30)
+        res = offline_placement(demands, constant_facility_cost(500.0))
+        assert len(res.assignment) == 30
+        assert all(0 <= a < res.n_stations for a in res.assignment)
+
+    def test_every_station_serves_someone(self):
+        demands = uniform_demands(1, 40)
+        res = offline_placement(demands, constant_facility_cost(500.0))
+        assert set(res.assignment) == set(range(res.n_stations))
+
+    def test_walking_cost_consistent_with_assignment(self):
+        demands = uniform_demands(2, 25)
+        res = offline_placement(demands, constant_facility_cost(300.0))
+        manual = sum(
+            d.weight * d.location.distance_to(res.stations[a])
+            for d, a in zip(demands, res.assignment)
+        )
+        assert res.walking == pytest.approx(manual)
+
+
+class TestCostTradeoffs:
+    def test_cheap_facilities_open_everywhere(self):
+        demands = uniform_demands(3, 20)
+        res = offline_placement(demands, constant_facility_cost(0.001))
+        assert res.n_stations == 20
+        assert res.walking == pytest.approx(0.0, abs=0.1)
+
+    def test_expensive_facilities_open_one(self):
+        demands = uniform_demands(4, 20, extent=100.0)
+        res = offline_placement(demands, constant_facility_cost(1e9))
+        assert res.n_stations == 1
+
+    def test_station_count_monotone_in_cost(self):
+        demands = uniform_demands(5, 60)
+        counts = [
+            offline_placement(demands, constant_facility_cost(f)).n_stations
+            for f in (10.0, 1_000.0, 100_000.0)
+        ]
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_two_clusters_two_stations(self):
+        cluster_a = [DemandPoint(Point(float(i), 0.0)) for i in range(5)]
+        cluster_b = [DemandPoint(Point(float(i) + 10_000.0, 0.0)) for i in range(5)]
+        res = offline_placement(cluster_a + cluster_b, constant_facility_cost(100.0))
+        assert res.n_stations == 2
+
+    def test_weights_pull_station(self):
+        # A heavy demand point should host the station.
+        demands = [
+            DemandPoint(Point(0, 0), weight=100.0),
+            DemandPoint(Point(100, 0), weight=1.0),
+        ]
+        res = offline_placement(demands, constant_facility_cost(1_000.0))
+        assert res.n_stations == 1
+        assert res.stations[0] == Point(0, 0)
+
+
+class TestApproximationQuality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_within_1_61_of_bruteforce(self, seed):
+        demands = uniform_demands(seed + 100, 7, extent=200.0)
+        cost_fn = constant_facility_cost(150.0)
+        greedy = offline_placement(demands, cost_fn).total
+        optimum = brute_force_optimum(demands, cost_fn)
+        assert greedy <= optimum * 1.61 + 1e-6
+        assert greedy >= optimum - 1e-6
+
+    def test_beats_naive_all_open(self):
+        demands = uniform_demands(200, 40)
+        cost_fn = constant_facility_cost(2_000.0)
+        greedy = offline_placement(demands, cost_fn).total
+        all_open = evaluate_placement(
+            demands, [d.location for d in demands], cost_fn
+        ).total
+        assert greedy < all_open
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_total_is_walking_plus_space(self, seed):
+        demands = uniform_demands(seed, 15)
+        res = offline_placement(demands, constant_facility_cost(500.0))
+        assert res.total == pytest.approx(res.walking + res.space)
+        assert res.n_stations >= 1
+
+
+class TestCustomCandidates:
+    def test_candidates_restrict_locations(self):
+        demands = [DemandPoint(Point(0, 0)), DemandPoint(Point(10, 0))]
+        candidates = [Point(5, 0)]
+        res = offline_placement(demands, constant_facility_cost(1.0), candidates=candidates)
+        assert res.stations == [Point(5, 0)]
+        assert res.walking == pytest.approx(10.0)

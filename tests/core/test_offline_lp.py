@@ -1,0 +1,122 @@
+"""Tests for repro.core.offline_lp (LP lower bound + certified gaps)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DemandPoint,
+    certified_gap,
+    constant_facility_cost,
+    evaluate_placement,
+    lp_lower_bound,
+    offline_placement,
+)
+from repro.geo import Point
+
+
+def uniform_demands(seed, n, extent=500.0):
+    rng = np.random.default_rng(seed)
+    return [
+        DemandPoint(Point(float(x), float(y)))
+        for x, y in rng.uniform(0, extent, size=(n, 2))
+    ]
+
+
+def brute_force_optimum(demands, cost_fn):
+    candidates = [d.location for d in demands]
+    best = float("inf")
+    for r in range(1, len(candidates) + 1):
+        for subset in itertools.combinations(range(len(candidates)), r):
+            stations = [candidates[i] for i in subset]
+            best = min(best, evaluate_placement(demands, stations, cost_fn).total)
+    return best
+
+
+class TestLpLowerBound:
+    def test_empty_demand_zero(self):
+        assert lp_lower_bound([], constant_facility_cost(5.0)) == 0.0
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            lp_lower_bound(
+                [DemandPoint(Point(0, 0))], constant_facility_cost(1.0), candidates=[]
+            )
+
+    def test_single_demand_exact(self):
+        # One demand at a candidate: LP = opening cost exactly.
+        bound = lp_lower_bound([DemandPoint(Point(3, 4))], constant_facility_cost(7.0))
+        assert bound == pytest.approx(7.0)
+
+    def test_bounded_by_bruteforce_optimum(self):
+        for seed in range(4):
+            demands = uniform_demands(seed, 7, extent=300.0)
+            cost_fn = constant_facility_cost(200.0)
+            bound = lp_lower_bound(demands, cost_fn)
+            optimum = brute_force_optimum(demands, cost_fn)
+            assert bound <= optimum + 1e-6
+
+    def test_bound_reasonably_tight(self):
+        """The UFL LP relaxation is famously tight on Euclidean instances."""
+        for seed in range(3):
+            demands = uniform_demands(seed + 10, 8, extent=300.0)
+            cost_fn = constant_facility_cost(200.0)
+            bound = lp_lower_bound(demands, cost_fn)
+            optimum = brute_force_optimum(demands, cost_fn)
+            assert optimum <= bound * 1.1 + 1e-6
+
+    def test_weighted_demand(self):
+        demands = [
+            DemandPoint(Point(0, 0), weight=10.0),
+            DemandPoint(Point(100, 0), weight=1.0),
+        ]
+        cost_fn = constant_facility_cost(50.0)
+        bound = lp_lower_bound(demands, cost_fn)
+        # Opening both (100) beats one at origin (50 + 100 walking).
+        assert bound == pytest.approx(100.0, rel=0.01)
+
+    def test_custom_candidates(self):
+        demands = [DemandPoint(Point(0, 0)), DemandPoint(Point(10, 0))]
+        bound = lp_lower_bound(
+            demands, constant_facility_cost(5.0), candidates=[Point(5, 0)]
+        )
+        assert bound == pytest.approx(15.0)
+
+
+class TestCertifiedGap:
+    def test_no_demand_rejected(self):
+        from repro.core.result import PlacementResult
+
+        empty = PlacementResult([Point(0, 0)], [], 0.0, 5.0)
+        with pytest.raises(ValueError):
+            certified_gap(empty, constant_facility_cost(5.0))
+
+    def test_gap_at_least_one(self):
+        for seed in range(4):
+            demands = uniform_demands(seed + 20, 30)
+            cost_fn = constant_facility_cost(800.0)
+            greedy = offline_placement(demands, cost_fn)
+            assert certified_gap(greedy, cost_fn) >= 1.0 - 1e-6
+
+    def test_greedy_gap_below_theoretical_factor(self):
+        """Every observed gap must respect the 1.61 guarantee (vs the
+        integral optimum, which the LP lower-bounds)."""
+        gaps = []
+        for seed in range(5):
+            demands = uniform_demands(seed + 30, 40)
+            cost_fn = constant_facility_cost(1000.0)
+            greedy = offline_placement(demands, cost_fn)
+            gaps.append(certified_gap(greedy, cost_fn))
+        assert max(gaps) <= 1.61
+        # And in practice the greedy is far tighter than worst-case.
+        assert np.mean(gaps) < 1.15
+
+    def test_bad_placement_shows_large_gap(self):
+        demands = uniform_demands(40, 20)
+        cost_fn = constant_facility_cost(500.0)
+        # All stations open: wildly over-built.
+        bloated = evaluate_placement(
+            demands, [d.location for d in demands], cost_fn
+        )
+        assert certified_gap(bloated, cost_fn) > 1.5

@@ -1,0 +1,166 @@
+"""Tests for Meyerson online facility location and online k-means."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    constant_facility_cost,
+    meyerson_placement,
+    offline_placement,
+    online_kmeans_placement,
+    demand_points_from_stream,
+)
+from repro.geo import Point
+
+
+def uniform_stream(seed, n, extent=1000.0):
+    rng = np.random.default_rng(seed)
+    xy = rng.uniform(0, extent, size=(n, 2))
+    return [Point(float(x), float(y)) for x, y in xy]
+
+
+class TestMeyerson:
+    def test_empty_stream(self):
+        res = meyerson_placement([], constant_facility_cost(10.0), np.random.default_rng(0))
+        assert res.n_stations == 0
+        assert res.total == 0.0
+
+    def test_first_request_always_opens(self):
+        res = meyerson_placement(
+            [Point(5, 5)], constant_facility_cost(10.0), np.random.default_rng(0)
+        )
+        assert res.n_stations == 1
+        assert res.stations[0] == Point(5, 5)
+        assert res.walking == 0.0
+
+    def test_duplicate_requests_never_reopen(self):
+        stream = [Point(5, 5)] * 50
+        res = meyerson_placement(stream, constant_facility_cost(10.0), np.random.default_rng(0))
+        assert res.n_stations == 1
+        assert res.walking == 0.0
+
+    def test_assignment_trace_complete(self):
+        stream = uniform_stream(0, 80)
+        res = meyerson_placement(stream, constant_facility_cost(5000.0), np.random.default_rng(1))
+        assert len(res.assignment) == 80
+        assert all(0 <= a < res.n_stations for a in res.assignment)
+
+    def test_space_cost_counts_openings(self):
+        stream = uniform_stream(1, 100)
+        res = meyerson_placement(stream, constant_facility_cost(5000.0), np.random.default_rng(2))
+        assert res.space == pytest.approx(5000.0 * res.n_stations)
+        assert len(res.online_opened) == res.n_stations
+
+    def test_zero_facility_cost_opens_everything(self):
+        stream = uniform_stream(2, 30)
+        res = meyerson_placement(stream, constant_facility_cost(0.0), np.random.default_rng(3))
+        assert res.n_stations == 30
+
+    def test_initial_stations_used(self):
+        stream = [Point(0, 0)] * 10
+        res = meyerson_placement(
+            stream,
+            constant_facility_cost(100.0),
+            np.random.default_rng(4),
+            initial_stations=[Point(0, 0)],
+        )
+        assert res.n_stations == 1
+        assert res.walking == 0.0
+        assert res.space == 100.0
+
+    def test_opens_more_than_offline(self):
+        """The Fig. 4 observation: Meyerson over-opens vs Algorithm 1."""
+        counts_on, counts_off = [], []
+        for seed in range(8):
+            stream = uniform_stream(seed + 10, 100)
+            cost_fn = constant_facility_cost(5000.0)
+            on = meyerson_placement(stream, cost_fn, np.random.default_rng(seed))
+            off = offline_placement(demand_points_from_stream(stream), cost_fn)
+            counts_on.append(on.n_stations)
+            counts_off.append(off.n_stations)
+        assert np.mean(counts_on) > np.mean(counts_off)
+
+    def test_total_cost_worse_than_offline(self):
+        """Fig. 4: online total cost exceeds the offline near-optimum."""
+        totals_on, totals_off = [], []
+        for seed in range(8):
+            stream = uniform_stream(seed + 30, 100)
+            cost_fn = constant_facility_cost(5000.0)
+            totals_on.append(
+                meyerson_placement(stream, cost_fn, np.random.default_rng(seed)).total
+            )
+            totals_off.append(
+                offline_placement(demand_points_from_stream(stream), cost_fn).total
+            )
+        assert np.mean(totals_on) > np.mean(totals_off)
+
+
+class TestOnlineKmeans:
+    def test_empty_stream(self):
+        res = online_kmeans_placement(
+            [], k=3, facility_cost=constant_facility_cost(1.0), rng=np.random.default_rng(0)
+        )
+        assert res.n_stations == 0
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            online_kmeans_placement(
+                [Point(0, 0)], k=0,
+                facility_cost=constant_facility_cost(1.0), rng=np.random.default_rng(0),
+            )
+
+    def test_warmup_opens_first_k_plus_one(self):
+        stream = uniform_stream(0, 50)
+        res = online_kmeans_placement(
+            stream, k=5, facility_cost=constant_facility_cost(100.0),
+            rng=np.random.default_rng(1),
+        )
+        # First 6 points are centres by construction.
+        assert res.stations[:6] == stream[:6]
+        assert all(res.assignment[t] == t for t in range(6))
+
+    def test_short_stream_all_centres(self):
+        stream = uniform_stream(1, 4)
+        res = online_kmeans_placement(
+            stream, k=5, facility_cost=constant_facility_cost(100.0),
+            rng=np.random.default_rng(2),
+        )
+        assert res.n_stations == 4
+        assert res.walking == 0.0
+
+    def test_coincident_warmup_does_not_crash(self):
+        stream = [Point(1, 1)] * 10 + uniform_stream(3, 10)
+        res = online_kmeans_placement(
+            stream, k=3, facility_cost=constant_facility_cost(100.0),
+            rng=np.random.default_rng(3),
+        )
+        assert res.n_stations >= 1
+
+    def test_opens_most_stations_of_all(self):
+        """Table V shape: online k-means opens even more than Meyerson."""
+        meyer, okm = [], []
+        for seed in range(8):
+            stream = uniform_stream(seed + 60, 120)
+            cost_fn = constant_facility_cost(5000.0)
+            off_k = max(
+                1,
+                offline_placement(demand_points_from_stream(stream), cost_fn).n_stations,
+            )
+            meyer.append(
+                meyerson_placement(stream, cost_fn, np.random.default_rng(seed)).n_stations
+            )
+            okm.append(
+                online_kmeans_placement(
+                    stream, k=off_k, facility_cost=cost_fn, rng=np.random.default_rng(seed)
+                ).n_stations
+            )
+        assert np.mean(okm) > np.mean(meyer)
+
+    def test_assignment_valid(self):
+        stream = uniform_stream(9, 100)
+        res = online_kmeans_placement(
+            stream, k=4, facility_cost=constant_facility_cost(5000.0),
+            rng=np.random.default_rng(4),
+        )
+        assert len(res.assignment) == 100
+        assert all(0 <= a < res.n_stations for a in res.assignment)

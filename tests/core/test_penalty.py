@@ -1,0 +1,127 @@
+"""Tests for repro.core.penalty (Eqs. 6-8, Fig. 5, Section V-C rule)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    PENALTY_REGISTRY,
+    NoPenalty,
+    TypeIPenalty,
+    TypeIIPenalty,
+    TypeIIIPenalty,
+    select_penalty,
+)
+
+costs = st.floats(min_value=0.0, max_value=5000.0, allow_nan=False)
+ALL_TYPES = [TypeIPenalty, TypeIIPenalty, TypeIIIPenalty, NoPenalty]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("cls", ALL_TYPES)
+    def test_zero_cost_no_penalty(self, cls):
+        assert cls(tolerance=200.0).value(0.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("cls", ALL_TYPES)
+    def test_negative_cost_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(tolerance=200.0).value(-1.0)
+
+    @pytest.mark.parametrize("cls", ALL_TYPES)
+    def test_bad_tolerance_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(tolerance=0.0)
+
+    @pytest.mark.parametrize("cls", ALL_TYPES)
+    @given(c=costs)
+    def test_value_in_unit_interval(self, cls, c):
+        g = cls(tolerance=200.0).value(c)
+        assert 0.0 <= g <= 1.0
+
+    @pytest.mark.parametrize("cls", [TypeIPenalty, TypeIIPenalty, TypeIIIPenalty])
+    @given(c1=costs, c2=costs)
+    def test_monotone_nonincreasing(self, cls, c1, c2):
+        p = cls(tolerance=200.0)
+        lo, hi = min(c1, c2), max(c1, c2)
+        assert p.value(lo) >= p.value(hi) - 1e-12
+
+    @pytest.mark.parametrize("cls", ALL_TYPES)
+    def test_derivative_matches_numerical(self, cls):
+        p = cls(tolerance=200.0)
+        eps = 1e-5
+        for c in (10.0, 100.0, 150.0, 500.0):
+            numeric = (p.value(c + eps) - p.value(c - eps)) / (2 * eps)
+            assert p.derivative(c) == pytest.approx(numeric, abs=1e-6)
+
+    def test_with_tolerance(self):
+        p = TypeIIPenalty(tolerance=100.0).with_tolerance(400.0)
+        assert isinstance(p, TypeIIPenalty)
+        assert p.tolerance == 400.0
+
+
+class TestShapeDistinctions:
+    """Fig. 5: II plunges fastest, I declines modestly, III in between."""
+
+    def test_type_ii_zero_beyond_tolerance(self):
+        p = TypeIIPenalty(tolerance=200.0)
+        assert p.value(200.0) == pytest.approx(0.0)
+        assert p.value(201.0) == 0.0
+        assert p.value(1000.0) == 0.0
+
+    def test_type_i_maintains_tail_beyond_3L(self):
+        p = TypeIPenalty(tolerance=200.0)
+        assert p.value(3 * 200.0) > 0.2
+
+    def test_type_iii_between_i_and_ii_at_midrange(self):
+        L = 200.0
+        c = 1.5 * L
+        g1 = TypeIPenalty(tolerance=L).value(c)
+        g2 = TypeIIPenalty(tolerance=L).value(c)
+        g3 = TypeIIIPenalty(tolerance=L).value(c)
+        assert g2 < g3 < g1
+
+    def test_type_iii_gaussian_value(self):
+        p = TypeIIIPenalty(tolerance=200.0)
+        assert p.value(200.0) == pytest.approx(math.exp(-1.0))
+
+    def test_type_i_halves_at_L(self):
+        assert TypeIPenalty(tolerance=200.0).value(200.0) == pytest.approx(0.5)
+
+    def test_type_ii_steepest_initial_decline(self):
+        L = 200.0
+        d1 = TypeIPenalty(tolerance=L).derivative(L * 0.5)
+        d2 = TypeIIPenalty(tolerance=L).derivative(L * 0.5)
+        # At mid-tolerance the linear cut-off falls faster than Type I.
+        assert d2 < d1 < 0
+
+
+class TestRegistryAndSelection:
+    def test_registry_complete(self):
+        assert set(PENALTY_REGISTRY) == {"type_i", "type_ii", "type_iii", "no_penalty"}
+
+    def test_registry_constructs_with_tolerance(self):
+        p = PENALTY_REGISTRY["type_iii"](150.0)
+        assert p.tolerance == 150.0
+        assert p.name == "type_iii"
+
+    def test_select_very_similar_gives_type_ii(self):
+        assert select_penalty(97.0).name == "type_ii"
+
+    def test_select_similar_gives_type_iii(self):
+        assert select_penalty(90.0).name == "type_iii"
+        assert select_penalty(80.0).name == "type_iii"
+        assert select_penalty(95.0).name == "type_iii"
+
+    def test_select_less_similar_gives_type_i(self):
+        assert select_penalty(60.0).name == "type_i"
+        assert select_penalty(79.9).name == "type_i"
+
+    def test_select_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            select_penalty(101.0)
+        with pytest.raises(ValueError):
+            select_penalty(-5.0)
+
+    def test_select_passes_tolerance(self):
+        assert select_penalty(50.0, tolerance=333.0).tolerance == 333.0

@@ -1,0 +1,82 @@
+"""Tests for repro.core.result (PlacementResult and evaluate_placement)."""
+
+import pytest
+
+from repro.core import DemandPoint, constant_facility_cost, evaluate_placement
+from repro.core.result import PlacementResult
+from repro.geo import Point
+
+
+@pytest.fixture
+def result():
+    demands = [DemandPoint(Point(0, 0), weight=2.0), DemandPoint(Point(10, 0))]
+    return PlacementResult(
+        stations=[Point(0, 0), Point(10, 0)],
+        assignment=[0, 1],
+        walking=0.0,
+        space=20.0,
+        demands=demands,
+        online_opened=[1],
+    )
+
+
+class TestValidation:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementResult([Point(0, 0)], [], walking=-1.0, space=0.0)
+        with pytest.raises(ValueError):
+            PlacementResult([Point(0, 0)], [], walking=0.0, space=-1.0)
+
+    def test_out_of_range_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementResult([Point(0, 0)], [1], walking=0.0, space=0.0)
+        with pytest.raises(ValueError):
+            PlacementResult([Point(0, 0)], [-1], walking=0.0, space=0.0)
+
+
+class TestProperties:
+    def test_counts_and_total(self, result):
+        assert result.n_stations == 2
+        assert result.total == pytest.approx(20.0)
+
+    def test_station_of(self, result):
+        assert result.station_of(0) == Point(0, 0)
+        assert result.station_of(1) == Point(10, 0)
+
+    def test_average_walking_distance_weighted(self):
+        demands = [DemandPoint(Point(0, 0), weight=3.0), DemandPoint(Point(0, 10))]
+        res = PlacementResult(
+            stations=[Point(0, 5)],
+            assignment=[0, 0],
+            walking=3.0 * 5 + 1.0 * 5,
+            space=0.0,
+            demands=demands,
+        )
+        # 20 walking over 4 arrivals.
+        assert res.average_walking_distance() == pytest.approx(5.0)
+
+    def test_average_walking_without_demands_rejected(self):
+        res = PlacementResult([Point(0, 0)], [], walking=0.0, space=0.0)
+        with pytest.raises(ValueError):
+            res.average_walking_distance()
+
+    def test_summary_format(self, result):
+        text = result.summary()
+        assert "#parking=2" in text
+        assert "total=20.0" in text
+
+
+class TestEvaluatePlacement:
+    def test_costs_and_assignment(self):
+        demands = [DemandPoint(Point(0, 0)), DemandPoint(Point(100, 0), weight=2.0)]
+        stations = [Point(10, 0), Point(90, 0)]
+        res = evaluate_placement(demands, stations, constant_facility_cost(7.0))
+        assert res.assignment == [0, 1]
+        assert res.walking == pytest.approx(10.0 + 2.0 * 10.0)
+        assert res.space == pytest.approx(14.0)
+        assert res.demands == demands
+
+    def test_empty_demand(self):
+        res = evaluate_placement([], [Point(0, 0)], constant_facility_cost(3.0))
+        assert res.walking == 0.0
+        assert res.space == pytest.approx(3.0)

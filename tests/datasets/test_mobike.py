@@ -1,0 +1,109 @@
+"""Tests for repro.datasets.mobike (CSV round-trip)."""
+
+import csv
+
+import pytest
+
+from repro.datasets import (
+    MOBIKE_HEADER,
+    SyntheticConfig,
+    load_mobike_csv,
+    mobike_like_dataset,
+    save_mobike_csv,
+)
+
+
+@pytest.fixture
+def small_dataset():
+    cfg = SyntheticConfig(trips_per_weekday=60, trips_per_weekend_day=40)
+    return mobike_like_dataset(seed=3, days=1, config=cfg)
+
+
+class TestSaveLoad:
+    def test_header_written(self, small_dataset, tmp_path):
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        with open(path) as f:
+            header = next(csv.reader(f))
+        assert header == MOBIKE_HEADER
+
+    def test_roundtrip_preserves_count_and_ids(self, small_dataset, tmp_path):
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        loaded = load_mobike_csv(path)
+        assert len(loaded) == len(small_dataset)
+        assert sorted(r.order_id for r in loaded) == sorted(
+            r.order_id for r in small_dataset
+        )
+
+    def test_roundtrip_preserves_locations_within_geohash_cell(
+        self, small_dataset, tmp_path
+    ):
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        loaded = load_mobike_csv(path)
+        orig = {r.order_id: r for r in small_dataset}
+        for r in loaded:
+            # Precision-7 geohash cells are ~76x153 m; centre-to-point
+            # error is bounded by the half-diagonal (~86 m).
+            assert r.end.distance_to(orig[r.order_id].end) < 120.0
+            assert r.start.distance_to(orig[r.order_id].start) < 120.0
+
+    def test_roundtrip_preserves_times(self, small_dataset, tmp_path):
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        loaded = load_mobike_csv(path)
+        orig = {r.order_id: r for r in small_dataset}
+        for r in loaded:
+            assert r.start_time == orig[r.order_id].start_time
+
+    def test_limit(self, small_dataset, tmp_path):
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        loaded = load_mobike_csv(path, limit=10)
+        assert len(loaded) == 10
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["orderid", "userid"])
+            writer.writerow([1, 2])
+        with pytest.raises(ValueError, match="missing required columns"):
+            load_mobike_csv(path)
+
+    def test_extra_columns_tolerated(self, small_dataset, tmp_path):
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        # Append an extra column to every row.
+        with open(path) as f:
+            rows = list(csv.reader(f))
+        rows[0].append("extra")
+        for row in rows[1:]:
+            row.append("x")
+        with open(path, "w", newline="") as f:
+            csv.writer(f).writerows(rows)
+        loaded = load_mobike_csv(path)
+        assert len(loaded) == len(small_dataset)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_mobike_csv(tmp_path / "nope.csv")
+
+    def test_alternate_time_format(self, tmp_path):
+        path = tmp_path / "alt.csv"
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(MOBIKE_HEADER)
+            writer.writerow([1, 2, 3, 1, "2017-05-10 08:30", "wx4g0bm", "wx4g0bn"])
+        loaded = load_mobike_csv(path)
+        assert loaded[0].start_time.minute == 30
+
+    def test_bad_time_rejected(self, tmp_path):
+        path = tmp_path / "bad_time.csv"
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(MOBIKE_HEADER)
+            writer.writerow([1, 2, 3, 1, "10/05/17", "wx4g0bm", "wx4g0bn"])
+        with pytest.raises(ValueError, match="starttime"):
+            load_mobike_csv(path)

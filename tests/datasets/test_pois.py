@@ -1,0 +1,92 @@
+"""Tests for repro.datasets.pois."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CityModel, POI, POICategory, default_city
+from repro.datasets.pois import PARK, OFFICE, SUBWAY
+from repro.geo import BoundingBox, Point
+
+
+@pytest.fixture
+def city():
+    return default_city()
+
+
+class TestPOICategory:
+    def test_weekday_vs_weekend_weight(self):
+        poi = POI(Point(100, 100), OFFICE)
+        assert poi.weight(weekend=False) > poi.weight(weekend=True)
+        park = POI(Point(100, 100), PARK)
+        assert park.weight(weekend=True) > park.weight(weekend=False)
+
+
+class TestCityModel:
+    def test_poi_outside_region_rejected(self):
+        box = BoundingBox.square(100.0)
+        with pytest.raises(ValueError):
+            CityModel(box=box, pois=[POI(Point(200, 200), SUBWAY)])
+
+    def test_hourly_profile_normalised(self, city):
+        for weekend in (False, True):
+            profile = city.hourly_profile(weekend)
+            assert profile.shape == (24,)
+            assert profile.sum() == pytest.approx(1.0)
+            assert (profile >= 0).all()
+
+    def test_weekday_profile_has_commute_peaks(self, city):
+        profile = city.hourly_profile(weekend=False)
+        morning = profile[7:10].sum()
+        midday = profile[11:14].sum()
+        evening = profile[17:20].sum()
+        assert morning > midday
+        assert evening > midday
+
+    def test_weekend_profile_single_broad_peak(self, city):
+        profile = city.hourly_profile(weekend=True)
+        afternoon = profile[12:18].sum()
+        assert afternoon > 0.4
+
+    def test_poi_weights_normalised(self, city):
+        for weekend in (False, True):
+            w = city.poi_weights(weekend)
+            assert w.sum() == pytest.approx(1.0)
+            assert (w >= 0).all()
+
+    def test_poi_weights_empty_city_raises(self):
+        empty = CityModel(box=BoundingBox.square(100.0), pois=[])
+        with pytest.raises(ValueError):
+            empty.poi_weights(False)
+
+    def test_sample_destination_inside_region(self, city):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert city.box.contains(city.sample_destination(rng, weekend=False))
+
+    def test_weekday_weekend_regimes_differ(self, city):
+        rng = np.random.default_rng(1)
+        wd = np.array([city.sample_destination(rng, False).as_tuple() for _ in range(600)])
+        we = np.array([city.sample_destination(rng, True).as_tuple() for _ in range(600)])
+        # Centroids of the two regimes should be visibly apart (>50 m).
+        assert np.linalg.norm(wd.mean(axis=0) - we.mean(axis=0)) > 50.0
+
+
+class TestDefaultCity:
+    def test_deterministic(self):
+        a = default_city(seed=7)
+        b = default_city(seed=7)
+        assert [p.location for p in a.pois] == [p.location for p in b.pois]
+
+    def test_seed_changes_layout(self):
+        a = default_city(seed=1)
+        b = default_city(seed=2)
+        assert [p.location for p in a.pois] != [p.location for p in b.pois]
+
+    def test_field_is_3km_square(self):
+        city = default_city()
+        assert city.box.width == pytest.approx(3000.0)
+        assert city.box.height == pytest.approx(3000.0)
+
+    def test_has_multiple_categories(self):
+        names = {p.category.name for p in default_city().pois}
+        assert {"subway", "office", "residential", "park"} <= names

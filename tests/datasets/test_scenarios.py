@@ -1,0 +1,137 @@
+"""Tests for repro.datasets.scenarios."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.datasets import DemandEvent, Scenario, SyntheticConfig, default_city
+from repro.geo import Point
+
+
+def small_config():
+    return SyntheticConfig(trips_per_weekday=400, trips_per_weekend_day=300)
+
+
+class TestDemandEvent:
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            DemandEvent(
+                start=datetime(2017, 5, 10, 20),
+                end=datetime(2017, 5, 10, 18),
+                location=Point(0, 0),
+            )
+
+    def test_radius_validated(self):
+        with pytest.raises(ValueError):
+            DemandEvent(
+                start=datetime(2017, 5, 10, 18), end=datetime(2017, 5, 10, 20),
+                location=Point(0, 0), radius_m=0.0,
+            )
+
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            DemandEvent(
+                start=datetime(2017, 5, 10, 18), end=datetime(2017, 5, 10, 20),
+                location=Point(0, 0), kind="party",
+            )
+
+    def test_intensity_validated(self):
+        with pytest.raises(ValueError):
+            DemandEvent(
+                start=datetime(2017, 5, 10, 18), end=datetime(2017, 5, 10, 20),
+                location=Point(0, 0), intensity=1.5,
+            )
+
+    def test_active_at_window_semantics(self):
+        e = DemandEvent(
+            start=datetime(2017, 5, 10, 18), end=datetime(2017, 5, 10, 20),
+            location=Point(0, 0),
+        )
+        assert e.active_at(datetime(2017, 5, 10, 18))
+        assert e.active_at(datetime(2017, 5, 10, 19, 59))
+        assert not e.active_at(datetime(2017, 5, 10, 20))
+        assert not e.active_at(datetime(2017, 5, 10, 17, 59))
+
+
+class TestScenario:
+    def test_days_validated(self):
+        scenario = Scenario(city=default_city(), config=small_config())
+        with pytest.raises(ValueError):
+            scenario.generate(datetime(2017, 5, 10), days=0)
+
+    def test_no_events_matches_base_statistics(self):
+        scenario = Scenario(city=default_city(), config=small_config())
+        ds = scenario.generate(datetime(2017, 5, 10), days=1, seed=0)
+        assert 300 <= len(ds) <= 500
+
+    def test_surge_concentrates_in_window_only(self):
+        city = default_city()
+        venue = Point(2800, 2800)
+        event = DemandEvent(
+            start=datetime(2017, 5, 10, 18), end=datetime(2017, 5, 10, 21),
+            location=venue, radius_m=200.0, kind="surge", intensity=0.6,
+        )
+        scenario = Scenario(city=city, config=small_config(), events=[event])
+        ds = scenario.generate(datetime(2017, 5, 10), days=1, seed=1)
+
+        def near_rate(records):
+            if not records:
+                return 0.0
+            return sum(1 for r in records if r.end.distance_to(venue) < 300) / len(records)
+
+        in_window = [r for r in ds if 18 <= r.start_time.hour < 21]
+        out_window = [r for r in ds if r.start_time.hour < 17]
+        assert near_rate(in_window) > 0.35
+        assert near_rate(out_window) < 0.1
+
+    def test_closure_empties_area(self):
+        city = default_city()
+        center = Point(1500, 1500)
+        event = DemandEvent(
+            start=datetime(2017, 5, 10, 0), end=datetime(2017, 5, 11, 0),
+            location=center, radius_m=400.0, kind="closure",
+        )
+        scenario = Scenario(city=city, config=small_config(), events=[event])
+        ds = scenario.generate(datetime(2017, 5, 10), days=1, seed=2)
+        inside = [r for r in ds if r.end.distance_to(center) < 400.0]
+        assert not inside
+
+    def test_closure_pushes_to_boundary(self):
+        city = default_city()
+        center = Point(1500, 1500)
+        event = DemandEvent(
+            start=datetime(2017, 5, 10, 0), end=datetime(2017, 5, 11, 0),
+            location=center, radius_m=400.0, kind="closure",
+        )
+        base = Scenario(city=city, config=small_config())
+        with_closure = Scenario(city=city, config=small_config(), events=[event])
+        ds_base = base.generate(datetime(2017, 5, 10), days=1, seed=3)
+        ds_closed = with_closure.generate(datetime(2017, 5, 10), days=1, seed=3)
+        # Same seed => same base trips; displaced ones land near the ring.
+        assert len(ds_base) == len(ds_closed)
+        moved = [
+            (a, b)
+            for a, b in zip(ds_base, ds_closed)
+            if a.end != b.end
+        ]
+        assert moved
+        for _, b in moved:
+            assert 380.0 <= b.end.distance_to(center) <= 460.0
+
+    def test_add_event_chains(self):
+        scenario = Scenario(city=default_city(), config=small_config())
+        out = scenario.add_event(
+            DemandEvent(
+                start=datetime(2017, 5, 10, 8), end=datetime(2017, 5, 10, 9),
+                location=Point(100, 100),
+            )
+        )
+        assert out is scenario
+        assert len(scenario.events) == 1
+
+    def test_reproducible(self):
+        scenario = Scenario(city=default_city(), config=small_config())
+        a = scenario.generate(datetime(2017, 5, 10), days=1, seed=9)
+        b = scenario.generate(datetime(2017, 5, 10), days=1, seed=9)
+        assert a.destinations() == b.destinations()

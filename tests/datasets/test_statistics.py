@@ -1,0 +1,83 @@
+"""Tests for repro.datasets.statistics."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticConfig,
+    TripDataset,
+    TripRecord,
+    describe,
+    mobike_like_dataset,
+)
+from repro.geo import BoundingBox, Point, UniformGrid
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = SyntheticConfig(trips_per_weekday=700, trips_per_weekend_day=500)
+    return mobike_like_dataset(seed=5, days=7, config=cfg)
+
+
+@pytest.fixture(scope="module")
+def stats(dataset):
+    grid = UniformGrid(dataset.bounding_box(margin=50.0), cell_size=150.0)
+    return describe(dataset, grid)
+
+
+class TestDescribe:
+    def test_empty_rejected(self):
+        grid = UniformGrid(BoundingBox.square(100.0), cell_size=50.0)
+        with pytest.raises(ValueError):
+            describe(TripDataset([]), grid)
+
+    def test_counts(self, dataset, stats):
+        assert stats.n_trips == len(dataset)
+        assert stats.n_days == 7
+
+    def test_volume_split_matches_config(self, stats):
+        assert stats.trips_per_weekday > stats.trips_per_weekend_day
+
+    def test_percentiles_ordered(self, stats):
+        p = stats.trip_length_percentiles
+        assert p[25] <= p[50] <= p[75] <= p[95]
+        # Short-ride regime of [1]: median well under 3 miles.
+        assert p[50] < 4800.0
+
+    def test_hourly_profile_normalised(self, stats):
+        assert sum(stats.hourly_profile) == pytest.approx(1.0)
+        assert len(stats.hourly_profile) == 24
+
+    def test_commute_peaks(self, stats):
+        am, pm = stats.peak_hours
+        assert 6 <= am <= 10
+        assert 16 <= pm <= 20
+
+    def test_concentration_bounds(self, stats):
+        assert 0.0 < stats.top_cell_mass <= 1.0
+        # POI clustering makes the top decile carry far more than 10%.
+        assert stats.top_cell_mass > 0.15
+
+    def test_to_text_contains_key_facts(self, stats):
+        text = stats.to_text()
+        assert "trips:" in text
+        assert "peak hours" in text
+        assert "p50=" in text
+
+    def test_single_trip_dataset(self):
+        ds = TripDataset([
+            TripRecord(
+                order_id=0, user_id=0, bike_id=0, bike_type=1,
+                start_time=datetime(2017, 5, 13, 14),  # a Saturday
+                start=Point(0, 0), end=Point(30, 40),
+            )
+        ])
+        grid = UniformGrid(ds.bounding_box(margin=10.0), cell_size=50.0)
+        s = describe(ds, grid)
+        assert s.n_trips == 1
+        assert s.trips_per_weekday == 0.0
+        assert s.trips_per_weekend_day == 1.0
+        assert s.trip_length_percentiles[50] == pytest.approx(50.0)
+        assert s.top_cell_mass == 1.0

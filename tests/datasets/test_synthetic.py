@@ -1,0 +1,141 @@
+"""Tests for repro.datasets.synthetic."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticConfig,
+    default_city,
+    generate_day,
+    generate_trips,
+    mobike_like_dataset,
+)
+from repro.stats import ks2d_fast
+
+
+class TestSyntheticConfig:
+    def test_defaults_valid(self):
+        SyntheticConfig()
+
+    def test_bad_volumes_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(trips_per_weekday=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(trips_per_weekend_day=-1)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(surge_probability=1.5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(surge_fraction=-0.1)
+
+    def test_bad_population_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_users=0)
+
+
+class TestGenerateDay:
+    def test_volume_near_expectation(self):
+        rng = np.random.default_rng(0)
+        city = default_city()
+        recs = generate_day(rng, city, datetime(2017, 5, 10), 1000, SyntheticConfig())
+        assert 850 <= len(recs) <= 1150  # Poisson(1000) within ~5 sigma
+
+    def test_all_on_requested_day(self):
+        rng = np.random.default_rng(1)
+        city = default_city()
+        day = datetime(2017, 5, 11)
+        recs = generate_day(rng, city, day, 300, SyntheticConfig())
+        assert all(r.start_time.date() == day.date() for r in recs)
+
+    def test_endpoints_inside_region(self):
+        rng = np.random.default_rng(2)
+        city = default_city()
+        recs = generate_day(rng, city, datetime(2017, 5, 10), 300, SyntheticConfig())
+        for r in recs:
+            assert city.box.contains(r.start)
+            assert city.box.contains(r.end)
+
+    def test_order_ids_offset(self):
+        rng = np.random.default_rng(3)
+        city = default_city()
+        recs = generate_day(
+            rng, city, datetime(2017, 5, 10), 50, SyntheticConfig(), order_base=1000
+        )
+        assert min(r.order_id for r in recs) == 1000
+
+    def test_surge_concentrates_demand(self):
+        rng = np.random.default_rng(4)
+        city = default_city()
+        center = city.box.center
+        cfg = SyntheticConfig(surge_fraction=0.5)
+        recs = generate_day(
+            rng, city, datetime(2017, 5, 10), 500, cfg, surge_center=center
+        )
+        near = sum(1 for r in recs if r.end.distance_to(center) < 300.0)
+        assert near / len(recs) > 0.4
+
+
+class TestGenerateTrips:
+    def test_nonpositive_days_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trips(default_city(), datetime(2017, 5, 10), days=0)
+
+    def test_reproducible(self):
+        a = mobike_like_dataset(seed=5, days=2, config=SyntheticConfig(trips_per_weekday=100, trips_per_weekend_day=80))
+        b = mobike_like_dataset(seed=5, days=2, config=SyntheticConfig(trips_per_weekday=100, trips_per_weekend_day=80))
+        assert len(a) == len(b)
+        assert a.destinations() == b.destinations()
+
+    def test_weekend_volume_lower(self):
+        cfg = SyntheticConfig(trips_per_weekday=500, trips_per_weekend_day=250)
+        ds = mobike_like_dataset(seed=6, days=7, config=cfg)
+        by_day = ds.split_by_day()
+        weekday_sizes = [len(d) for day, d in by_day.items() if day.weekday() < 5]
+        weekend_sizes = [len(d) for day, d in by_day.items() if day.weekday() >= 5]
+        assert np.mean(weekday_sizes) > np.mean(weekend_sizes) * 1.5
+
+    def test_trip_lengths_short_rides(self):
+        cfg = SyntheticConfig(trips_per_weekday=400, trips_per_weekend_day=300, mean_trip_m=1500.0)
+        ds = mobike_like_dataset(seed=7, days=1, config=cfg)
+        lengths = np.array([r.distance for r in ds])
+        # Clamping to the region shortens trips; the bulk should still be
+        # a sub-3-mile (4.8 km) ride per [1].
+        assert np.median(lengths) < 3000.0
+        assert (lengths <= 4800.0).mean() > 0.95
+
+
+class TestRegimeStructure:
+    """The statistical properties Table IV and Fig. 8 rely on."""
+
+    @pytest.fixture(scope="class")
+    def two_weeks(self):
+        cfg = SyntheticConfig(trips_per_weekday=700, trips_per_weekend_day=550)
+        return mobike_like_dataset(seed=11, days=14, config=cfg)
+
+    def test_weekday_weekday_more_similar_than_weekday_weekend(self, two_weeks):
+        mon = two_weeks.on_weekday(0).destination_array()
+        tue = two_weeks.on_weekday(1).destination_array()
+        sat = two_weeks.on_weekday(5).destination_array()
+        sim_wd = ks2d_fast(mon, tue).similarity
+        sim_we = ks2d_fast(mon, sat).similarity
+        assert sim_wd > sim_we
+
+    def test_weekday_similarity_high(self, two_weeks):
+        wed = two_weeks.on_weekday(2).destination_array()
+        thu = two_weeks.on_weekday(3).destination_array()
+        assert ks2d_fast(wed, thu).similarity > 85.0
+
+    def test_weekend_pair_similar(self, two_weeks):
+        sat = two_weeks.on_weekday(5).destination_array()
+        sun = two_weeks.on_weekday(6).destination_array()
+        assert ks2d_fast(sat, sun).similarity > 80.0
+
+    def test_weekday_hourly_double_peak(self, two_weeks):
+        counts = np.array(
+            [len(two_weeks.on_weekday(2).in_hour(h)) for h in range(24)]
+        )
+        assert counts[7:10].sum() > counts[11:14].sum()
+        assert counts[17:20].sum() > counts[11:14].sum()

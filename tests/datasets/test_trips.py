@@ -1,0 +1,155 @@
+"""Tests for repro.datasets.trips."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.datasets import TripDataset, TripRecord
+from repro.geo import BoundingBox, Point, UniformGrid
+
+
+def make_record(i, hour=8, day=10, end=None):
+    return TripRecord(
+        order_id=i,
+        user_id=i % 3,
+        bike_id=i % 5,
+        bike_type=1,
+        start_time=datetime(2017, 5, day, hour, i % 60),
+        start=Point(10.0 * i, 0.0),
+        end=end or Point(10.0 * i, 100.0),
+    )
+
+
+@pytest.fixture
+def dataset():
+    return TripDataset([make_record(i, hour=8 + i % 3, day=10 + i % 4) for i in range(20)])
+
+
+class TestTripRecord:
+    def test_distance(self):
+        r = make_record(0)
+        assert r.distance == pytest.approx(100.0)
+
+    def test_with_end(self):
+        r = make_record(0).with_end(Point(3, 4))
+        assert r.end == Point(3, 4)
+        assert r.order_id == 0
+
+
+class TestTripDataset:
+    def test_sorted_by_time(self):
+        late = make_record(0, hour=20)
+        early = make_record(1, hour=6)
+        ds = TripDataset([late, early])
+        assert ds[0].start_time < ds[1].start_time
+
+    def test_len_and_iter(self, dataset):
+        assert len(dataset) == 20
+        assert len(list(dataset)) == 20
+
+    def test_span(self, dataset):
+        first, last = dataset.span
+        assert first <= last
+
+    def test_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            TripDataset([]).span
+
+    def test_between(self, dataset):
+        start = datetime(2017, 5, 11)
+        end = datetime(2017, 5, 12)
+        sub = dataset.between(start, end)
+        assert all(start <= r.start_time < end for r in sub)
+
+    def test_on_weekday(self, dataset):
+        # 2017-05-10 was a Wednesday (weekday 2).
+        wed = dataset.on_weekday(2)
+        assert all(r.start_time.weekday() == 2 for r in wed)
+        assert len(wed) > 0
+
+    def test_on_weekday_range_check(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.on_weekday(7)
+
+    def test_in_hour(self, dataset):
+        sub = dataset.in_hour(8)
+        assert all(r.start_time.hour == 8 for r in sub)
+
+    def test_in_hour_range_check(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.in_hour(24)
+
+    def test_destinations_order(self, dataset):
+        dests = dataset.destinations()
+        assert len(dests) == 20
+        assert dests[0] == dataset[0].end
+
+    def test_destination_array_shape(self, dataset):
+        arr = dataset.destination_array()
+        assert arr.shape == (20, 2)
+
+    def test_destination_array_empty(self):
+        assert TripDataset([]).destination_array().shape == (0, 2)
+
+    def test_bounding_box_contains_everything(self, dataset):
+        box = dataset.bounding_box()
+        for r in dataset:
+            assert box.contains(r.start)
+            assert box.contains(r.end)
+
+    def test_filter(self, dataset):
+        sub = dataset.filter(lambda r: r.user_id == 0)
+        assert all(r.user_id == 0 for r in sub)
+
+    def test_split_by_day_partition(self, dataset):
+        days = dataset.split_by_day()
+        assert sum(len(d) for d in days.values()) == len(dataset)
+        for midnight, ds in days.items():
+            assert midnight.hour == 0
+            assert all(r.start_time.date() == midnight.date() for r in ds)
+
+    def test_sample(self, dataset):
+        rng = np.random.default_rng(0)
+        sub = dataset.sample(rng, 5)
+        assert len(sub) == 5
+
+    def test_sample_too_many_raises(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.sample(np.random.default_rng(0), 100)
+
+
+class TestDemandBinning:
+    def test_demand_grid_counts_all(self, dataset):
+        box = dataset.bounding_box(margin=10.0)
+        grid = UniformGrid(box, cell_size=50.0)
+        demand = dataset.demand_grid(grid)
+        assert demand.total == len(dataset)
+
+    def test_hourly_series_shape_and_mass(self):
+        records = [make_record(i, hour=8) for i in range(5)]
+        records += [make_record(i + 10, hour=9) for i in range(3)]
+        ds = TripDataset(records)
+        grid = UniformGrid(ds.bounding_box(margin=10.0), cell_size=100.0)
+        series, stamps = ds.hourly_arrival_series(grid)
+        assert series.shape[0] == len(stamps)
+        assert series.sum() == len(ds)
+        # Hour 0 of the series is 08:00; five trips land there.
+        assert series[0].sum() == 5
+        assert series[1].sum() == 3
+
+    def test_hourly_series_fixed_window(self):
+        ds = TripDataset([make_record(i, hour=8) for i in range(4)])
+        grid = UniformGrid(ds.bounding_box(margin=10.0), cell_size=100.0)
+        series, stamps = ds.hourly_arrival_series(
+            grid, start=datetime(2017, 5, 10, 0), hours=24
+        )
+        assert series.shape[0] == 24
+        assert stamps[0] == datetime(2017, 5, 10, 0)
+        assert series[8].sum() == 4
+
+    def test_hourly_series_empty_raises(self):
+        ds = TripDataset([])
+        grid = UniformGrid(BoundingBox.square(100.0), cell_size=50.0)
+        with pytest.raises(ValueError):
+            ds.hourly_arrival_series(grid)

@@ -1,0 +1,95 @@
+"""Tests for repro.experiments.ascii_plots."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_plots import bar_chart, heatmap, sparkline
+
+
+class TestSparkline:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_constant_series_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_extremes_hit_both_ends(self):
+        s = sparkline([0, 10])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(range(17))) == 17
+
+    def test_width_resamples(self):
+        assert len(sparkline(range(100), width=20)) == 20
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1, 2], width=0)
+
+    def test_monotone_series_monotone_glyphs(self):
+        s = sparkline(range(8))
+        levels = "▁▂▃▄▅▆▇█"
+        ranks = [levels.index(ch) for ch in s]
+        assert ranks == sorted(ranks)
+
+
+class TestHeatmap:
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(5))
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((0, 3)))
+
+    def test_shape(self):
+        out = heatmap(np.ones((3, 7)), legend=False)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert all(len(l) == 7 for l in lines)
+
+    def test_zero_matrix_all_blank(self):
+        out = heatmap(np.zeros((2, 4)), legend=False)
+        assert out == "    \n    "
+
+    def test_hotspot_darkest(self):
+        m = np.zeros((3, 3))
+        m[0, 0] = 10.0  # bottom-left in map coordinates
+        lines = heatmap(m, legend=False).splitlines()
+        assert lines[-1][0] == "@"  # row 0 drawn last (bottom)
+
+    def test_legend(self):
+        out = heatmap(np.ones((2, 2)))
+        assert "max=1" in out
+
+
+class TestBarChart:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1], width=0)
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1])
+
+    def test_largest_bar_fills_width(self):
+        out = bar_chart(["big", "small"], [10, 5], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart(["a", "longer"], [1, 2])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_unit_rendered(self):
+        out = bar_chart(["x"], [3], unit="$")
+        assert "3$" in out
+
+    def test_zero_values_empty_bars(self):
+        out = bar_chart(["x", "y"], [0, 0])
+        assert "█" not in out

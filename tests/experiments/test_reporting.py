@@ -1,0 +1,71 @@
+"""Tests for repro.experiments.reporting."""
+
+import pytest
+
+from repro.experiments import ExperimentResult, format_table
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="Table X",
+        title="demo",
+        headers=["name", "value"],
+        rows=[["a", 1.5], ["b", 2]],
+        notes=["a note"],
+    )
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["col1", "col2"], [["x", 1]])
+        assert "col1" in text and "col2" in text and "x" in text
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.234567]])
+        assert "1.23" in text
+
+    def test_integral_float_renders_as_int(self):
+        text = format_table(["v"], [[2.0]])
+        assert " 2" in text or text.endswith("2")
+
+    def test_no_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestExperimentResult:
+    def test_to_text_includes_id_and_notes(self, result):
+        text = result.to_text()
+        assert "Table X" in text
+        assert "note: a note" in text
+
+    def test_column(self, result):
+        assert result.column("value") == [1.5, 2]
+
+    def test_column_unknown_raises(self, result):
+        with pytest.raises(KeyError):
+            result.column("nope")
+
+    def test_row_by(self, result):
+        assert result.row_by("name", "b") == ["b", 2]
+
+    def test_row_by_missing_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row_by("name", "zzz")
+
+    def test_save_csv_roundtrip(self, result, tmp_path):
+        path = tmp_path / "out.csv"
+        result.save_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1.5"
+        assert len(lines) == 3

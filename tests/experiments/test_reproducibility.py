@@ -1,0 +1,60 @@
+"""Reproducibility meta-tests: same seed, identical output.
+
+DESIGN.md promises bit-for-bit determinism given a seed; these tests run
+the cheaper experiments twice and diff the rows, and verify that a
+*different* seed actually changes stochastic outputs.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig4,
+    run_fig6,
+    run_fig9,
+    run_table3,
+    run_thm1,
+)
+
+
+def rows_of(result):
+    return [tuple(row) for row in result.rows]
+
+
+class TestSameSeedSameOutput:
+    def test_fig4(self):
+        a = run_fig4(seed=3, trials=5)
+        b = run_fig4(seed=3, trials=5)
+        assert rows_of(a) == rows_of(b)
+
+    def test_fig6(self):
+        a = run_fig6(seed=3, trials=4)
+        b = run_fig6(seed=3, trials=4)
+        assert rows_of(a) == rows_of(b)
+
+    def test_fig9(self):
+        a = run_fig9(seed=3)
+        b = run_fig9(seed=3)
+        assert rows_of(a) == rows_of(b)
+        assert a.extras["scatters"] == b.extras["scatters"]
+
+    def test_table3(self):
+        a = run_table3(seed=3, trials=5)
+        b = run_table3(seed=3, trials=5)
+        assert rows_of(a) == rows_of(b)
+
+    def test_thm1(self):
+        a = run_thm1(max_n=12, trials=10, seed=3)
+        b = run_thm1(max_n=12, trials=10, seed=3)
+        assert rows_of(a) == rows_of(b)
+
+
+class TestDifferentSeedDifferentOutput:
+    def test_fig4_varies(self):
+        a = run_fig4(seed=1, trials=5)
+        b = run_fig4(seed=2, trials=5)
+        assert rows_of(a) != rows_of(b)
+
+    def test_fig9_varies(self):
+        a = run_fig9(seed=1)
+        b = run_fig9(seed=2)
+        assert rows_of(a) != rows_of(b)

@@ -1,0 +1,299 @@
+"""Integration tests: every experiment runner reproduces its paper shape.
+
+These are the repository's end-to-end checks — each runner executes the
+full pipeline (datasets -> algorithms -> reporting) at reduced scale and
+the assertions encode the paper's qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7a,
+    run_fig7b,
+    run_fig10,
+    run_fig11,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_thm1,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "table2", "table3", "table4",
+            "table5", "table6", "thm1",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_runners_accept_seed(self):
+        import inspect
+
+        for name, fn in EXPERIMENTS.items():
+            assert "seed" in inspect.signature(fn).parameters, name
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(trials=6)
+
+    def test_meyerson_worse_total(self, result):
+        offline = result.row_by("algorithm", "offline")
+        meyerson = result.row_by("algorithm", "meyerson")
+        assert meyerson[4] > offline[4]
+
+    def test_meyerson_more_stations(self, result):
+        assert result.row_by("algorithm", "meyerson")[1] > result.row_by(
+            "algorithm", "offline"
+        )[1]
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            run_fig4(trials=0)
+
+
+class TestFig5:
+    def test_type_ii_hits_zero_at_L(self):
+        result = run_fig5(tolerance=200.0)
+        row = result.row_by("c (m)", 200.0)
+        assert row[2] == pytest.approx(0.0)
+
+    def test_type_i_tail(self):
+        result = run_fig5(tolerance=200.0)
+        row = result.row_by("c (m)", 600.0)
+        assert row[1] > 0.2
+
+    def test_n_points_validated(self):
+        with pytest.raises(ValueError):
+            run_fig5(n_points=1)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(trials=5)
+
+    def test_esharing_cheaper_than_meyerson(self, result):
+        es = result.row_by("algorithm", "esharing")
+        mey = result.row_by("algorithm", "meyerson")
+        assert es[4] < mey[4]
+
+    def test_unknown_distribution_opens_online(self, result):
+        note = next(n for n in result.notes if "unknown distribution" in n)
+        opened = float(note.split(":")[1].split("stations")[0])
+        assert opened >= 1.0
+
+
+class TestFig7:
+    def test_fig7a_monotone_saving(self):
+        result = run_fig7a(n=20)
+        savings = result.column("saving ratio")
+        assert all(a >= b for a, b in zip(savings, savings[1:]))
+
+    def test_fig7a_endpoint_zero(self):
+        result = run_fig7a(n=10)
+        assert result.rows[-1][2] == pytest.approx(0.0)
+
+    def test_fig7b_saving_grows_with_delay_cost(self):
+        result = run_fig7b(n=20)
+        # For fixed q=1.0 and m=n//2, the saving rises with d.
+        rows = [r for r in result.rows if r[0] == 1.0]
+        col = result.headers.index("m=10")
+        vals = [r[col] for r in rows]
+        assert vals == sorted(vals)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            run_fig7a(n=1)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(fast=True)
+
+    def test_lstm_beats_statistical(self, result):
+        rmse = {(r[0], r[1]): r[2] for r in result.rows}
+        best_lstm = min(v for (m, _), v in rmse.items() if m.startswith("LSTM"))
+        best_stat = min(v for (m, _), v in rmse.items() if not m.startswith("LSTM"))
+        assert best_lstm < best_stat
+
+    def test_back12_beats_back3(self, result):
+        rmse = {(r[0], r[1]): r[2] for r in result.rows}
+        assert rmse[("LSTM 1-layer", "back=12")] < rmse[("LSTM 1-layer", "back=3")]
+
+    def test_all_rmse_positive(self, result):
+        assert all(r[2] > 0 for r in result.rows)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(trials=10)
+
+    def test_no_penalty_wins_walking_everywhere(self, result):
+        assert set(result.extras["min_walking"].values()) == {"no_penalty"}
+
+    def test_uniform_winner_type_i(self, result):
+        assert result.extras["winners"]["uniform"] == "type_i"
+
+    def test_normal_winner_type_ii(self, result):
+        assert result.extras["winners"]["normal"] == "type_ii"
+
+    def test_penalties_reduce_stations(self, result):
+        for dist in ("uniform", "poisson", "normal"):
+            rows = {r[1]: r for r in result.rows if r[0] == dist}
+            assert rows["type_ii"][5] < rows["no_penalty"][5]
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table4(volume=2500)
+
+    def test_block_structure(self, result):
+        m = result.extras["matrix"]
+        wd = np.nanmean([m[a, b] for a in range(5) for b in range(a + 1, 5)])
+        cross = np.nanmean([m[a, b] for a in range(5) for b in (5, 6)])
+        assert wd > cross + 3.0
+
+    def test_weekend_pair_similar(self, result):
+        m = result.extras["matrix"]
+        cross = np.nanmean([m[a, b] for a in range(5) for b in (5, 6)])
+        assert m[5, 6] > cross
+
+    def test_matrix_symmetric(self, result):
+        m = result.extras["matrix"]
+        assert np.allclose(m, m.T, equal_nan=True)
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table5(volume=900)
+
+    def test_offline_is_cheapest(self, result):
+        totals = result.column("total")
+        offline = result.row_by("algorithm", "Offline*")[4]
+        assert offline == min(totals)
+
+    def test_esharing_beats_meyerson(self, result):
+        es = result.row_by("algorithm", "E-sharing (actual)")[4]
+        mey = result.row_by("algorithm", "Meyerson")[4]
+        assert es < mey
+
+    def test_online_kmeans_worst(self, result):
+        okm = result.row_by("algorithm", "Online k-means")[4]
+        assert okm == max(result.column("total"))
+
+    def test_esharing_station_count_near_offline(self, result):
+        es_n = result.row_by("algorithm", "E-sharing (actual)")[1]
+        off_n = result.row_by("algorithm", "Offline*")[1]
+        mey_n = result.row_by("algorithm", "Meyerson")[1]
+        assert off_n <= es_n < mey_n * 1.5
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table6(volume=800)
+
+    def test_incentives_save_cost(self, result):
+        totals = result.extras["totals"]
+        assert min(totals[a] for a in totals if a > 0) < totals[0.0]
+
+    def test_moderate_alpha_optimal(self, result):
+        totals = result.extras["totals"]
+        best = min(totals, key=totals.get)
+        assert 0.0 < best < 1.0
+
+    def test_percent_charged_improves(self, result):
+        pct = {r[0]: r[6] for r in result.rows}
+        assert pct["alpha=0.7"] > pct["alpha=0.0"]
+
+    def test_distance_shrinks(self, result):
+        dist = {r[0]: r[7] for r in result.rows}
+        assert dist["alpha=0.7"] < dist["alpha=0.0"]
+
+
+class TestFig10:
+    def test_esharing_tracks_offline(self):
+        result = run_fig10(n_windows=5, volume=900)
+        means = result.extras["means"]
+        assert means["offline"] <= means["esharing"]
+        assert means["esharing"] < means["online_kmeans"]
+
+    def test_windows_validated(self):
+        with pytest.raises(ValueError):
+            run_fig10(n_windows=0)
+
+
+class TestFig11:
+    def test_incentives_reduce_sites(self):
+        result = run_fig11(volume=800)
+        note = result.notes[0]
+        # "demand sites at tour time: X (alpha=0) vs Y (alpha=0.7)"
+        parts = note.split(":")[1]
+        base = int(parts.split("(")[0])
+        inc = int(parts.split("vs")[1].split("(")[0])
+        assert inc < base
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import run_pipeline
+
+        return run_pipeline(seed=0, volume=800)
+
+    def test_scorecard_complete(self, result):
+        quantities = result.column("quantity")
+        for expected in (
+            "forecast model selected",
+            "tier-1 total cost (km)",
+            "tier-2 total cost ($)",
+            "% charged within shift",
+        ):
+            assert expected in quantities
+
+    def test_tier1_beats_meyerson(self, result):
+        note = next(n for n in result.notes if "Meyerson baseline" in n)
+        saving = float(note.split("is")[1].split("%")[0])
+        assert saving > 0
+
+    def test_forecast_close_to_actual(self, result):
+        row = result.row_by("quantity", "predicted / actual test-day trips")
+        predicted, actual = float(row[1]), float(row[2])
+        assert abs(predicted - actual) / actual < 0.5
+
+    def test_events_logged(self, result):
+        log = result.extras["event_log"]
+        assert len(log) > 0
+        report = result.extras["report"]
+        from repro.sim import TripRequested
+
+        assert len(log.of_type(TripRequested)) == report.trips_requested
+
+
+class TestThm1:
+    def test_ratio_grows(self):
+        result = run_thm1(max_n=20, trials=20)
+        ratios = result.column("mean online/offline ratio")
+        assert ratios[-1] > ratios[0]
+        assert ratios[-1] > 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_thm1(max_n=1)
+        with pytest.raises(ValueError):
+            run_thm1(trials=0)

@@ -1,0 +1,122 @@
+"""Tests for repro.forecast.arima and moving_average."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import Arima, MovingAverage, rolling_rmse
+
+
+def ar1_series(n=300, phi=0.8, c=5.0, sigma=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.zeros(n)
+    for t in range(1, n):
+        x[t] = c + phi * x[t - 1] + rng.normal(0, sigma)
+    return x
+
+
+class TestMovingAverage:
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            MovingAverage(window=0)
+
+    def test_forecast_is_window_mean(self):
+        ma = MovingAverage(window=3)
+        out = ma.forecast(np.array([1.0, 2.0, 3.0, 4.0, 5.0]), horizon=2)
+        assert np.allclose(out, 4.0)
+
+    def test_window_larger_than_history(self):
+        ma = MovingAverage(window=10)
+        out = ma.forecast(np.array([2.0, 4.0]), horizon=1)
+        assert out[0] == pytest.approx(3.0)
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            MovingAverage(window=2).forecast(np.array([]), horizon=1)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            MovingAverage().forecast(np.arange(5.0), horizon=0)
+
+    def test_fit_returns_self(self):
+        ma = MovingAverage()
+        assert ma.fit(np.arange(10.0)) is ma
+
+
+class TestArimaConstruction:
+    def test_negative_orders_rejected(self):
+        with pytest.raises(ValueError):
+            Arima(p=-1)
+        with pytest.raises(ValueError):
+            Arima(d=-1)
+        with pytest.raises(ValueError):
+            Arima(q=-1)
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Arima(p=1).forecast(np.arange(20.0), 1)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            Arima(p=4).fit(np.arange(5.0))
+
+    def test_is_fitted_flag(self):
+        model = Arima(p=1)
+        assert not model.is_fitted
+        model.fit(ar1_series(50))
+        assert model.is_fitted
+
+
+class TestArimaEstimation:
+    def test_recovers_ar1_coefficient(self):
+        series = ar1_series(n=500, phi=0.7, c=3.0, sigma=0.5, seed=1)
+        model = Arima(p=1, d=0, q=0).fit(series)
+        phi_hat = model._params[1]
+        assert phi_hat == pytest.approx(0.7, abs=0.1)
+
+    def test_mean_only_model(self):
+        series = np.full(50, 7.0)
+        model = Arima(p=0, d=0, q=0).fit(series)
+        out = model.forecast(series, 3)
+        assert np.allclose(out, 7.0)
+
+    def test_differencing_handles_trend(self):
+        t = np.arange(100.0)
+        trend = 2.0 * t + 5.0
+        model = Arima(p=1, d=1, q=0).fit(trend)
+        out = model.forecast(trend, 3)
+        # A linear trend differenced once is constant: forecast continues it.
+        assert out[0] == pytest.approx(205.0, abs=2.0)
+        assert out[2] == pytest.approx(209.0, abs=3.0)
+
+    def test_d2_quadratic_trend(self):
+        t = np.arange(60.0)
+        quad = 0.5 * t**2
+        model = Arima(p=0, d=2, q=0).fit(quad)
+        out = model.forecast(quad, 2)
+        assert out[0] == pytest.approx(0.5 * 60**2, rel=0.05)
+
+    def test_ma_term_fits(self):
+        rng = np.random.default_rng(2)
+        eps = rng.normal(0, 1, size=400)
+        series = 10 + eps[1:] + 0.6 * eps[:-1]
+        model = Arima(p=0, d=0, q=1).fit(series)
+        out = model.forecast(series, 2)
+        assert np.all(np.isfinite(out))
+
+    def test_forecast_horizon_length(self):
+        model = Arima(p=2, d=0).fit(ar1_series(100))
+        assert model.forecast(ar1_series(100), 6).shape == (6,)
+
+    def test_short_history_forecast_rejected(self):
+        model = Arima(p=3, d=1).fit(ar1_series(100))
+        with pytest.raises(ValueError):
+            model.forecast(np.arange(3.0), 1)
+
+
+class TestRelativeAccuracy:
+    def test_arima_beats_ma_on_ar_process(self):
+        series = ar1_series(n=400, phi=0.85, sigma=1.0, seed=3)
+        train, test = series[:320], series[320:]
+        err_arima = rolling_rmse(Arima(p=2, d=0), train, test, horizon=1)
+        err_ma = rolling_rmse(MovingAverage(window=5), train, test, horizon=1)
+        assert err_arima < err_ma

@@ -1,0 +1,113 @@
+"""Tests for repro.forecast.base and repro.forecast.features."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticConfig, mobike_like_dataset
+from repro.forecast import (
+    DemandSeries,
+    MovingAverage,
+    build_demand_series,
+    rolling_forecasts,
+    rolling_rmse,
+    train_test_split_series,
+    weekday_weekend_split,
+)
+from repro.geo import UniformGrid
+
+
+class TestTrainTestSplit:
+    def test_chronological(self):
+        train, test = train_test_split_series(np.arange(10.0), 0.7)
+        assert list(train) == list(range(7))
+        assert list(test) == [7, 8, 9]
+
+    def test_degenerate_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split_series(np.arange(10.0), 0.0)
+        with pytest.raises(ValueError):
+            train_test_split_series(np.arange(10.0), 1.0)
+
+
+class TestRollingForecasts:
+    def test_covers_test_segment(self):
+        train = np.arange(20.0)
+        test = np.arange(20.0, 30.0)
+        pred, actual = rolling_forecasts(MovingAverage(window=2), train, test, horizon=1)
+        assert len(pred) == len(actual) == 10
+        assert np.allclose(actual, test)
+
+    def test_multi_horizon_blocks(self):
+        train = np.ones(20)
+        test = np.ones(9)
+        pred, actual = rolling_forecasts(MovingAverage(), train, test, horizon=3)
+        assert len(pred) == 9  # 3 blocks of 3
+
+    def test_horizon_longer_than_test_rejected(self):
+        with pytest.raises(ValueError):
+            rolling_forecasts(MovingAverage(), np.ones(10), np.ones(2), horizon=5)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            rolling_forecasts(MovingAverage(), np.ones(10), np.ones(5), horizon=0)
+
+    def test_rolling_rmse_perfect_model_zero(self):
+        class Oracle(MovingAverage):
+            def forecast(self, history, horizon):
+                return np.full(horizon, 5.0)
+
+        err = rolling_rmse(Oracle(), np.full(10, 5.0), np.full(6, 5.0))
+        assert err == 0.0
+
+
+class TestDemandSeries:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        cfg = SyntheticConfig(trips_per_weekday=200, trips_per_weekend_day=150)
+        return mobike_like_dataset(seed=1, days=14, config=cfg)
+
+    @pytest.fixture(scope="class")
+    def grid(self, dataset):
+        return UniformGrid(dataset.bounding_box(margin=10.0), cell_size=300.0)
+
+    def test_label_shapes_validated(self):
+        with pytest.raises(ValueError):
+            DemandSeries(np.zeros(5), np.zeros(4), np.zeros(5, dtype=bool))
+
+    def test_total_mass_preserved(self, dataset, grid):
+        series = build_demand_series(dataset, grid)
+        assert series.totals().sum() == len(dataset)
+
+    def test_per_cell_mode(self, dataset, grid):
+        series = build_demand_series(dataset, grid, per_cell=True)
+        assert series.counts.ndim == 2
+        assert series.counts.shape[1] == len(grid)
+        assert np.allclose(series.totals(), series.counts.sum(axis=1))
+
+    def test_hour_labels_cycle(self, dataset, grid):
+        series = build_demand_series(dataset, grid)
+        assert series.hour_of_day[0] == 0
+        assert set(series.hour_of_day) <= set(range(24))
+
+    def test_weekend_flags_match_calendar(self, dataset, grid):
+        series = build_demand_series(dataset, grid)
+        # 2017-05-10 was Wednesday; first weekend hour is day 3 (Saturday).
+        assert not series.is_weekend[0]
+        assert series.is_weekend[3 * 24]
+
+    def test_weekday_weekend_split_sizes(self, dataset, grid):
+        series = build_demand_series(dataset, grid)
+        (wd_train, wd_test), (we_train, we_test) = weekday_weekend_split(series)
+        assert wd_train.size == 7 * 24
+        assert we_train.size == 3 * 24
+        assert wd_test.size == 3 * 24
+        assert we_test.size == 1 * 24
+
+    def test_split_insufficient_days_rejected(self, dataset, grid):
+        short = mobike_like_dataset(
+            seed=2, days=3,
+            config=SyntheticConfig(trips_per_weekday=100, trips_per_weekend_day=80),
+        )
+        series = build_demand_series(short, UniformGrid(short.bounding_box(10.0), 300.0))
+        with pytest.raises(ValueError):
+            weekday_weekend_split(series)

@@ -1,0 +1,114 @@
+"""Tests for repro.forecast.ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import (
+    Arima,
+    HoltWinters,
+    MeanEnsemble,
+    MovingAverage,
+    SeasonalNaive,
+    ValidationSelector,
+    rolling_rmse,
+)
+
+
+def seasonal_series(n=480, period=24, noise=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 40 + 25 * np.sin(2 * np.pi * t / period) + rng.normal(0, noise, size=n)
+
+
+class TestMeanEnsemble:
+    def test_empty_members_rejected(self):
+        with pytest.raises(ValueError):
+            MeanEnsemble([])
+
+    def test_average_of_members(self):
+        class Const(MovingAverage):
+            def __init__(self, v):
+                super().__init__(window=1)
+                self.v = v
+
+            def forecast(self, history, horizon):
+                return np.full(horizon, self.v)
+
+        ens = MeanEnsemble([Const(2.0), Const(4.0)])
+        out = ens.forecast(np.arange(5.0), 3)
+        assert np.allclose(out, 3.0)
+
+    def test_fit_propagates(self):
+        arima = Arima(p=1)
+        ens = MeanEnsemble([arima, MovingAverage()])
+        ens.fit(seasonal_series())
+        assert arima.is_fitted
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            MeanEnsemble([MovingAverage()]).forecast(np.arange(5.0), 0)
+
+    def test_ensemble_reasonable_on_seasonal_data(self):
+        series = seasonal_series(seed=3)
+        train, test = series[:384], series[384:]
+        ens = MeanEnsemble([SeasonalNaive(period=24), SeasonalNaive(period=24, window=3)])
+        err = rolling_rmse(ens, train, test, horizon=6)
+        err_ma = rolling_rmse(MovingAverage(window=3), train, test, horizon=6)
+        assert err < err_ma
+
+
+class TestValidationSelector:
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationSelector({})
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationSelector({"ma": MovingAverage()}, validation_fraction=0.0)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationSelector({"ma": MovingAverage()}, horizon=0)
+
+    def test_forecast_before_fit_raises(self):
+        sel = ValidationSelector({"ma": MovingAverage()})
+        with pytest.raises(RuntimeError):
+            sel.forecast(np.arange(10.0), 1)
+
+    def test_picks_seasonal_model_on_seasonal_data(self):
+        series = seasonal_series(seed=1)
+        sel = ValidationSelector(
+            {
+                "ma": MovingAverage(window=3),
+                "snaive": SeasonalNaive(period=24),
+            },
+            horizon=6,
+        )
+        sel.fit(series)
+        assert sel.best_name == "snaive"
+        assert sel.scores["snaive"] < sel.scores["ma"]
+
+    def test_delegates_to_winner(self):
+        series = seasonal_series(seed=2)
+        sel = ValidationSelector(
+            {"snaive": SeasonalNaive(period=24), "ma": MovingAverage(window=2)}
+        ).fit(series)
+        direct = sel.candidates[sel.best_name].forecast(series, 4)
+        assert np.allclose(sel.forecast(series, 4), direct)
+
+    def test_unfittable_candidate_scored_inf(self):
+        series = seasonal_series(n=120)
+        sel = ValidationSelector(
+            {
+                "hw_too_long": HoltWinters(period=200),  # cannot fit on 90 points
+                "ma": MovingAverage(window=3),
+            }
+        ).fit(series)
+        assert sel.scores["hw_too_long"] == float("inf")
+        assert sel.best_name == "ma"
+
+    def test_all_unfittable_raises(self):
+        series = np.arange(30.0)
+        sel = ValidationSelector({"hw": HoltWinters(period=100)})
+        with pytest.raises(ValueError):
+            sel.fit(series)

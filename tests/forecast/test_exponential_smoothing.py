@@ -1,0 +1,121 @@
+"""Tests for repro.forecast.exponential_smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import (
+    HoltWinters,
+    MovingAverage,
+    SeasonalNaive,
+    rolling_rmse,
+)
+
+
+def seasonal_series(n=480, period=24, trend=0.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    seasonal = 40 + 25 * np.sin(2 * np.pi * t / period)
+    return seasonal + trend * t + rng.normal(0, noise, size=n)
+
+
+class TestSeasonalNaive:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalNaive(period=0)
+        with pytest.raises(ValueError):
+            SeasonalNaive(window=0)
+
+    def test_repeats_last_season_exactly(self):
+        series = seasonal_series(n=96)
+        model = SeasonalNaive(period=24)
+        out = model.forecast(series, 24)
+        assert np.allclose(out, series[-24:])
+
+    def test_multi_season_horizon_tiles(self):
+        series = seasonal_series(n=96)
+        out = SeasonalNaive(period=24).forecast(series, 48)
+        assert np.allclose(out[:24], out[24:])
+
+    def test_window_averages_seasons(self):
+        # Two seasons: [0]*4 and [2]*4 -> window=2 forecasts 1s.
+        series = np.array([0.0] * 4 + [2.0] * 4)
+        out = SeasonalNaive(period=4, window=2).forecast(series, 4)
+        assert np.allclose(out, 1.0)
+
+    def test_short_history_rejected(self):
+        with pytest.raises(ValueError):
+            SeasonalNaive(period=24).forecast(np.arange(10.0), 1)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            SeasonalNaive(period=4).forecast(np.arange(8.0), 0)
+
+    def test_perfect_on_pure_seasonality(self):
+        series = seasonal_series(n=480, noise=0.0)
+        err = rolling_rmse(SeasonalNaive(period=24), series[:384], series[384:], horizon=6)
+        assert err < 1e-9
+
+    def test_beats_ma_on_seasonal_data(self):
+        series = seasonal_series(n=480, noise=3.0, seed=1)
+        train, test = series[:384], series[384:]
+        err_sn = rolling_rmse(SeasonalNaive(period=24), train, test, horizon=6)
+        err_ma = rolling_rmse(MovingAverage(window=3), train, test, horizon=6)
+        assert err_sn < err_ma
+
+
+class TestHoltWinters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoltWinters(period=0)
+
+    def test_fit_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            HoltWinters(period=24).fit(np.arange(30.0))
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            HoltWinters(period=4).forecast(np.arange(20.0), 1)
+
+    def test_forecast_short_history_rejected(self):
+        model = HoltWinters(period=24).fit(seasonal_series())
+        with pytest.raises(ValueError):
+            model.forecast(np.arange(5.0), 1)
+
+    def test_is_fitted_flag(self):
+        model = HoltWinters(period=24)
+        assert not model.is_fitted
+        model.fit(seasonal_series())
+        assert model.is_fitted
+
+    def test_tracks_pure_seasonality(self):
+        series = seasonal_series(n=480, noise=0.0)
+        model = HoltWinters(period=24).fit(series[:384])
+        err = rolling_rmse(model, series[:384], series[384:], horizon=6, fit=False)
+        assert err < 3.0
+
+    def test_tracks_trend(self):
+        series = seasonal_series(n=480, trend=0.1, noise=0.0)
+        model = HoltWinters(period=24).fit(series[:384])
+        out = model.forecast(series[:384], 24)
+        actual = series[384:408]
+        assert np.abs(out - actual).mean() < 6.0
+
+    def test_beats_ma_on_seasonal_data(self):
+        series = seasonal_series(n=480, noise=3.0, seed=2)
+        train, test = series[:384], series[384:]
+        err_hw = rolling_rmse(HoltWinters(period=24), train, test, horizon=6)
+        err_ma = rolling_rmse(MovingAverage(window=3), train, test, horizon=6)
+        assert err_hw < err_ma
+
+    def test_params_within_unit_interval(self):
+        model = HoltWinters(period=24).fit(seasonal_series(noise=2.0))
+        assert np.all(model._params > 0)
+        assert np.all(model._params < 1)
+
+    def test_undamped_trend_option(self):
+        series = seasonal_series(n=240, trend=0.2)
+        model = HoltWinters(period=24, damped_trend=False).fit(series)
+        out = model.forecast(series, 48)
+        # Undamped trend keeps climbing season over season: compare the
+        # same phase one period apart so seasonality cancels.
+        assert np.mean(out[24:48] - out[0:24]) > 0

@@ -1,0 +1,166 @@
+"""Tests for repro.forecast.lstm — including a numerical gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import LstmConfig, LstmForecaster, rolling_rmse, sliding_windows
+from repro.forecast.moving_average import MovingAverage
+
+
+def sine_series(n=400, period=24, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 50 + 30 * np.sin(2 * np.pi * t / period) + rng.normal(0, noise, size=n)
+
+
+class TestSlidingWindows:
+    def test_shapes(self):
+        X, y = sliding_windows(np.arange(10.0), lookback=3)
+        assert X.shape == (7, 3)
+        assert y.shape == (7,)
+
+    def test_alignment(self):
+        X, y = sliding_windows(np.arange(10.0), lookback=3)
+        assert list(X[0]) == [0, 1, 2]
+        assert y[0] == 3
+        assert list(X[-1]) == [6, 7, 8]
+        assert y[-1] == 9
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(3.0), lookback=3)
+
+    def test_bad_lookback_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(10.0), lookback=0)
+
+
+class TestLstmConfig:
+    def test_defaults_valid(self):
+        LstmConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lookback": 0},
+            {"hidden_size": 0},
+            {"n_layers": 0},
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LstmConfig(**kwargs)
+
+    def test_config_and_kwargs_conflict(self):
+        with pytest.raises(ValueError):
+            LstmForecaster(LstmConfig(), lookback=5)
+
+
+class TestGradients:
+    def test_bptt_matches_numerical_gradient(self):
+        """The analytic BPTT gradient must match central differences."""
+        model = LstmForecaster(
+            LstmConfig(lookback=4, hidden_size=5, n_layers=2, epochs=1, seed=3)
+        )
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(3, 4))
+        y = rng.normal(size=3)
+
+        def loss():
+            pred, _ = model._forward(X)
+            return 0.5 * float(np.mean((pred - y) ** 2))
+
+        pred, caches = model._forward(X)
+        grads = model._backward(X, pred, y, caches)
+
+        eps = 1e-6
+        for key in ["W0", "U0", "b0", "W1", "U1", "b1", "Wy", "by"]:
+            param = model._params[key]
+            flat = param.ravel()
+            # Check a handful of entries per tensor.
+            idxs = np.linspace(0, flat.size - 1, num=min(5, flat.size), dtype=int)
+            for idx in idxs:
+                orig = flat[idx]
+                flat[idx] = orig + eps
+                up = loss()
+                flat[idx] = orig - eps
+                down = loss()
+                flat[idx] = orig
+                numeric = (up - down) / (2 * eps)
+                analytic = grads[key].ravel()[idx]
+                assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-7), key
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        series = sine_series(200)
+        model = LstmForecaster(
+            LstmConfig(lookback=8, hidden_size=12, n_layers=1, epochs=25, seed=0)
+        )
+        model.fit(series)
+        assert model.loss_history[-1] < model.loss_history[0] * 0.5
+
+    def test_learns_sine_better_than_ma(self):
+        series = sine_series(400, noise=2.0)
+        train, test = series[:320], series[320:]
+        lstm = LstmForecaster(
+            LstmConfig(lookback=24, hidden_size=16, n_layers=1, epochs=40, seed=1)
+        )
+        err_lstm = rolling_rmse(lstm, train, test, horizon=1)
+        err_ma = rolling_rmse(MovingAverage(window=3), train, test, horizon=1)
+        assert err_lstm < err_ma
+
+    def test_reproducible_given_seed(self):
+        series = sine_series(150)
+        cfg = LstmConfig(lookback=6, hidden_size=8, n_layers=1, epochs=5, seed=7)
+        a = LstmForecaster(cfg).fit(series).forecast(series, 3)
+        b = LstmForecaster(cfg).fit(series).forecast(series, 3)
+        assert np.allclose(a, b)
+
+    def test_forecast_before_fit_raises(self):
+        model = LstmForecaster(LstmConfig(lookback=4))
+        with pytest.raises(RuntimeError):
+            model.forecast(np.arange(10.0), 1)
+
+    def test_forecast_short_history_raises(self):
+        series = sine_series(150)
+        model = LstmForecaster(
+            LstmConfig(lookback=12, hidden_size=8, n_layers=1, epochs=2)
+        ).fit(series)
+        with pytest.raises(ValueError):
+            model.forecast(np.arange(5.0), 1)
+
+    def test_multi_step_forecast_length(self):
+        series = sine_series(150)
+        model = LstmForecaster(
+            LstmConfig(lookback=8, hidden_size=8, n_layers=1, epochs=5)
+        ).fit(series)
+        out = model.forecast(series, 6)
+        assert out.shape == (6,)
+        assert np.all(np.isfinite(out))
+
+    def test_bad_horizon_rejected(self):
+        series = sine_series(150)
+        model = LstmForecaster(
+            LstmConfig(lookback=8, hidden_size=8, n_layers=1, epochs=2)
+        ).fit(series)
+        with pytest.raises(ValueError):
+            model.forecast(series, 0)
+
+    def test_series_too_short_for_lookback(self):
+        model = LstmForecaster(LstmConfig(lookback=50))
+        with pytest.raises(ValueError):
+            model.fit(np.arange(20.0))
+
+    def test_two_layer_forward_shapes(self):
+        model = LstmForecaster(
+            LstmConfig(lookback=5, hidden_size=7, n_layers=3, epochs=1)
+        )
+        X = np.zeros((4, 5))
+        y, caches = model._forward(X)
+        assert y.shape == (4,)
+        assert len(caches) == 3
+        assert caches[0].h_seq.shape == (4, 5, 7)

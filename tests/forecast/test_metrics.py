@@ -1,0 +1,88 @@
+"""Tests for repro.forecast.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.forecast import mae, mape, rmse
+
+vals = st.lists(
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=30
+)
+
+
+class TestRmse:
+    def test_perfect_prediction_zero(self):
+        assert rmse([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    @given(vals)
+    def test_nonnegative(self, xs):
+        pred = np.asarray(xs)
+        actual = pred + 1.0
+        assert rmse(pred, actual) >= 0
+
+    @given(vals)
+    def test_rmse_at_least_mae(self, xs):
+        pred = np.zeros(len(xs))
+        assert rmse(pred, xs) >= mae(pred, xs) - 1e-12
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mae([0, 0], [3, -4]) == pytest.approx(3.5)
+
+    def test_symmetric(self):
+        assert mae([1, 2], [3, 4]) == mae([3, 4], [1, 2])
+
+
+class TestMape:
+    def test_known_value(self):
+        assert mape([90, 110], [100, 100]) == pytest.approx(0.1)
+
+    def test_zero_actual_uses_eps(self):
+        # No division blow-up when the actual value is zero.
+        assert np.isfinite(mape([1.0], [0.0]))
+
+
+class TestMase:
+    def test_matches_seasonal_naive_scale(self):
+        import numpy as np
+        from repro.forecast import mase
+
+        train = np.tile([0.0, 10.0], 50)  # period-2 alternation
+        # Naive scale with period=2 is 0... use period=1 instead:
+        # |t[1:] - t[:-1]| = 10 everywhere.
+        err = mase([5.0, 5.0], [0.0, 10.0], train, period=1)
+        assert err == pytest.approx(0.5)
+
+    def test_below_one_beats_naive(self):
+        import numpy as np
+        from repro.forecast import mase
+
+        rng = np.random.default_rng(0)
+        t = np.arange(200) % 24 + rng.normal(0, 0.1, 200)
+        pred = (np.arange(200, 224) % 24).astype(float)
+        actual = np.arange(200, 224) % 24 + rng.normal(0, 0.1, 24)
+        assert mase(pred, actual, t, period=24) < 1.0
+
+    def test_validation(self):
+        import numpy as np
+        from repro.forecast import mase
+
+        with pytest.raises(ValueError):
+            mase([1.0], [1.0], np.arange(5.0), period=0)
+        with pytest.raises(ValueError):
+            mase([1.0], [1.0], np.arange(5.0), period=10)
+        with pytest.raises(ValueError):
+            mase([1.0], [1.0], np.ones(50), period=24)  # zero scale

@@ -1,0 +1,117 @@
+"""Tests for repro.forecast.multicell (shared-weight per-grid LSTM)."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import LstmConfig, MultiCellForecaster
+
+
+def make_city_matrix(hours=240, cells=6, seed=0, noise=0.5):
+    """Per-cell diurnal series with cell-specific scales and phases."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(hours)
+    out = np.empty((hours, cells))
+    for c in range(cells):
+        scale = 5.0 + 10.0 * c
+        phase = rng.uniform(0, 2 * np.pi)
+        out[:, c] = scale * (1.2 + np.sin(2 * np.pi * t / 24 + phase))
+        out[:, c] += rng.normal(0, noise, size=hours)
+    return np.clip(out, 0, None)
+
+
+def small_config(**kw):
+    defaults = dict(lookback=12, hidden_size=12, n_layers=1, epochs=20, seed=0)
+    defaults.update(kw)
+    return LstmConfig(**defaults)
+
+
+class TestValidation:
+    def test_min_std_validated(self):
+        with pytest.raises(ValueError):
+            MultiCellForecaster(small_config(), min_std=-1.0)
+
+    def test_fit_requires_matrix(self):
+        with pytest.raises(ValueError):
+            MultiCellForecaster(small_config()).fit(np.zeros(100))
+
+    def test_fit_requires_enough_hours(self):
+        with pytest.raises(ValueError):
+            MultiCellForecaster(small_config()).fit(np.zeros((5, 3)))
+
+    def test_fit_requires_variance(self):
+        with pytest.raises(ValueError):
+            MultiCellForecaster(small_config()).fit(np.ones((100, 3)))
+
+    def test_forecast_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MultiCellForecaster(small_config()).forecast(np.zeros((24, 3)), 1)
+
+    def test_n_cells_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MultiCellForecaster(small_config()).n_cells
+
+    def test_forecast_layout_mismatch(self):
+        m = MultiCellForecaster(small_config()).fit(make_city_matrix(cells=4))
+        with pytest.raises(ValueError):
+            m.forecast(make_city_matrix(cells=5), 2)
+
+    def test_forecast_short_history(self):
+        m = MultiCellForecaster(small_config()).fit(make_city_matrix())
+        with pytest.raises(ValueError):
+            m.forecast(make_city_matrix(hours=5), 1)
+
+    def test_bad_horizon(self):
+        m = MultiCellForecaster(small_config()).fit(make_city_matrix())
+        with pytest.raises(ValueError):
+            m.forecast(make_city_matrix(), 0)
+
+
+class TestForecasting:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        matrix = make_city_matrix(hours=360, cells=6, seed=1)
+        model = MultiCellForecaster(small_config(epochs=30)).fit(matrix)
+        return model, matrix
+
+    def test_shape(self, fitted):
+        model, matrix = fitted
+        out = model.forecast(matrix, 6)
+        assert out.shape == (6, 6)
+        assert np.all(out >= 0)
+
+    def test_tracks_each_cell_scale(self, fitted):
+        """Forecasts respect per-cell magnitudes despite shared weights."""
+        model, matrix = fitted
+        out = model.forecast(matrix, 24)
+        cell_means = matrix.mean(axis=0)
+        pred_means = out.mean(axis=0)
+        # Bigger cells forecast bigger: rank correlation must be perfect.
+        assert np.all(np.argsort(cell_means) == np.argsort(pred_means))
+
+    def test_accuracy_beats_per_cell_mean(self):
+        matrix = make_city_matrix(hours=360, cells=6, seed=2)
+        train, test = matrix[:312], matrix[312:336]
+        model = MultiCellForecaster(small_config(epochs=30)).fit(train)
+        pred = model.forecast(train, 24)
+        err_model = np.sqrt(np.mean((pred - test) ** 2))
+        err_mean = np.sqrt(np.mean((train.mean(axis=0)[None, :] - test) ** 2))
+        assert err_model < err_mean
+
+    def test_constant_cell_forecasts_its_mean(self):
+        matrix = make_city_matrix(hours=240, cells=3, seed=3)
+        matrix[:, 1] = 7.0  # a dead cell
+        model = MultiCellForecaster(small_config()).fit(matrix)
+        out = model.forecast(matrix, 4)
+        assert np.allclose(out[:, 1], 7.0)
+
+    def test_totals_sum_cells(self, fitted):
+        model, matrix = fitted
+        per_cell = model.forecast(matrix, 5)
+        totals = model.forecast_totals(matrix, 5)
+        assert np.allclose(totals, per_cell.sum(axis=1))
+
+    def test_is_fitted_flag(self):
+        model = MultiCellForecaster(small_config())
+        assert not model.is_fitted
+        model.fit(make_city_matrix())
+        assert model.is_fitted

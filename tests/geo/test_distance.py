@@ -1,0 +1,115 @@
+"""Tests for repro.geo.distance."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import (
+    LocalProjection,
+    Point,
+    cross_distances,
+    euclidean,
+    haversine_m,
+    nearest_point_index,
+    pairwise_distances,
+)
+
+lat = st.floats(min_value=-80, max_value=80, allow_nan=False)
+lon = st.floats(min_value=-179, max_value=179, allow_nan=False)
+
+
+class TestEuclidean:
+    def test_matches_point_method(self):
+        a, b = Point(0, 0), Point(5, 12)
+        assert euclidean(a, b) == pytest.approx(a.distance_to(b)) == pytest.approx(13.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(39.9, 116.4, 39.9, 116.4) == 0.0
+
+    def test_one_degree_latitude(self):
+        # One degree of latitude is ~111.2 km everywhere.
+        d = haversine_m(0.0, 0.0, 1.0, 0.0)
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_equator_longitude_degree(self):
+        d = haversine_m(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_symmetry(self):
+        assert haversine_m(10, 20, 30, 40) == pytest.approx(haversine_m(30, 40, 10, 20))
+
+    def test_antipodal_does_not_crash(self):
+        d = haversine_m(0, 0, 0, 180)
+        assert d == pytest.approx(math.pi * 6_371_008.8, rel=0.01)
+
+
+class TestMatrices:
+    def test_pairwise_shape_and_diagonal(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        m = pairwise_distances(pts)
+        assert m.shape == (3, 3)
+        assert np.allclose(np.diag(m), 0.0)
+        assert m[0, 1] == pytest.approx(1.0)
+        assert m[1, 2] == pytest.approx(math.sqrt(2))
+
+    def test_pairwise_symmetric(self):
+        rng = np.random.default_rng(1)
+        pts = [Point(x, y) for x, y in rng.normal(size=(10, 2))]
+        m = pairwise_distances(pts)
+        assert np.allclose(m, m.T)
+
+    def test_pairwise_empty(self):
+        assert pairwise_distances([]).shape == (0, 0)
+
+    def test_cross_distances(self):
+        m = cross_distances([Point(0, 0)], [Point(3, 4), Point(0, 1)])
+        assert m.shape == (1, 2)
+        assert m[0, 0] == pytest.approx(5.0)
+        assert m[0, 1] == pytest.approx(1.0)
+
+    def test_cross_empty(self):
+        assert cross_distances([], [Point(0, 0)]).shape == (0, 1)
+
+
+class TestNearest:
+    def test_picks_nearest(self):
+        idx, d = nearest_point_index(Point(0, 0), [Point(5, 5), Point(1, 0), Point(2, 2)])
+        assert idx == 1
+        assert d == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_point_index(Point(0, 0), [])
+
+
+class TestLocalProjection:
+    def test_reference_maps_to_origin(self):
+        proj = LocalProjection(39.9, 116.4)
+        p = proj.to_plane(39.9, 116.4)
+        assert p.x == pytest.approx(0.0, abs=1e-9)
+        assert p.y == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_latitude_rejected(self):
+        with pytest.raises(ValueError):
+            LocalProjection(91.0, 0.0)
+
+    @given(lat, lon)
+    def test_roundtrip(self, la, lo):
+        proj = LocalProjection(la, lo)
+        # A point a few km away round-trips through the projection.
+        p = proj.to_plane(la + 0.01, lo + 0.01)
+        la2, lo2 = proj.to_geo(p)
+        assert la2 == pytest.approx(la + 0.01, abs=1e-9)
+        assert lo2 == pytest.approx(lo + 0.01, abs=1e-9)
+
+    def test_distance_agreement_with_haversine(self):
+        proj = LocalProjection(39.9042, 116.4074)
+        p1 = proj.to_plane(39.91, 116.41)
+        p2 = proj.to_plane(39.93, 116.45)
+        planar = euclidean(p1, p2)
+        sphere = haversine_m(39.91, 116.41, 39.93, 116.45)
+        assert planar == pytest.approx(sphere, rel=0.001)

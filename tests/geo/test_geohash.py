@@ -1,0 +1,92 @@
+"""Tests for repro.geo.geohash."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import geohash
+
+lat = st.floats(min_value=-90, max_value=90, allow_nan=False)
+lon = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestEncode:
+    def test_known_value(self):
+        # Reference value from the original geohash.org service.
+        assert geohash.encode(57.64911, 10.40744, precision=11) == "u4pruydqqvj"
+
+    def test_beijing(self):
+        # Beijing city centre lands in the 'wx4' macro-cell.
+        assert geohash.encode(39.9042, 116.4074, precision=7).startswith("wx4")
+
+    def test_precision_controls_length(self):
+        for p in range(1, 13):
+            assert len(geohash.encode(10, 20, precision=p)) == p
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            geohash.encode(91, 0)
+        with pytest.raises(ValueError):
+            geohash.encode(0, 181)
+        with pytest.raises(ValueError):
+            geohash.encode(0, 0, precision=0)
+
+
+class TestDecode:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geohash.decode("")
+
+    def test_invalid_char_rejected(self):
+        with pytest.raises(ValueError):
+            geohash.decode("ab!c")
+
+    def test_uppercase_accepted(self):
+        assert geohash.decode("WX4G0") == geohash.decode("wx4g0")
+
+    def test_bbox_ordering(self):
+        lat_lo, lat_hi, lon_lo, lon_hi = geohash.decode_bbox("wx4g0")
+        assert lat_lo < lat_hi
+        assert lon_lo < lon_hi
+
+    @given(lat, lon)
+    def test_roundtrip_precision7(self, la, lo):
+        code = geohash.encode(la, lo, precision=7)
+        la2, lo2 = geohash.decode(code)
+        # Precision-7 cells are ~153m x 153m => centre within ~0.0014 deg.
+        assert abs(la2 - la) < 0.0007 + 1e-9
+        assert abs(lo2 - lo) < 0.0007 + 1e-9
+
+    @given(lat, lon)
+    def test_decoded_center_reencodes_to_same_hash(self, la, lo):
+        code = geohash.encode(la, lo, precision=6)
+        assert geohash.encode(*geohash.decode(code), precision=6) == code
+
+    @given(lat, lon)
+    def test_point_inside_decoded_bbox(self, la, lo):
+        code = geohash.encode(la, lo, precision=8)
+        lat_lo, lat_hi, lon_lo, lon_hi = geohash.decode_bbox(code)
+        assert lat_lo <= la <= lat_hi
+        assert lon_lo <= lo <= lon_hi
+
+
+class TestNeighbors:
+    def test_interior_has_eight(self):
+        n = geohash.neighbors("wx4g0")
+        assert len(n) == 8
+        assert "wx4g0" not in n
+
+    def test_neighbors_same_precision(self):
+        assert all(len(h) == 5 for h in geohash.neighbors("wx4g0"))
+
+    def test_pole_has_fewer(self):
+        code = geohash.encode(89.99, 0.0, precision=4)
+        assert len(geohash.neighbors(code)) < 8
+
+    def test_neighbors_are_adjacent(self):
+        code = "wx4g0"
+        lat_c, lon_c = geohash.decode(code)
+        for n in geohash.neighbors(code):
+            la, lo = geohash.decode(n)
+            # Precision-5 cells are ~0.044 deg tall x 0.044 deg wide.
+            assert abs(la - lat_c) <= 0.05
+            assert abs(lo - lon_c) <= 0.05

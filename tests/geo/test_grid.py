@@ -1,0 +1,147 @@
+"""Tests for repro.geo.grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import BoundingBox, DemandGrid, GridCell, Point, UniformGrid
+
+
+@pytest.fixture
+def grid():
+    return UniformGrid(BoundingBox.square(300.0), cell_size=100.0)
+
+
+class TestUniformGrid:
+    def test_dimensions(self, grid):
+        assert grid.n_cols == 3
+        assert grid.n_rows == 3
+        assert len(grid) == 9
+
+    def test_nonpositive_cell_size_rejected(self):
+        with pytest.raises(ValueError):
+            UniformGrid(BoundingBox.square(100.0), cell_size=0.0)
+
+    def test_non_divisible_extent_rounds_up(self):
+        g = UniformGrid(BoundingBox.square(250.0), cell_size=100.0)
+        assert g.n_cols == 3 and g.n_rows == 3
+
+    def test_cell_of_interior_point(self, grid):
+        assert grid.cell_of(Point(50, 50)) == GridCell(0, 0)
+        assert grid.cell_of(Point(250, 150)) == GridCell(2, 1)
+
+    def test_cell_of_boundary_clamps(self, grid):
+        assert grid.cell_of(Point(300, 300)) == GridCell(2, 2)
+
+    def test_cell_of_outside_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.cell_of(Point(301, 0))
+
+    def test_centroid(self, grid):
+        assert grid.centroid(GridCell(0, 0)) == Point(50, 50)
+        assert grid.centroid(GridCell(2, 1)) == Point(250, 150)
+
+    def test_centroid_out_of_range_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.centroid(GridCell(3, 0))
+
+    def test_snap_is_idempotent(self, grid):
+        snapped = grid.snap(Point(10, 290))
+        assert grid.snap(snapped) == snapped
+
+    def test_cells_row_major_count(self, grid):
+        cells = list(grid.cells())
+        assert len(cells) == 9
+        assert cells[0] == GridCell(0, 0)
+        assert cells[-1] == GridCell(2, 2)
+
+    def test_centroids_all_inside_box(self, grid):
+        assert all(grid.box.contains(c) for c in grid.centroids())
+
+    def test_neighbors_interior(self, grid):
+        n = grid.neighbors(GridCell(1, 1))
+        assert len(n) == 8
+        assert GridCell(1, 1) not in n
+
+    def test_neighbors_corner(self, grid):
+        n = grid.neighbors(GridCell(0, 0))
+        assert len(n) == 3
+
+    def test_neighbors_radius_two(self, grid):
+        n = grid.neighbors(GridCell(1, 1), radius=2)
+        assert len(n) == 8  # whole 3x3 grid minus itself
+
+    @given(st.floats(0, 300), st.floats(0, 300))
+    def test_every_point_maps_to_valid_cell(self, x, y):
+        g = UniformGrid(BoundingBox.square(300.0), cell_size=100.0)
+        cell = g.cell_of(Point(x, y))
+        assert cell in g
+
+    @given(st.floats(0, 300), st.floats(0, 300))
+    def test_snap_within_half_cell_diagonal(self, x, y):
+        g = UniformGrid(BoundingBox.square(300.0), cell_size=100.0)
+        p = Point(x, y)
+        assert p.distance_to(g.snap(p)) <= 100.0 * np.sqrt(2) / 2 + 1e-9
+
+
+class TestDemandGrid:
+    def test_add_and_count(self, grid):
+        d = DemandGrid(grid)
+        d.add(Point(50, 50))
+        d.add(Point(60, 60), weight=2)
+        assert d.count(GridCell(0, 0)) == 3
+        assert d.total == 3
+
+    def test_negative_weight_rejected(self, grid):
+        d = DemandGrid(grid)
+        with pytest.raises(ValueError):
+            d.add(Point(50, 50), weight=-1)
+
+    def test_add_many(self, grid):
+        d = DemandGrid(grid)
+        d.add_many([Point(10, 10), Point(210, 210), Point(15, 20)])
+        assert d.total == 3
+        assert d.count(GridCell(0, 0)) == 2
+        assert d.count(GridCell(2, 2)) == 1
+
+    def test_occupied_cells_sorted(self, grid):
+        d = DemandGrid(grid)
+        d.add(Point(250, 250))
+        d.add(Point(50, 50))
+        assert d.occupied_cells == [GridCell(0, 0), GridCell(2, 2)]
+
+    def test_weighted_points(self, grid):
+        d = DemandGrid(grid)
+        d.add(Point(10, 10), weight=5)
+        [(centroid, count)] = d.weighted_points()
+        assert centroid == Point(50, 50)
+        assert count == 5
+
+    def test_as_matrix(self, grid):
+        d = DemandGrid(grid)
+        d.add(Point(250, 50), weight=4)  # col 2, row 0
+        mat = d.as_matrix()
+        assert mat.shape == (3, 3)
+        assert mat[0, 2] == 4
+        assert mat.sum() == 4
+
+    def test_top_cells(self, grid):
+        d = DemandGrid(grid)
+        d.add(Point(50, 50), weight=1)
+        d.add(Point(150, 150), weight=7)
+        d.add(Point(250, 250), weight=3)
+        top = d.top_cells(2)
+        assert top[0] == (GridCell(1, 1), 7)
+        assert top[1] == (GridCell(2, 2), 3)
+
+    def test_top_cells_negative_k_rejected(self, grid):
+        with pytest.raises(ValueError):
+            DemandGrid(grid).top_cells(-1)
+
+    @given(st.lists(st.tuples(st.floats(0, 300), st.floats(0, 300)), max_size=50))
+    def test_total_equals_points_added(self, raw):
+        g = UniformGrid(BoundingBox.square(300.0), cell_size=100.0)
+        d = DemandGrid(g)
+        d.add_many(Point(x, y) for x, y in raw)
+        assert d.total == len(raw)
+        assert sum(c for _, c in d.weighted_points()) == len(raw)

@@ -1,0 +1,124 @@
+"""Tests for repro.geo.points."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import BoundingBox, Point, array_to_points, points_to_array
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        p = Point(3.0, 4.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_pythagoras(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance_to(Point(3, -4)) == pytest.approx(7.0)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_translate(self):
+        assert Point(1, 1).translate(-1, 2) == Point(0, 3)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.5, -2.5)
+        assert p.as_tuple() == (1.5, -2.5)
+        assert tuple(p) == (1.5, -2.5)
+
+    def test_ordering_lexicographic(self):
+        assert Point(0, 5) < Point(1, 0)
+        assert Point(1, 0) < Point(1, 1)
+
+    def test_hashable_and_frozen(self):
+        p = Point(1, 2)
+        assert {p: "a"}[Point(1, 2)] == "a"
+        with pytest.raises(AttributeError):
+            p.x = 3  # type: ignore[misc]
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestBoundingBox:
+    def test_inverted_box_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            BoundingBox(0, 1, 1, 0)
+
+    def test_square_factory(self):
+        box = BoundingBox.square(10.0, Point(1, 2))
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (1, 2, 11, 12)
+        assert box.area == pytest.approx(100.0)
+
+    def test_square_rejects_nonpositive_side(self):
+        with pytest.raises(ValueError):
+            BoundingBox.square(0.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([Point(0, 5), Point(3, -1), Point(2, 2)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, -1, 3, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+    def test_contains_boundary(self):
+        box = BoundingBox.square(1.0)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(1, 1))
+        assert not box.contains(Point(1.0001, 0.5))
+
+    def test_clamp(self):
+        box = BoundingBox.square(1.0)
+        assert box.clamp(Point(2, -1)) == Point(1, 0)
+        assert box.clamp(Point(0.5, 0.5)) == Point(0.5, 0.5)
+
+    def test_center(self):
+        assert BoundingBox.square(2.0).center == Point(1, 1)
+
+    def test_expand(self):
+        box = BoundingBox.square(2.0).expand(1.0)
+        assert (box.min_x, box.max_x) == (-1, 3)
+
+    def test_sample_inside(self):
+        box = BoundingBox.square(100.0)
+        rng = np.random.default_rng(0)
+        pts = box.sample(rng, 50)
+        assert len(pts) == 50
+        assert all(box.contains(p) for p in pts)
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=20))
+    def test_from_points_contains_all(self, raw):
+        pts = [Point(x, y) for x, y in raw]
+        box = BoundingBox.from_points(pts)
+        assert all(box.contains(p) for p in pts)
+
+
+class TestArrayConversion:
+    def test_roundtrip(self):
+        pts = [Point(1, 2), Point(-3, 4.5)]
+        assert array_to_points(points_to_array(pts)) == pts
+
+    def test_empty(self):
+        assert points_to_array([]).shape == (0, 2)
+        assert array_to_points(np.empty((0, 2))) == []
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            array_to_points(np.zeros((3, 3)))

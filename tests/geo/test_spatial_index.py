@@ -1,0 +1,156 @@
+"""Tests for repro.geo.spatial_index — checked against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import Point
+from repro.geo.spatial_index import NearestNeighborIndex
+
+
+def brute_nearest(query, points):
+    best_idx, best_d = -1, float("inf")
+    for i, p in enumerate(points):
+        if p is None:
+            continue
+        d = query.distance_to(p)
+        if d < best_d:
+            best_idx, best_d = i, d
+    return best_idx, best_d
+
+
+class TestConstruction:
+    def test_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            NearestNeighborIndex(cell_size=0.0)
+
+    def test_bulk_load(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(0, 0), Point(5, 5)])
+        assert len(idx) == 2
+
+    def test_empty_nearest_raises(self):
+        with pytest.raises(ValueError):
+            NearestNeighborIndex(10.0).nearest(Point(0, 0))
+
+
+class TestAddRemove:
+    def test_add_returns_stable_indices(self):
+        idx = NearestNeighborIndex(10.0)
+        assert idx.add(Point(0, 0)) == 0
+        assert idx.add(Point(1, 1)) == 1
+        assert idx.point(0) == Point(0, 0)
+
+    def test_remove(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(0, 0), Point(100, 100)])
+        idx.remove(0)
+        assert len(idx) == 1
+        near, _ = idx.nearest(Point(0, 0))
+        assert near == 1
+
+    def test_remove_twice_raises(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(0, 0)])
+        idx.remove(0)
+        with pytest.raises(KeyError):
+            idx.remove(0)
+
+    def test_point_after_remove_raises(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(0, 0)])
+        idx.remove(0)
+        with pytest.raises(KeyError):
+            idx.point(0)
+
+    def test_readd_after_remove(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(0, 0)])
+        idx.remove(0)
+        new = idx.add(Point(0, 0))
+        assert new == 1
+        assert idx.nearest(Point(1, 1))[0] == 1
+
+
+class TestNearest:
+    def test_single_point(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(3, 4)])
+        i, d = idx.nearest(Point(0, 0))
+        assert i == 0
+        assert d == pytest.approx(5.0)
+
+    def test_query_far_from_all_points(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(0, 0), Point(10, 0)])
+        i, d = idx.nearest(Point(10_000, 10_000))
+        assert i in (0, 1)
+        assert np.isfinite(d)
+
+    def test_exact_hit(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(5, 5), Point(50, 50)])
+        i, d = idx.nearest(Point(50, 50))
+        assert i == 1
+        assert d == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-500, 500), st.floats(-500, 500)),
+            min_size=1, max_size=60,
+        ),
+        st.tuples(st.floats(-600, 600), st.floats(-600, 600)),
+        st.sampled_from([5.0, 50.0, 400.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, raw, q, cell):
+        points = [Point(x, y) for x, y in raw]
+        idx = NearestNeighborIndex(cell, points=points)
+        query = Point(*q)
+        i, d = idx.nearest(query)
+        bi, bd = brute_nearest(query, points)
+        assert d == pytest.approx(bd)
+
+    def test_matches_brute_force_after_removals(self):
+        rng = np.random.default_rng(0)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 1000, (40, 2))]
+        idx = NearestNeighborIndex(100.0, points=points)
+        removed = {3, 11, 25}
+        live = list(points)
+        for r in removed:
+            idx.remove(r)
+            live[r] = None
+        for _ in range(25):
+            q = Point(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000)))
+            i, d = idx.nearest(q)
+            bi, bd = brute_nearest(q, live)
+            assert d == pytest.approx(bd)
+            assert i not in removed
+
+
+class TestWithin:
+    def test_radius_zero_exact_hits_only(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(1, 1), Point(2, 2)])
+        hits = idx.within(Point(1, 1), 0.0)
+        assert [i for i, _ in hits] == [0]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            NearestNeighborIndex(10.0).within(Point(0, 0), -1.0)
+
+    def test_sorted_by_distance(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(0, 3), Point(0, 1), Point(0, 2)])
+        hits = idx.within(Point(0, 0), 5.0)
+        dists = [d for _, d in hits]
+        assert dists == sorted(dists)
+        assert len(hits) == 3
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-200, 200), st.floats(-200, 200)),
+            min_size=0, max_size=40,
+        ),
+        st.floats(0, 300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_within_matches_brute_force(self, raw, radius):
+        points = [Point(x, y) for x, y in raw]
+        idx = NearestNeighborIndex(50.0, points=points)
+        query = Point(10.0, -10.0)
+        got = {i for i, _ in idx.within(query, radius)}
+        want = {
+            i for i, p in enumerate(points) if query.distance_to(p) <= radius
+        }
+        assert got == want

@@ -1,0 +1,120 @@
+"""Tests for repro.geo.streets."""
+
+import numpy as np
+import pytest
+
+from repro.core import DemandPoint, walking_cost
+from repro.geo import BoundingBox, Point
+from repro.geo.streets import StreetNetwork, street_walking_cost
+
+
+@pytest.fixture(scope="module")
+def net():
+    return StreetNetwork(BoundingBox.square(1000.0), block_size=100.0)
+
+
+class TestConstruction:
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            StreetNetwork(BoundingBox.square(100.0), block_size=0.0)
+        with pytest.raises(ValueError):
+            StreetNetwork(BoundingBox.square(100.0), block_size=500.0)
+
+    def test_grid_dimensions(self, net):
+        assert net.n_cols == 11
+        assert net.n_rows == 11
+        assert net.n_intersections == 121
+
+    def test_node_location(self, net):
+        assert net.node_location((0, 0)) == Point(0, 0)
+        assert net.node_location((3, 5)) == Point(300, 500)
+
+    def test_unknown_node_rejected(self, net):
+        with pytest.raises(KeyError):
+            net.node_location((99, 99))
+
+    def test_nearest_node_rounds(self, net):
+        assert net.nearest_node(Point(149, 51)) == (1, 1)
+        assert net.nearest_node(Point(151, 49)) == (2, 0)
+
+    def test_nearest_node_clamps(self, net):
+        assert net.nearest_node(Point(-50, 2000)) == (0, 10)
+
+
+class TestDistances:
+    def test_same_point_zero(self, net):
+        assert net.walking_distance(Point(100, 100), Point(100, 100)) == 0.0
+
+    def test_straight_street(self, net):
+        d = net.walking_distance(Point(0, 0), Point(500, 0))
+        assert d == pytest.approx(500.0)
+
+    def test_manhattan_on_grid_nodes(self, net):
+        d = net.walking_distance(Point(0, 0), Point(300, 400))
+        assert d == pytest.approx(700.0)
+
+    def test_never_less_than_euclidean(self, net):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a = Point(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000)))
+            b = Point(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000)))
+            if a.distance_to(b) < 150:
+                continue
+            # Access legs are Euclidean, so allow a tiny tolerance around
+            # corner cases near intersections.
+            assert net.walking_distance(a, b) >= a.distance_to(b) - net.block_size
+
+    def test_detour_factor_on_diagonal(self, net):
+        # A pure diagonal walk on a grid costs sqrt(2) x Euclidean.
+        f = net.detour_factor(Point(0, 0), Point(800, 800))
+        assert f == pytest.approx(np.sqrt(2.0), rel=0.02)
+
+    def test_detour_factor_coincident_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.detour_factor(Point(5, 5), Point(5, 5))
+
+    def test_diagonal_avenues_shorten_diagonals(self):
+        box = BoundingBox.square(1000.0)
+        plain = StreetNetwork(box, block_size=100.0)
+        with_diag = StreetNetwork(box, block_size=100.0, diagonal_avenues=True)
+        a, b = Point(0, 0), Point(900, 900)
+        assert with_diag.walking_distance(a, b) < plain.walking_distance(a, b)
+
+    def test_symmetry(self, net):
+        a, b = Point(120, 330), Point(840, 90)
+        assert net.walking_distance(a, b) == pytest.approx(net.walking_distance(b, a))
+
+
+class TestStreetWalkingCost:
+    def test_empty_demand(self, net):
+        total, assignment = street_walking_cost([], [Point(0, 0)], net)
+        assert total == 0.0 and assignment == []
+
+    def test_no_stations_rejected(self, net):
+        with pytest.raises(ValueError):
+            street_walking_cost([DemandPoint(Point(0, 0))], [], net)
+
+    def test_assignment_minimises_street_distance(self, net):
+        # Station B is Euclidean-farther but street-closer than station A.
+        demand = DemandPoint(Point(0, 0))
+        a = Point(290, 290)   # Euclidean 410, street 580
+        b = Point(0, 500)     # Euclidean 500, street 500
+        total, assignment = street_walking_cost([demand], [a, b], net)
+        assert assignment == [1]
+        assert total == pytest.approx(500.0)
+
+    def test_weights_applied(self, net):
+        demand = DemandPoint(Point(0, 0), weight=3.0)
+        total, _ = street_walking_cost([demand], [Point(0, 400)], net)
+        assert total == pytest.approx(1200.0)
+
+    def test_street_cost_at_least_euclidean_cost(self, net):
+        rng = np.random.default_rng(1)
+        demands = [
+            DemandPoint(Point(float(x), float(y)))
+            for x, y in rng.uniform(0, 1000, size=(20, 2))
+        ]
+        stations = [Point(200, 200), Point(800, 700)]
+        street_total, _ = street_walking_cost(demands, stations, net)
+        euclid_total, _ = walking_cost(demands, stations)
+        assert street_total >= euclid_total * 0.95

@@ -1,0 +1,118 @@
+"""Tests for repro.incentives.charging_cost (Eqs. 10-12, Fig. 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.incentives import (
+    ChargingCostParams,
+    per_bike_cost,
+    saving_ratio,
+    tour_charging_cost,
+)
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        # Section V: unit delay cost $5, unit energy cost $2.
+        p = ChargingCostParams()
+        assert p.delay_cost == 5.0
+        assert p.energy_cost == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ChargingCostParams(service_cost=-1)
+        with pytest.raises(ValueError):
+            ChargingCostParams(delay_cost=-1)
+        with pytest.raises(ValueError):
+            ChargingCostParams(energy_cost=-1)
+
+
+class TestTourCost:
+    def test_empty_tour_zero(self):
+        assert tour_charging_cost(ChargingCostParams(), []) == 0.0
+
+    def test_eq10_formula(self):
+        p = ChargingCostParams(service_cost=5.0, delay_cost=3.0, energy_cost=2.0)
+        # n=3 stations, l=6 bikes: C = 3*5 + 6*2 + (9-3)/2*3 = 15+12+9 = 36.
+        assert tour_charging_cost(p, [1, 2, 3]) == pytest.approx(36.0)
+
+    def test_single_station_no_delay(self):
+        p = ChargingCostParams(service_cost=5.0, delay_cost=100.0, energy_cost=1.0)
+        assert tour_charging_cost(p, [4]) == pytest.approx(5.0 + 4.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            tour_charging_cost(ChargingCostParams(), [1, -1])
+
+    def test_order_invariant(self):
+        p = ChargingCostParams()
+        assert tour_charging_cost(p, [1, 5, 2]) == tour_charging_cost(p, [5, 2, 1])
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=30))
+    def test_aggregation_never_costs_more(self, counts):
+        """Putting all bikes at one station is always cheapest (Eq. 11 >= 0)."""
+        p = ChargingCostParams()
+        spread = tour_charging_cost(p, counts)
+        merged = tour_charging_cost(p, [sum(counts)])
+        assert merged <= spread + 1e-9
+
+
+class TestPerBikeCost:
+    def test_formula(self):
+        p = ChargingCostParams(service_cost=6.0, delay_cost=4.0, energy_cost=2.0)
+        # b + q/l + t*d/l with l=3, t=2: 2 + 2 + 8/3.
+        assert per_bike_cost(p, l_i=3, position=2) == pytest.approx(2 + 2 + 8 / 3)
+
+    def test_decreases_with_more_bikes(self):
+        p = ChargingCostParams()
+        assert per_bike_cost(p, 10, 1) < per_bike_cost(p, 2, 1)
+
+    def test_invalid_inputs(self):
+        p = ChargingCostParams()
+        with pytest.raises(ValueError):
+            per_bike_cost(p, 0, 1)
+        with pytest.raises(ValueError):
+            per_bike_cost(p, 1, 0)
+
+
+class TestSavingRatio:
+    def test_no_aggregation_no_saving(self):
+        assert saving_ratio(ChargingCostParams(), n=10, m=10) == pytest.approx(0.0)
+
+    def test_bounds(self):
+        p = ChargingCostParams()
+        for n in (2, 5, 20):
+            for m in range(1, n + 1):
+                r = saving_ratio(p, n, m)
+                assert 0.0 <= r < 1.0
+
+    def test_monotone_in_m(self):
+        p = ChargingCostParams()
+        ratios = [saving_ratio(p, 20, m) for m in range(1, 21)]
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_paper_magnitude(self):
+        """Fig. 7(a): m/n ~ 0.65 brings about 50% saving (delay-dominated)."""
+        p = ChargingCostParams(service_cost=1.0, delay_cost=5.0)
+        r = saving_ratio(p, n=20, m=13)
+        assert 0.4 <= r <= 0.7
+
+    def test_quadratic_in_delay_dominated_regime(self):
+        """For q=0 the saving is exactly 1 - m(m-1)/(n(n-1))."""
+        p = ChargingCostParams(service_cost=0.0, delay_cost=5.0)
+        assert saving_ratio(p, 10, 5) == pytest.approx(1 - (5 * 4) / (10 * 9))
+
+    def test_linear_in_service_dominated_regime(self):
+        """For d=0 the saving is exactly 1 - m/n."""
+        p = ChargingCostParams(service_cost=7.0, delay_cost=0.0)
+        assert saving_ratio(p, 10, 4) == pytest.approx(0.6)
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ValueError):
+            saving_ratio(ChargingCostParams(), n=5, m=0)
+        with pytest.raises(ValueError):
+            saving_ratio(ChargingCostParams(), n=5, m=6)
+
+    def test_zero_costs_zero_saving(self):
+        p = ChargingCostParams(service_cost=0.0, delay_cost=0.0)
+        assert saving_ratio(p, 10, 2) == 0.0

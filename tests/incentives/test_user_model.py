@@ -1,0 +1,98 @@
+"""Tests for repro.incentives.user_model (Eq. 13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.incentives import UserPopulation, UserPreferences, accepts_offer
+
+
+class TestUserPreferences:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UserPreferences(max_walk_m=-1, min_reward=0)
+        with pytest.raises(ValueError):
+            UserPreferences(max_walk_m=100, min_reward=-0.1)
+
+
+class TestAcceptsOffer:
+    def test_accepts_when_both_conditions_hold(self):
+        prefs = UserPreferences(max_walk_m=200, min_reward=0.5)
+        assert accepts_offer(prefs, extra_walk_m=100, incentive=1.0)
+
+    def test_rejects_long_walk(self):
+        prefs = UserPreferences(max_walk_m=200, min_reward=0.5)
+        assert not accepts_offer(prefs, extra_walk_m=300, incentive=5.0)
+
+    def test_rejects_small_reward(self):
+        prefs = UserPreferences(max_walk_m=200, min_reward=0.5)
+        assert not accepts_offer(prefs, extra_walk_m=50, incentive=0.4)
+
+    def test_walk_boundary_strict(self):
+        """Eq. 13 uses a strict inequality on the walk."""
+        prefs = UserPreferences(max_walk_m=200, min_reward=0.5)
+        assert not accepts_offer(prefs, extra_walk_m=200, incentive=1.0)
+
+    def test_reward_boundary_inclusive(self):
+        """Eq. 13 uses v_u* <= v."""
+        prefs = UserPreferences(max_walk_m=200, min_reward=0.5)
+        assert accepts_offer(prefs, extra_walk_m=0, incentive=0.5)
+
+    def test_negative_walk_rejected(self):
+        prefs = UserPreferences(max_walk_m=200, min_reward=0.5)
+        with pytest.raises(ValueError):
+            accepts_offer(prefs, extra_walk_m=-1, incentive=1.0)
+
+    @given(
+        walk=st.floats(0, 1000),
+        reward=st.floats(0, 5),
+        incentive=st.floats(0, 5),
+    )
+    def test_monotone_in_incentive(self, walk, reward, incentive):
+        prefs = UserPreferences(max_walk_m=walk, min_reward=reward)
+        if accepts_offer(prefs, 10.0, incentive) and walk > 10.0:
+            assert accepts_offer(prefs, 10.0, incentive + 1.0)
+
+
+class TestUserPopulation:
+    def test_defaults_valid(self):
+        UserPopulation()
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            UserPopulation(walk_mean=0)
+        with pytest.raises(ValueError):
+            UserPopulation(walk_std=-1)
+
+    def test_sample_nonnegative(self):
+        rng = np.random.default_rng(0)
+        pop = UserPopulation(walk_mean=10, walk_std=100, reward_mean=0.1, reward_std=2)
+        for _ in range(200):
+            prefs = pop.sample(rng)
+            assert prefs.max_walk_m >= 0
+            assert prefs.min_reward >= 0
+
+    def test_sample_centered_on_means(self):
+        rng = np.random.default_rng(1)
+        pop = UserPopulation(walk_mean=250, walk_std=10, reward_mean=0.6, reward_std=0.01)
+        walks = [pop.sample(rng).max_walk_m for _ in range(300)]
+        assert np.mean(walks) == pytest.approx(250, rel=0.05)
+
+    def test_rush_hour_less_cooperative_than_weekend(self):
+        """Section IV-C: rush hour => small c_u, high v_u*."""
+        rush = UserPopulation.rush_hour()
+        weekend = UserPopulation.weekend()
+        assert rush.walk_mean < weekend.walk_mean
+        assert rush.reward_mean > weekend.reward_mean
+
+    def test_rush_hour_accepts_less_often(self):
+        rng = np.random.default_rng(2)
+        offer_walk, offer_v = 150.0, 0.6
+
+        def rate(pop):
+            hits = sum(
+                accepts_offer(pop.sample(rng), offer_walk, offer_v) for _ in range(500)
+            )
+            return hits / 500
+
+        assert rate(UserPopulation.rush_hour()) < rate(UserPopulation.weekend())

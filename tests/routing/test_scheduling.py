@@ -1,0 +1,104 @@
+"""Tests for repro.routing.scheduling (multi-operator tours)."""
+
+import numpy as np
+import pytest
+
+from repro.geo import Point
+from repro.incentives import ChargingCostParams
+from repro.routing import plan_multi_operator
+
+
+def random_sites(seed, n, extent=3000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, extent, (n, 2))]
+
+
+@pytest.fixture
+def params():
+    return ChargingCostParams(service_cost=60.0, delay_cost=5.0)
+
+
+class TestValidation:
+    def test_operators_positive(self, params):
+        with pytest.raises(ValueError):
+            plan_multi_operator(random_sites(0, 5), 0, params)
+
+    def test_no_sites_empty_plan(self, params):
+        plan = plan_multi_operator([], 3, params)
+        assert plan.schedules == []
+        assert plan.infrastructure_cost == 0.0
+        assert plan.makespan_sites == 0
+
+
+class TestSingleOperator:
+    def test_matches_eq10(self, params):
+        sites = random_sites(1, 8)
+        plan = plan_multi_operator(sites, 1, params)
+        assert plan.n_operators == 1
+        n = 8
+        assert plan.service_cost == pytest.approx(n * 60.0)
+        assert plan.delay_cost == pytest.approx((n * n - n) / 2 * 5.0)
+
+    def test_all_sites_covered_once(self, params):
+        sites = random_sites(2, 10)
+        plan = plan_multi_operator(sites, 1, params)
+        assert sorted(plan.schedules[0].sites) == list(range(10))
+
+
+class TestMultipleOperators:
+    def test_partition_is_exact(self, params):
+        sites = random_sites(3, 15)
+        plan = plan_multi_operator(sites, 4, params)
+        covered = sorted(i for s in plan.schedules for i in s.sites)
+        assert covered == list(range(15))
+
+    def test_more_operators_cut_delay_cost(self, params):
+        sites = random_sites(4, 20)
+        delays = [
+            plan_multi_operator(sites, k, params, np.random.default_rng(0)).delay_cost
+            for k in (1, 2, 4)
+        ]
+        assert delays[0] > delays[1] > delays[2]
+
+    def test_service_cost_unchanged_by_k(self, params):
+        sites = random_sites(5, 20)
+        costs = {
+            k: plan_multi_operator(sites, k, params, np.random.default_rng(0)).service_cost
+            for k in (1, 2, 5)
+        }
+        assert len(set(costs.values())) == 1
+
+    def test_makespan_shrinks_with_k(self, params):
+        sites = random_sites(6, 24)
+        m1 = plan_multi_operator(sites, 1, params).makespan_sites
+        m4 = plan_multi_operator(sites, 4, params).makespan_sites
+        assert m4 < m1
+        assert m4 >= int(np.ceil(24 / 4))
+
+    def test_clusters_balanced(self, params):
+        sites = random_sites(7, 20)
+        plan = plan_multi_operator(sites, 4, params, np.random.default_rng(1))
+        sizes = [s.n_sites for s in plan.schedules]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_more_operators_than_sites(self, params):
+        sites = random_sites(8, 3)
+        plan = plan_multi_operator(sites, 10, params)
+        covered = sorted(i for s in plan.schedules for i in s.sites)
+        assert covered == [0, 1, 2]
+        assert plan.n_operators <= 3
+
+    def test_clustering_keeps_tours_local(self, params):
+        """Two far-apart clusters should be split between two operators,
+        keeping each tour inside one cluster."""
+        left = [Point(float(i * 50), 0.0) for i in range(5)]
+        right = [Point(float(10_000 + i * 50), 0.0) for i in range(5)]
+        plan = plan_multi_operator(left + right, 2, params, np.random.default_rng(2))
+        assert plan.n_operators == 2
+        for schedule in plan.schedules:
+            xs = [left[i].x if i < 5 else right[i - 5].x for i in schedule.sites]
+            assert max(xs) - min(xs) < 5000.0
+        # Total travel far below the single-operator plan which must
+        # cross the gap.
+        single = plan_multi_operator(left + right, 1, params)
+        assert plan.total_travel_m < single.total_travel_m

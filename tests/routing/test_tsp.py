@@ -1,0 +1,137 @@
+"""Tests for repro.routing.tsp."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import Point
+from repro.routing import Tour, held_karp, nearest_neighbor_tour, solve_tsp, two_opt
+
+
+def line_points(n, spacing=10.0):
+    return [Point(i * spacing, 0.0) for i in range(n)]
+
+
+def random_points(seed, n, extent=1000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, extent, size=(n, 2))]
+
+
+class TestTour:
+    def test_position_of(self):
+        t = Tour((2, 0, 1), 5.0)
+        assert t.position_of(2) == 1
+        assert t.position_of(1) == 3
+
+    def test_position_of_missing_raises(self):
+        with pytest.raises(ValueError):
+            Tour((0, 1), 1.0).position_of(5)
+
+    def test_n_sites(self):
+        assert Tour((0, 1, 2), 2.0).n_sites == 3
+
+
+class TestNearestNeighbor:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_tour([])
+
+    def test_bad_start_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_tour(line_points(3), start=5)
+
+    def test_single_point(self):
+        t = nearest_neighbor_tour([Point(0, 0)])
+        assert t.order == (0,)
+        assert t.length == 0.0
+
+    def test_line_is_optimal_from_end(self):
+        pts = line_points(5)
+        t = nearest_neighbor_tour(pts, start=0)
+        assert t.order == (0, 1, 2, 3, 4)
+        assert t.length == pytest.approx(40.0)
+
+    def test_visits_every_site_once(self):
+        pts = random_points(0, 20)
+        t = nearest_neighbor_tour(pts)
+        assert sorted(t.order) == list(range(20))
+
+
+class TestTwoOpt:
+    def test_improves_crossing_tour(self):
+        # A square visited in crossing order: 2-opt should uncross it.
+        pts = [Point(0, 0), Point(10, 10), Point(10, 0), Point(0, 10)]
+        bad = Tour((0, 1, 2, 3), None)  # type: ignore[arg-type]
+        bad = Tour((0, 1, 2, 3), 10 * (2**0.5) * 2 + 10)
+        improved = two_opt(bad, pts)
+        assert improved.length < bad.length
+
+    def test_short_tour_unchanged(self):
+        pts = line_points(3)
+        t = nearest_neighbor_tour(pts)
+        assert two_opt(t, pts).order == t.order
+
+    def test_never_worse(self):
+        pts = random_points(1, 30)
+        t = nearest_neighbor_tour(pts)
+        assert two_opt(t, pts).length <= t.length + 1e-9
+
+
+class TestSolveTsp:
+    def test_matches_held_karp_on_small_instances(self):
+        # solve_tsp may start anywhere, so compare to the best exact open
+        # tour over all start sites.
+        for seed in range(5):
+            pts = random_points(seed, 8)
+            heuristic = solve_tsp(pts)
+            exact = min(
+                (held_karp(pts, start=s) for s in range(len(pts))),
+                key=lambda t: t.length,
+            )
+            assert heuristic.length <= exact.length * 1.10 + 1e-9
+            assert heuristic.length >= exact.length - 1e-9
+
+    def test_permutation_valid(self):
+        pts = random_points(9, 40)
+        t = solve_tsp(pts)
+        assert sorted(t.order) == list(range(40))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_length_matches_order(self, seed):
+        pts = random_points(seed, 12)
+        t = solve_tsp(pts)
+        manual = sum(
+            pts[t.order[i]].distance_to(pts[t.order[i + 1]])
+            for i in range(len(t.order) - 1)
+        )
+        assert t.length == pytest.approx(manual)
+
+
+class TestHeldKarp:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            held_karp([])
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            held_karp(line_points(16))
+
+    def test_single_point(self):
+        t = held_karp([Point(0, 0)])
+        assert t.order == (0,)
+
+    def test_line_optimal(self):
+        t = held_karp(line_points(6), start=0)
+        assert t.length == pytest.approx(50.0)
+        assert t.order == (0, 1, 2, 3, 4, 5)
+
+    def test_starts_at_start(self):
+        pts = random_points(2, 7)
+        t = held_karp(pts, start=3)
+        assert t.order[0] == 3
+
+    def test_beats_or_ties_nearest_neighbor(self):
+        for seed in range(4):
+            pts = random_points(seed + 50, 9)
+            assert held_karp(pts).length <= nearest_neighbor_tour(pts).length + 1e-9

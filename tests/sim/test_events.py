@@ -1,0 +1,164 @@
+"""Tests for repro.sim.events and the simulator's event emission."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EsharingPlanner,
+    constant_facility_cost,
+    demand_points_from_stream,
+    offline_placement,
+)
+from repro.datasets import TripRecord
+from repro.energy import Fleet
+from repro.geo import Point
+from repro.sim import (
+    EventLog,
+    OfferMade,
+    OperatorStop,
+    PeriodClosed,
+    PlacementDecided,
+    StationOpened,
+    SystemSimulator,
+    TripExecuted,
+    TripRequested,
+    TripSkipped,
+)
+from repro.sim.events import load_jsonl
+
+
+class TestEventLog:
+    def test_emit_assigns_sequence(self):
+        log = EventLog()
+        e1 = log.emit(TripRequested(order_id=1))
+        e2 = log.emit(TripRequested(order_id=2))
+        assert e1.seq == 0
+        assert e2.seq == 1
+        assert len(log) == 2
+
+    def test_of_type_filters_exactly(self):
+        log = EventLog()
+        log.emit(TripRequested(order_id=1))
+        log.emit(TripSkipped(order_id=1))
+        requested = log.of_type(TripRequested)
+        assert len(requested) == 1
+        assert requested[0].order_id == 1
+
+    def test_where(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit(TripRequested(order_id=i))
+        hits = log.where(lambda e: getattr(e, "order_id", -1) >= 3)
+        assert len(hits) == 2
+
+    def test_counts(self):
+        log = EventLog()
+        log.emit(TripRequested(order_id=1))
+        log.emit(TripRequested(order_id=2))
+        log.emit(PeriodClosed(period=0))
+        assert log.counts() == {"TripRequested": 2, "PeriodClosed": 1}
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit(TripRequested(order_id=1))
+        log.clear()
+        assert len(log) == 0
+
+    def test_jsonl_roundtrip(self):
+        log = EventLog()
+        log.emit(TripRequested(order_id=7, dest_x=1.5, dest_y=-2.0))
+        log.emit(OfferMade(order_id=7, accepted=True, incentive=3.25))
+        text = log.to_jsonl()
+        loaded = load_jsonl(text)
+        assert len(loaded) == 2
+        assert loaded.of_type(TripRequested)[0].order_id == 7
+        assert loaded.of_type(OfferMade)[0].incentive == 3.25
+
+    def test_load_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            load_jsonl('{"kind": "Mystery", "seq": 0}')
+
+    def test_save(self, tmp_path):
+        log = EventLog()
+        log.emit(PeriodClosed(period=0, total_cost=12.0))
+        path = tmp_path / "events.jsonl"
+        log.save(path)
+        assert "PeriodClosed" in path.read_text()
+
+
+class TestSimulatorEmission:
+    @pytest.fixture
+    def sim(self):
+        rng = np.random.default_rng(0)
+        centers = [Point(400, 400), Point(2600, 2600), Point(400, 2600)]
+        historical = []
+        for _ in range(300):
+            c = centers[int(rng.integers(len(centers)))]
+            off = rng.normal(0, 70, size=2)
+            historical.append(Point(c.x + float(off[0]), c.y + float(off[1])))
+        cost_fn = constant_facility_cost(10_000.0)
+        offline = offline_placement(demand_points_from_stream(historical), cost_fn)
+        planner = EsharingPlanner(
+            offline.stations, cost_fn,
+            np.asarray([(p.x, p.y) for p in historical]),
+            np.random.default_rng(1),
+        )
+        fleet = Fleet(planner.stations, n_bikes=60, rng=np.random.default_rng(2))
+        log = EventLog()
+        sim = SystemSimulator(
+            planner, fleet, rng=np.random.default_rng(3), event_log=log,
+        )
+        trips = [
+            TripRecord(
+                order_id=i, user_id=i, bike_id=0, bike_type=1,
+                start_time=datetime(2017, 5, 10, 8) + timedelta(minutes=i),
+                start=centers[i % 3], end=centers[(i + 1) % 3],
+            )
+            for i in range(40)
+        ]
+        return sim, log, trips
+
+    def test_every_trip_requested_and_decided(self, sim):
+        simulator, log, trips = sim
+        simulator.run_period(trips)
+        assert len(log.of_type(TripRequested)) == 40
+        assert len(log.of_type(PlacementDecided)) == 40
+
+    def test_executed_plus_skipped_covers_trips(self, sim):
+        simulator, log, trips = sim
+        report = simulator.run_period(trips)
+        executed = log.of_type(TripExecuted)
+        skipped = log.of_type(TripSkipped)
+        assert len(executed) == report.trips_executed
+        assert len(skipped) == report.trips_skipped_empty
+        assert len(executed) + len(skipped) == 40
+
+    def test_operator_stops_match_report(self, sim):
+        simulator, log, trips = sim
+        report = simulator.run_period(trips)
+        stops = log.of_type(OperatorStop)
+        assert len(stops) == report.service.stations_served
+        assert sum(s.bikes_charged for s in stops) == report.service.bikes_charged
+        positions = [s.position for s in stops]
+        assert positions == list(range(1, len(stops) + 1))
+
+    def test_station_opened_consistent_with_planner(self, sim):
+        simulator, log, trips = sim
+        simulator.run_period(trips)
+        opened = log.of_type(StationOpened)
+        assert len(opened) == len(simulator.planner.online_opened)
+
+    def test_period_closed_once(self, sim):
+        simulator, log, trips = sim
+        report = simulator.run_period(trips)
+        closed = log.of_type(PeriodClosed)
+        assert len(closed) == 1
+        assert closed[0].total_cost == pytest.approx(report.service.total_cost)
+
+    def test_no_log_is_fine(self, sim):
+        simulator, _, trips = sim
+        simulator.event_log = None
+        report = simulator.run_period(trips)
+        assert report.trips_requested == 40

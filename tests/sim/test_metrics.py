@@ -1,0 +1,85 @@
+"""Tests for repro.sim.metrics (event-log analytics)."""
+
+import pytest
+
+from repro.sim import (
+    EventLog,
+    OfferMade,
+    OperatorStop,
+    PlacementDecided,
+    ServiceMetrics,
+    StationOpened,
+    TripExecuted,
+    TripRequested,
+    TripSkipped,
+    analyze_log,
+)
+from repro.sim.metrics import analyze_log as analyze
+
+
+def build_log():
+    log = EventLog()
+    # Three requests: two executed, one skipped.
+    for i in range(3):
+        log.emit(TripRequested(order_id=i))
+    log.emit(PlacementDecided(order_id=0, station_index=0, walking_cost=100.0))
+    log.emit(PlacementDecided(order_id=1, station_index=1, walking_cost=300.0))
+    log.emit(PlacementDecided(order_id=2, station_index=0, opened_new=True))
+    log.emit(StationOpened(station_index=2))
+    log.emit(TripExecuted(order_id=0, bike_id=0, from_station=0, to_station=1))
+    log.emit(TripExecuted(order_id=1, bike_id=1, from_station=0, to_station=1))
+    log.emit(TripSkipped(order_id=2, origin_station=0))
+    log.emit(OfferMade(order_id=0, accepted=True, incentive=2.0))
+    log.emit(OfferMade(order_id=1, accepted=False))
+    log.emit(OperatorStop(station=1, position=1, bikes_charged=3))
+    log.emit(OperatorStop(station=0, position=2, bikes_charged=2))
+    return log
+
+
+class TestAnalyzeLog:
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_log(EventLog())
+
+    def test_counts(self):
+        m = analyze_log(build_log())
+        assert m.trips_requested == 3
+        assert m.service_rate == pytest.approx(2 / 3)
+        assert m.stations_opened_online == 1
+        assert m.operator_stops == 2
+        assert m.bikes_charged == 5
+
+    def test_walk_percentiles_exclude_openings(self):
+        m = analyze_log(build_log())
+        # Only the two assigned decisions (100, 300) count.
+        assert m.walk_percentiles[50] == pytest.approx(200.0)
+        assert m.walk_percentiles[25] == pytest.approx(150.0)
+
+    def test_offer_funnel(self):
+        m = analyze_log(build_log())
+        assert m.offer_funnel == (2, 1)
+
+    def test_station_load_normalised(self):
+        m = analyze_log(build_log())
+        assert m.station_load == {1: 1.0}
+        assert m.load_concentration == pytest.approx(1.0)
+
+    def test_to_text(self):
+        text = analyze_log(build_log()).to_text()
+        assert "served 67%" in text
+        assert "2 offers -> 1 accepted" in text
+        assert "5 bikes charged" in text
+
+
+class TestEndToEnd:
+    def test_metrics_from_pipeline_log(self):
+        from repro.experiments import run_pipeline
+
+        result = run_pipeline(seed=1, volume=600)
+        log = result.extras["event_log"]
+        m = analyze(log)
+        report = result.extras["report"]
+        assert m.trips_requested == report.trips_requested
+        assert m.offer_funnel == (report.offers_made, report.offers_accepted)
+        assert 0.0 <= m.service_rate <= 1.0
+        assert m.bikes_charged == report.service.bikes_charged

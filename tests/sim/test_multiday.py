@@ -1,0 +1,141 @@
+"""Tests for multi-day simulation and the adaptive-alpha integration."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EsharingPlanner,
+    constant_facility_cost,
+    demand_points_from_stream,
+    offline_placement,
+)
+from repro.datasets import TripRecord
+from repro.energy import Fleet
+from repro.geo import Point
+from repro.incentives import (
+    AdaptiveAlphaController,
+    ChargingCostParams,
+    IncentiveConfig,
+    UserPopulation,
+)
+from repro.sim import OperatorConfig, SimulationSummary, SystemSimulator
+
+
+def make_trips(rng, centers, n, day):
+    trips = []
+    for i in range(n):
+        a = centers[int(rng.integers(len(centers)))]
+        b = centers[int(rng.integers(len(centers)))]
+        o1, o2 = rng.normal(0, 70, size=2), rng.normal(0, 70, size=2)
+        trips.append(
+            TripRecord(
+                order_id=i, user_id=i, bike_id=0, bike_type=1,
+                start_time=day + timedelta(minutes=i),
+                start=Point(a.x + float(o1[0]), a.y + float(o1[1])),
+                end=Point(b.x + float(o2[0]), b.y + float(o2[1])),
+            )
+        )
+    return trips
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(0)
+    centers = [Point(400, 400), Point(2600, 400), Point(400, 2600), Point(2600, 2600)]
+    historical = []
+    for _ in range(400):
+        c = centers[int(rng.integers(len(centers)))]
+        off = rng.normal(0, 70, size=2)
+        historical.append(Point(c.x + float(off[0]), c.y + float(off[1])))
+    cost_fn = constant_facility_cost(10_000.0)
+    offline = offline_placement(demand_points_from_stream(historical), cost_fn)
+    hist_arr = np.asarray([(p.x, p.y) for p in historical])
+    return centers, offline, hist_arr, cost_fn
+
+
+def build_sim(setup, alpha_controller=None, alpha=0.5):
+    centers, offline, hist_arr, cost_fn = setup
+    planner = EsharingPlanner(
+        offline.stations, cost_fn, hist_arr, np.random.default_rng(1)
+    )
+    fleet = Fleet(planner.stations, n_bikes=120, rng=np.random.default_rng(2))
+    return SystemSimulator(
+        planner, fleet,
+        charging_params=ChargingCostParams(service_cost=20.0),
+        incentive_config=IncentiveConfig(alpha=alpha),
+        population=UserPopulation(walk_mean=600.0, reward_mean=1.0),
+        operator_config=OperatorConfig(working_hours=10.0),
+        rng=np.random.default_rng(3),
+        alpha_controller=alpha_controller,
+    ), centers
+
+
+class TestRunDays:
+    def test_one_report_per_day(self, setup):
+        sim, centers = build_sim(setup)
+        rng = np.random.default_rng(4)
+        days = [
+            make_trips(rng, centers, 80, datetime(2017, 5, 10 + d, 8))
+            for d in range(3)
+        ]
+        reports = sim.run_days(days)
+        assert len(reports) == 3
+        assert len(sim.reports) == 3
+
+    def test_summary_aggregates(self, setup):
+        sim, centers = build_sim(setup)
+        rng = np.random.default_rng(5)
+        days = [
+            make_trips(rng, centers, 60, datetime(2017, 5, 10 + d, 8))
+            for d in range(2)
+        ]
+        sim.run_days(days)
+        summary = sim.summary()
+        assert isinstance(summary, SimulationSummary)
+        assert summary.periods == 2
+        assert summary.trips_requested == 120
+        assert summary.total_cost == pytest.approx(sim.total_cost())
+        assert 0.0 <= summary.service_rate <= 1.0
+        assert summary.final_station_count == len(sim.fleet.stations)
+
+    def test_summary_before_run_raises(self, setup):
+        sim, _ = build_sim(setup)
+        with pytest.raises(ValueError):
+            sim.summary()
+
+    def test_fleet_state_carries_over(self, setup):
+        """Bikes charged on day 1 do not reappear low on day 2's census."""
+        sim, centers = build_sim(setup)
+        rng = np.random.default_rng(6)
+        day1 = make_trips(rng, centers, 80, datetime(2017, 5, 10, 8))
+        r1 = sim.run_period(day1)
+        low_after_day1 = sim.fleet.low_energy_count()
+        assert r1.low_energy_after == low_after_day1
+        day2 = make_trips(rng, centers, 80, datetime(2017, 5, 11, 8))
+        r2 = sim.run_period(day2)
+        # Day 2's pre-tour census starts from day 1's end state (plus new
+        # drained bikes) — it cannot exceed the fleet size.
+        assert r2.service.bikes_low_before <= len(sim.fleet)
+
+
+class TestAdaptiveAlphaIntegration:
+    def test_controller_drives_alpha_over_days(self, setup):
+        ctrl = AdaptiveAlphaController(
+            alpha=0.1, window=10, target_acceptance=0.9, step=1.5, alpha_max=0.95
+        )
+        sim, centers = build_sim(setup, alpha_controller=ctrl, alpha=0.1)
+        # A stingy population: low alpha gets declined, pushing alpha up.
+        sim.mechanism.population = UserPopulation(
+            walk_mean=600.0, reward_mean=30.0, reward_std=5.0
+        )
+        rng = np.random.default_rng(7)
+        days = [
+            make_trips(rng, centers, 120, datetime(2017, 5, 10 + d, 8))
+            for d in range(2)
+        ]
+        sim.run_days(days)
+        if sim.mechanism.offers_made >= ctrl.window:
+            assert ctrl.alpha > 0.1
+            assert ctrl.adjustments >= 1

@@ -1,0 +1,158 @@
+"""Tests for repro.sim.simulator (the end-to-end system)."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EsharingPlanner,
+    constant_facility_cost,
+    demand_points_from_stream,
+    offline_placement,
+)
+from repro.datasets import TripRecord
+from repro.energy import Fleet
+from repro.geo import Point
+from repro.incentives import ChargingCostParams, IncentiveConfig, UserPopulation
+from repro.sim import OperatorConfig, SystemSimulator
+
+
+def hotspot_trips(rng, centers, n, start=datetime(2017, 5, 10, 8)):
+    trips = []
+    for i in range(n):
+        a = centers[int(rng.integers(len(centers)))]
+        b = centers[int(rng.integers(len(centers)))]
+        o1, o2 = rng.normal(0, 80, size=2), rng.normal(0, 80, size=2)
+        trips.append(
+            TripRecord(
+                order_id=i, user_id=i, bike_id=0, bike_type=1,
+                start_time=start + timedelta(minutes=i),
+                start=Point(a.x + float(o1[0]), a.y + float(o1[1])),
+                end=Point(b.x + float(o2[0]), b.y + float(o2[1])),
+            )
+        )
+    return trips
+
+
+@pytest.fixture
+def system():
+    rng = np.random.default_rng(0)
+    centers = [Point(500, 500), Point(2500, 500), Point(1500, 2500), Point(2500, 2500)]
+    historical_pts = []
+    for _ in range(400):
+        c = centers[int(rng.integers(len(centers)))]
+        off = rng.normal(0, 80, size=2)
+        historical_pts.append(Point(c.x + float(off[0]), c.y + float(off[1])))
+    cost_fn = constant_facility_cost(10_000.0)
+    offline = offline_placement(demand_points_from_stream(historical_pts), cost_fn)
+    historical = np.asarray([(p.x, p.y) for p in historical_pts])
+    planner = EsharingPlanner(
+        offline.stations, cost_fn, historical, np.random.default_rng(1)
+    )
+    fleet = Fleet(planner.stations, n_bikes=120, rng=np.random.default_rng(2))
+    sim = SystemSimulator(
+        planner,
+        fleet,
+        charging_params=ChargingCostParams(),
+        incentive_config=IncentiveConfig(alpha=0.5),
+        population=UserPopulation(),
+        operator_config=OperatorConfig(working_hours=50.0),
+        rng=np.random.default_rng(3),
+    )
+    return sim, centers
+
+
+class TestConstruction:
+    def test_station_mismatch_rejected(self, system):
+        sim, _ = system
+        other_fleet = Fleet([Point(0, 0)], n_bikes=3)
+        with pytest.raises(ValueError):
+            SystemSimulator(sim.planner, other_fleet)
+
+
+class TestRunPeriod:
+    def test_trips_accounted(self, system):
+        sim, centers = system
+        trips = hotspot_trips(np.random.default_rng(4), centers, 100)
+        report = sim.run_period(trips)
+        assert report.trips_requested == 100
+        assert report.trips_executed + report.trips_skipped_empty == 100
+        assert report.trips_executed > 0
+
+    def test_online_stations_join_fleet(self, system):
+        sim, centers = system
+        # Demand at a brand-new hotspot opens online stations; the fleet
+        # must track them so later trips can route there.
+        new_hotspot = [Point(100, 2900)]
+        trips = hotspot_trips(np.random.default_rng(5), new_hotspot, 120)
+        sim.run_period(trips)
+        assert len(sim.fleet.stations) == len(sim.planner.stations)
+
+    def test_report_recorded(self, system):
+        sim, centers = system
+        trips = hotspot_trips(np.random.default_rng(6), centers, 50)
+        sim.run_period(trips)
+        assert len(sim.reports) == 1
+        assert sim.total_cost() == sim.reports[0].service.total_cost
+
+    def test_incentives_flow_into_service_report(self, system):
+        sim, centers = system
+        trips = hotspot_trips(np.random.default_rng(7), centers, 200)
+        report = sim.run_period(trips)
+        assert report.service.incentives_paid == pytest.approx(report.incentives_paid)
+        assert report.relocated_bikes == report.offers_accepted
+
+    def test_operator_reduces_low_energy(self, system):
+        sim, centers = system
+        trips = hotspot_trips(np.random.default_rng(8), centers, 200)
+        low_before = sim.fleet.low_energy_count()
+        report = sim.run_period(trips)
+        # With a generous shift the operator clears (almost) everything.
+        assert report.low_energy_after <= max(low_before, report.service.bikes_low_before)
+        assert report.service.percent_charged > 50.0
+
+
+class TestIncentiveEffect:
+    """The paper's Tier-2 claim at system level (Table VI shape)."""
+
+    def _run(self, alpha, shift_hours=3.0, seed=0):
+        rng = np.random.default_rng(10)
+        centers = [
+            Point(400, 400), Point(2600, 400), Point(400, 2600),
+            Point(2600, 2600), Point(1500, 1500), Point(1500, 400),
+        ]
+        historical_pts = []
+        for _ in range(500):
+            c = centers[int(rng.integers(len(centers)))]
+            off = rng.normal(0, 80, size=2)
+            historical_pts.append(Point(c.x + float(off[0]), c.y + float(off[1])))
+        cost_fn = constant_facility_cost(10_000.0)
+        offline = offline_placement(demand_points_from_stream(historical_pts), cost_fn)
+        historical = np.asarray([(p.x, p.y) for p in historical_pts])
+        planner = EsharingPlanner(
+            offline.stations, cost_fn, historical, np.random.default_rng(seed)
+        )
+        fleet = Fleet(planner.stations, n_bikes=150, rng=np.random.default_rng(seed + 1))
+        sim = SystemSimulator(
+            planner, fleet,
+            charging_params=ChargingCostParams(service_cost=20.0),
+            incentive_config=IncentiveConfig(alpha=alpha),
+            population=UserPopulation(walk_mean=500.0, reward_mean=0.3),
+            operator_config=OperatorConfig(
+                working_hours=shift_hours, travel_speed_kmh=10.0, service_time_h=0.4
+            ),
+            rng=np.random.default_rng(seed + 2),
+        )
+        trips = hotspot_trips(np.random.default_rng(seed + 3), centers, 300)
+        return sim.run_period(trips)
+
+    def test_incentives_raise_percent_charged(self):
+        no_inc = self._run(alpha=0.0)
+        with_inc = self._run(alpha=0.7)
+        assert with_inc.service.percent_charged >= no_inc.service.percent_charged
+
+    def test_alpha_zero_pays_nothing(self):
+        report = self._run(alpha=0.0)
+        assert report.incentives_paid == 0.0
+        assert report.offers_made == 0

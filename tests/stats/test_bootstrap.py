@@ -1,0 +1,91 @@
+"""Tests for repro.stats.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap_ci, ks_similarity_ci
+
+
+class TestBootstrapCI:
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([], np.mean, rng)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], np.mean, rng, n_resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], np.mean, rng, confidence=1.0)
+
+    def test_constant_sample_degenerate_interval(self):
+        rng = np.random.default_rng(1)
+        point, lo, hi = bootstrap_ci([5.0] * 20, np.mean, rng)
+        assert point == lo == hi == 5.0
+
+    def test_interval_contains_point_for_mean(self):
+        rng = np.random.default_rng(2)
+        sample = rng.normal(10, 2, size=100)
+        point, lo, hi = bootstrap_ci(sample, np.mean, rng)
+        assert lo <= point <= hi
+
+    def test_interval_covers_true_mean_usually(self):
+        """~95% of intervals should cover the true mean."""
+        covered = 0
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            sample = rng.normal(0, 1, size=80)
+            _, lo, hi = bootstrap_ci(sample, np.mean, rng, n_resamples=300)
+            if lo <= 0.0 <= hi:
+                covered += 1
+        assert covered >= 32  # >= 80% in a small trial run
+
+    def test_wider_interval_for_smaller_sample(self):
+        rng_small = np.random.default_rng(3)
+        rng_big = np.random.default_rng(3)
+        base = np.random.default_rng(4).normal(0, 1, size=400)
+        _, lo_s, hi_s = bootstrap_ci(base[:20], np.mean, rng_small, n_resamples=400)
+        _, lo_b, hi_b = bootstrap_ci(base, np.mean, rng_big, n_resamples=400)
+        assert (hi_s - lo_s) > (hi_b - lo_b)
+
+    def test_works_with_other_statistics(self):
+        rng = np.random.default_rng(5)
+        sample = rng.exponential(2.0, size=60)
+        point, lo, hi = bootstrap_ci(sample, np.median, rng)
+        assert lo <= point <= hi
+
+
+class TestKSSimilarityCI:
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        good = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            ks_similarity_ci(np.zeros((0, 2)), good, rng)
+        with pytest.raises(ValueError):
+            ks_similarity_ci(np.zeros((5, 3)), good, rng)
+        with pytest.raises(ValueError):
+            ks_similarity_ci(good, good, rng, n_resamples=0)
+        with pytest.raises(ValueError):
+            ks_similarity_ci(good, good, rng, confidence=0.0)
+
+    def test_same_distribution_high_similarity(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(150, 2))
+        b = rng.normal(size=(150, 2))
+        point, lo, hi = ks_similarity_ci(a, b, rng, n_resamples=50)
+        assert lo <= point <= hi + 5.0  # bootstrap bias can nudge the band
+        assert point > 80.0
+
+    def test_different_distributions_interval_below_same(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(150, 2))
+        far = rng.normal(loc=3.0, size=(150, 2))
+        p_same, _, _ = ks_similarity_ci(a, rng.normal(size=(150, 2)), rng, n_resamples=40)
+        p_far, _, hi_far = ks_similarity_ci(a, far, rng, n_resamples=40)
+        assert p_far < p_same
+        assert hi_far < p_same
+
+    def test_interval_bounds_within_0_100(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(size=(60, 2))
+        b = rng.uniform(size=(60, 2))
+        _, lo, hi = ks_similarity_ci(a, b, rng, n_resamples=40)
+        assert 0.0 <= lo <= hi <= 100.0

@@ -1,0 +1,99 @@
+"""Tests for repro.stats.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.geo import Point
+from repro.stats import (
+    REQUEST_DISTRIBUTIONS,
+    empirical_cdf_2d,
+    sample_normal,
+    sample_poisson_ring,
+    sample_uniform,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestSamplers:
+    def test_uniform_count_and_extent(self, rng):
+        pts = sample_uniform(rng, 500, extent=100.0)
+        assert len(pts) == 500
+        assert all(-100 <= p.x <= 100 and -100 <= p.y <= 100 for p in pts)
+
+    def test_uniform_zero(self, rng):
+        assert sample_uniform(rng, 0) == []
+
+    def test_uniform_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_uniform(rng, -1)
+
+    def test_normal_concentrates_near_origin(self, rng):
+        pts = sample_normal(rng, 2000, sigma=10.0)
+        radii = np.hypot([p.x for p in pts], [p.y for p in pts])
+        # Mean radius of a 2-D Gaussian is sigma * sqrt(pi/2) ~ 12.5.
+        assert np.mean(radii) == pytest.approx(12.53, rel=0.1)
+
+    def test_normal_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_normal(rng, -5)
+
+    def test_poisson_ring_mid_range(self, rng):
+        pts = sample_poisson_ring(rng, 2000, rate=3.0, scale=100.0)
+        radii = np.hypot([p.x for p in pts], [p.y for p in pts])
+        # Radii ~ scale * (Poisson(3) + U) => mean ~ 350.
+        assert np.mean(radii) == pytest.approx(350.0, rel=0.1)
+        # Mid-range concentration: few points very close to the origin.
+        assert np.mean(radii < 50.0) < 0.1
+
+    def test_poisson_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_poisson_ring(rng, -2)
+
+    def test_registry_names(self):
+        assert set(REQUEST_DISTRIBUTIONS) == {"uniform", "poisson", "normal"}
+
+    def test_registry_callables_produce_points(self, rng):
+        for name, fn in REQUEST_DISTRIBUTIONS.items():
+            pts = fn(rng, 10)
+            assert len(pts) == 10
+            assert all(isinstance(p, Point) for p in pts)
+
+    def test_reproducible_with_seed(self):
+        a = sample_normal(np.random.default_rng(7), 20)
+        b = sample_normal(np.random.default_rng(7), 20)
+        assert a == b
+
+
+class TestEmpiricalCDF:
+    def test_corners(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        assert empirical_cdf_2d(data, -1, -1) == 0.0
+        assert empirical_cdf_2d(data, 10, 10) == 1.0
+
+    def test_half(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert empirical_cdf_2d(data, 0.5, 0.5) == pytest.approx(0.5)
+
+    def test_strict_inequality(self):
+        data = np.array([[1.0, 1.0]])
+        assert empirical_cdf_2d(data, 1.0, 1.0) == 0.0
+
+    def test_monotone_in_both_axes(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(200, 2))
+        v1 = empirical_cdf_2d(data, 0.0, 0.0)
+        v2 = empirical_cdf_2d(data, 1.0, 0.0)
+        v3 = empirical_cdf_2d(data, 1.0, 1.0)
+        assert v1 <= v2 <= v3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf_2d(np.empty((0, 2)), 0, 0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf_2d(np.zeros((5,)), 0, 0)

@@ -1,0 +1,130 @@
+"""Tests for repro.stats.ks2d (Peacock 2-D KS test)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import KSResult, ks2d_fast, ks2d_peacock, similarity_percent
+
+
+def gaussian_sample(rng, n, mean=(0.0, 0.0), sigma=1.0):
+    return rng.normal(loc=mean, scale=sigma, size=(n, 2))
+
+
+class TestKS2DBasics:
+    def test_identical_samples_zero_statistic(self):
+        rng = np.random.default_rng(0)
+        a = gaussian_sample(rng, 100)
+        for fn in (ks2d_fast, ks2d_peacock):
+            res = fn(a, a)
+            assert res.statistic == pytest.approx(0.0, abs=1e-12)
+            assert res.similarity == pytest.approx(100.0)
+
+    def test_disjoint_samples_near_one(self):
+        rng = np.random.default_rng(1)
+        a = gaussian_sample(rng, 200, mean=(0, 0), sigma=0.1)
+        b = gaussian_sample(rng, 200, mean=(100, 100), sigma=0.1)
+        res = ks2d_fast(a, b)
+        assert res.statistic > 0.95
+
+    def test_statistic_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        a = gaussian_sample(rng, 50)
+        b = gaussian_sample(rng, 60, mean=(0.5, 0.5))
+        for fn in (ks2d_fast, ks2d_peacock):
+            res = fn(a, b)
+            assert 0.0 <= res.statistic <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        a = gaussian_sample(rng, 80)
+        b = gaussian_sample(rng, 90, mean=(1, 0))
+        assert ks2d_fast(a, b).statistic == pytest.approx(ks2d_fast(b, a).statistic)
+
+    def test_same_distribution_small_statistic(self):
+        rng = np.random.default_rng(4)
+        a = gaussian_sample(rng, 400)
+        b = gaussian_sample(rng, 400)
+        assert ks2d_fast(a, b).statistic < 0.15
+
+    def test_shifted_distribution_larger_statistic(self):
+        rng = np.random.default_rng(5)
+        a = gaussian_sample(rng, 300)
+        same = gaussian_sample(rng, 300)
+        shifted = gaussian_sample(rng, 300, mean=(2.0, 2.0))
+        d_same = ks2d_fast(a, same).statistic
+        d_shift = ks2d_fast(a, shifted).statistic
+        assert d_shift > d_same
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ks2d_fast(np.empty((0, 2)), np.zeros((5, 2)))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ks2d_fast(np.zeros((5, 3)), np.zeros((5, 2)))
+
+    def test_result_fields(self):
+        rng = np.random.default_rng(6)
+        res = ks2d_fast(gaussian_sample(rng, 30), gaussian_sample(rng, 40))
+        assert isinstance(res, KSResult)
+        assert res.n1 == 30 and res.n2 == 40
+        assert 0.0 <= res.p_value <= 1.0
+
+
+class TestPeacockVsFast:
+    def test_peacock_at_least_fast(self):
+        # Peacock enumerates a superset of corners, so its sup can only be >=.
+        rng = np.random.default_rng(7)
+        a = gaussian_sample(rng, 60)
+        b = gaussian_sample(rng, 60, mean=(0.5, 0))
+        d_fast = ks2d_fast(a, b).statistic
+        d_peacock = ks2d_peacock(a, b, max_grid=128).statistic
+        assert d_peacock >= d_fast - 1e-12
+
+    def test_peacock_grid_cap_stable(self):
+        rng = np.random.default_rng(8)
+        a = gaussian_sample(rng, 150)
+        b = gaussian_sample(rng, 150, mean=(1, 1))
+        d_small = ks2d_peacock(a, b, max_grid=16).statistic
+        d_big = ks2d_peacock(a, b, max_grid=64).statistic
+        assert abs(d_small - d_big) < 0.1
+
+
+class TestPValue:
+    def test_same_distribution_high_p(self):
+        rng = np.random.default_rng(9)
+        a = gaussian_sample(rng, 300)
+        b = gaussian_sample(rng, 300)
+        assert ks2d_fast(a, b).p_value > 0.05
+
+    def test_different_distribution_low_p(self):
+        rng = np.random.default_rng(10)
+        a = gaussian_sample(rng, 300, sigma=0.2)
+        b = gaussian_sample(rng, 300, mean=(3, 3), sigma=0.2)
+        assert ks2d_fast(a, b).p_value < 0.01
+
+
+class TestSimilarityPercent:
+    def test_range(self):
+        rng = np.random.default_rng(11)
+        s = similarity_percent(gaussian_sample(rng, 50), gaussian_sample(rng, 50))
+        assert 0.0 <= s <= 100.0
+
+    def test_exact_flag_uses_peacock(self):
+        rng = np.random.default_rng(12)
+        a = gaussian_sample(rng, 40)
+        b = gaussian_sample(rng, 40, mean=(0.3, 0.3))
+        s_exact = similarity_percent(a, b, exact=True)
+        s_fast = similarity_percent(a, b, exact=False)
+        assert s_exact <= s_fast + 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_statistic_bounds_property(self, seed):
+        rng = np.random.default_rng(seed)
+        a = gaussian_sample(rng, 30)
+        b = gaussian_sample(rng, 30, mean=(rng.uniform(-2, 2), rng.uniform(-2, 2)))
+        res = ks2d_fast(a, b)
+        assert 0.0 <= res.statistic <= 1.0
+        assert res.similarity == pytest.approx(100 * (1 - res.statistic))

@@ -1,0 +1,77 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses_with_options(self):
+        args = build_parser().parse_args(["run", "fig5", "--seed", "3", "--csv", "x.csv"])
+        assert args.experiment == "fig5"
+        assert args.seed == 3
+        assert args.csv == "x.csv"
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "finished in" in out
+
+    def test_run_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig7a.csv"
+        assert main(["run", "fig7a", "--csv", str(csv_path)]) == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("m,")
+        assert len(lines) > 2
+
+    def test_run_respects_seed(self, capsys):
+        assert main(["run", "thm1", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=5" in out
+
+
+class TestStatsCommand:
+    def test_synthetic_stats(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "--days", "3", "--volume", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "workload: synthetic" in out
+        assert "peak hours" in out
+
+    def test_mobike_stats(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.datasets import SyntheticConfig, mobike_like_dataset, save_mobike_csv
+
+        ds = mobike_like_dataset(
+            seed=1, days=2,
+            config=SyntheticConfig(trips_per_weekday=80, trips_per_weekend_day=60),
+        )
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(ds, path)
+        assert main(["stats", "--mobike", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert str(path) in out
+        assert "trips:" in out

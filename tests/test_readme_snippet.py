@@ -1,0 +1,45 @@
+"""The README quickstart snippet must keep working verbatim.
+
+Mirrors the code block in README.md step by step; if an API change
+breaks this test, update the README in the same commit.
+"""
+
+import numpy as np
+
+
+def test_readme_quickstart_snippet():
+    from repro.core import (
+        DemandPoint,
+        offline_placement,
+        esharing_placement,
+        uniform_facility_cost,
+    )
+    from repro.datasets import mobike_like_dataset
+    from repro.geo import DemandGrid, UniformGrid
+
+    # Reduced volume so the doc test stays fast; structure identical.
+    from repro.datasets import SyntheticConfig
+
+    trips = mobike_like_dataset(
+        seed=7, days=7,
+        config=SyntheticConfig(trips_per_weekday=400, trips_per_weekend_day=300),
+    )
+    grid = UniformGrid(trips.bounding_box(margin=50.0), cell_size=150.0)
+    demand = DemandGrid(grid)
+    demand.add_many(r.end for r in trips)
+    demands = [DemandPoint(grid.centroid(c), n) for c, n in demand.top_cells(120)]
+
+    cost_fn = uniform_facility_cost(10_000.0, np.random.default_rng(0))
+    anchor = offline_placement(demands, cost_fn)
+
+    result = esharing_placement(
+        stream=trips.destinations()[:500],
+        offline_stations=anchor.stations,
+        facility_cost=cost_fn,
+        historical=trips.destination_array(),
+        rng=np.random.default_rng(1),
+    )
+    summary = result.summary()
+    assert "#parking=" in summary
+    assert result.n_stations >= anchor.n_stations
+    assert result.total > 0
