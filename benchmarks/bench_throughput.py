@@ -5,18 +5,96 @@ the table), these measure real latency: requests/second through
 Algorithm 2's decision path and the periodic KS test, the two hot spots
 of the server backend.  pytest-benchmark runs them with its normal
 multi-round protocol.
+
+This module also hosts the StationSet backend sweep: requests/second of
+the ``linear`` reference vs the ``grid`` index across a station-count
+sweep, persisted machine-readably to ``BENCH_throughput.json`` at the
+repo root.  Run standalone (``python benchmarks/bench_throughput.py``)
+to regenerate the JSON; ``--smoke`` runs a seconds-scale subset for CI.
 """
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.core import (
+    BACKENDS,
     EsharingConfig,
     EsharingPlanner,
+    StationSet,
     constant_facility_cost,
 )
 from repro.geo import Point
 from repro.stats import ks2d_fast
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+EXTENT_M = 30_000.0  # city-scale study region side length
+SWEEP_COUNTS = (1_000, 3_000, 10_000)
+
+
+def run_backend_sweep(station_counts=SWEEP_COUNTS, n_queries=500, seed=0):
+    """Time ``StationSet.nearest`` per backend over a station-count sweep.
+
+    Both backends answer the same seeded query stream and must return the
+    same station ids (the sweep doubles as a parity check at scale).
+    Returns the JSON-ready report dict.
+    """
+    rng = np.random.default_rng(seed)
+    sweep = []
+    for n in station_counts:
+        stations = [
+            Point(float(x), float(y)) for x, y in rng.uniform(0, EXTENT_M, (n, 2))
+        ]
+        queries = [
+            Point(float(x), float(y))
+            for x, y in rng.uniform(0, EXTENT_M, (n_queries, 2))
+        ]
+        # Cell size near the mean station spacing keeps ring expansions short.
+        cell_size = EXTENT_M / math.sqrt(n)
+        entry = {"stations": n, "queries": n_queries, "backends": {}}
+        answers = {}
+        for backend in BACKENDS:
+            store = StationSet(stations, backend=backend, cell_size=cell_size)
+            start = time.perf_counter()
+            answers[backend] = [store.nearest(q)[0] for q in queries]
+            elapsed = time.perf_counter() - start
+            entry["backends"][backend] = {
+                "seconds": elapsed,
+                "requests_per_sec": n_queries / elapsed,
+            }
+        if answers["grid"] != answers["linear"]:
+            raise AssertionError(f"backend results diverged at n={n}")
+        entry["grid_speedup"] = (
+            entry["backends"]["grid"]["requests_per_sec"]
+            / entry["backends"]["linear"]["requests_per_sec"]
+        )
+        sweep.append(entry)
+    return {
+        "benchmark": "StationSet.nearest backend sweep",
+        "extent_m": EXTENT_M,
+        "seed": seed,
+        "sweep": sweep,
+    }
+
+
+def write_backend_sweep(report, path=BENCH_JSON):
+    """Persist the sweep report as pretty-printed JSON; returns the path."""
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def _print_sweep(report):
+    print(f"{'stations':>9} {'linear req/s':>13} {'grid req/s':>12} {'speedup':>8}")
+    for row in report["sweep"]:
+        lin = row["backends"]["linear"]["requests_per_sec"]
+        grd = row["backends"]["grid"]["requests_per_sec"]
+        print(f"{row['stations']:>9} {lin:>13.0f} {grd:>12.0f} {row['grid_speedup']:>7.1f}x")
 
 
 @pytest.fixture(scope="module")
@@ -60,3 +138,43 @@ def test_ks_test_latency(benchmark):
     result = benchmark(lambda: ks2d_fast(a, b))
     assert 0.0 <= result.statistic <= 1.0
     assert benchmark.stats["mean"] < 0.5
+
+
+def test_backend_sweep_grid_speedup():
+    """The grid backend must beat the linear scan >= 3x at 10k stations;
+    the sweep is persisted to BENCH_throughput.json for the record."""
+    report = run_backend_sweep()
+    print()
+    _print_sweep(report)
+    write_backend_sweep(report)
+    at_10k = next(r for r in report["sweep"] if r["stations"] == 10_000)
+    assert at_10k["grid_speedup"] >= 3.0, (
+        f"grid only {at_10k['grid_speedup']:.1f}x linear at 10k stations"
+    )
+
+
+def main(argv=None):
+    """Standalone entry point: run the backend sweep and write the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset for CI (small sweep, no speedup gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        report = run_backend_sweep(station_counts=(500, 2_000), n_queries=200)
+        _print_sweep(report)
+        return 0
+    report = run_backend_sweep()
+    path = write_backend_sweep(report)
+    _print_sweep(report)
+    print(f"wrote {path}")
+    at_10k = next(r for r in report["sweep"] if r["stations"] == 10_000)
+    if at_10k["grid_speedup"] < 3.0:
+        print(f"FAIL: grid only {at_10k['grid_speedup']:.1f}x linear at 10k stations")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ from .costs import (
     walking_cost,
 )
 from .result import PlacementResult, evaluate_placement
+from .station_set import BACKENDS, StationSet
 from .offline import offline_placement
 from .online_meyerson import meyerson_placement
 from .online_kmeans import online_kmeans_placement
@@ -47,6 +48,8 @@ __all__ = [
     "walking_cost",
     "PlacementResult",
     "evaluate_placement",
+    "BACKENDS",
+    "StationSet",
     "offline_placement",
     "meyerson_placement",
     "online_kmeans_placement",

@@ -26,7 +26,6 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ..geo.distance import nearest_point_index, pairwise_distances
 from ..geo.points import Point
 from ..stats.ks2d import ks2d_fast, ks2d_peacock
 from .costs import DemandPoint, FacilityCostFn
@@ -38,6 +37,7 @@ from .penalty import (
     select_penalty,
 )
 from .result import PlacementResult
+from .station_set import BACKENDS, StationSet
 
 __all__ = ["EsharingConfig", "EsharingDecision", "esharing_placement", "EsharingPlanner"]
 
@@ -71,6 +71,13 @@ class EsharingConfig:
         fixed_penalty: pin the penalty function to one type (a name from
             :data:`repro.core.penalty.PENALTY_REGISTRY`) instead of
             switching by KS similarity — the ablation of Section V-B.
+        nn_backend: nearest-neighbour backend of the underlying
+            :class:`~repro.core.station_set.StationSet` — ``"linear"``
+            (reference O(k) scan) or ``"grid"`` (bucketed index,
+            sub-linear per request at production station counts).
+            Placement output is bit-identical across backends.
+        nn_cell_size: grid-bucket side (metres) for the ``"grid"``
+            backend; ``None`` uses the StationSet default.
     """
 
     beta: float = 1.5
@@ -81,6 +88,8 @@ class EsharingConfig:
     initial_open_cost_m: Optional[float] = None
     reset_on_shift: bool = True
     fixed_penalty: Optional[str] = None
+    nn_backend: str = "linear"
+    nn_cell_size: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.beta < 1.0:
@@ -99,11 +108,25 @@ class EsharingConfig:
                     f"unknown penalty {self.fixed_penalty!r}; "
                     f"choose from {sorted(PENALTY_REGISTRY)}"
                 )
+        if self.nn_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown nn_backend {self.nn_backend!r}; choose from {BACKENDS}"
+            )
+        if self.nn_cell_size is not None and self.nn_cell_size <= 0:
+            raise ValueError(
+                f"nn_cell_size must be positive, got {self.nn_cell_size}"
+            )
 
 
 @dataclass(frozen=True)
 class EsharingDecision:
-    """Trace entry for one request."""
+    """Trace entry for one request.
+
+    ``station_index`` is the *stable id* of the assigned (or newly
+    opened) station in the planner's :class:`StationSet`: it survives
+    later removals, and equals the position in ``planner.stations``
+    whenever no station has been removed.
+    """
 
     destination: Point
     station_index: int
@@ -136,10 +159,15 @@ class EsharingPlanner:
         rng: np.random.Generator,
         config: Optional[EsharingConfig] = None,
     ) -> None:
+        offline_stations = list(offline_stations)
         if not offline_stations:
             raise ValueError("Algorithm 2 needs a non-empty offline anchor set")
         self.config = config or EsharingConfig()
-        self.stations: List[Point] = list(offline_stations)
+        self.station_set = StationSet(
+            offline_stations,
+            backend=self.config.nn_backend,
+            cell_size=self.config.nn_cell_size,
+        )
         self.k = len(offline_stations)
         self._facility_cost = facility_cost
         self._historical = np.asarray(historical, dtype=float)
@@ -153,10 +181,10 @@ class EsharingPlanner:
             self._historical = self._historical[idx]
         self._rng = rng
         # Line 3: w* = min pairwise distance / 2 (0 for a single anchor).
+        # The StationSet maintains the minimum spacing incrementally as
+        # anchors are loaded, replacing the O(k^2) matrix rebuild.
         if self.k >= 2:
-            pd = pairwise_distances(self.stations)
-            np.fill_diagonal(pd, np.inf)
-            w_star = float(np.min(pd)) / 2.0
+            w_star = self.station_set.min_spacing() / 2.0
         else:
             w_star = self.config.tolerance_m
         # Line 4 rescales the opening cost so that it starts *small*
@@ -193,18 +221,22 @@ class EsharingPlanner:
         self.online_opened: List[int] = []
         self.similarity_history: List[float] = []
 
+    @property
+    def stations(self) -> List[Point]:
+        """Locations of the active stations, in ascending-id order."""
+        return self.station_set.locations()
+
     # ------------------------------------------------------------------
     def offer(self, destination: Point) -> EsharingDecision:
         """Process one request (lines 5-11 of Algorithm 2)."""
-        idx, c_ij = nearest_point_index(destination, self.stations)
+        idx, c_ij = self.station_set.nearest(destination)
         scaled_f = self._facility_cost(destination) * self._cost_scale
         g = self.penalty.value(c_ij)
         prob = 1.0 if scaled_f <= 0 else min(g * c_ij / scaled_f, 1.0)
         opened = bool(self._rng.uniform() < prob) and c_ij > 0
         if opened:
-            station_index = len(self.stations)
+            station_index = self.station_set.add(destination)
             self.online_opened.append(station_index)
-            self.stations.append(destination)
             self.space += self._facility_cost(destination)
             walking_cost = 0.0
         else:
@@ -231,20 +263,18 @@ class EsharingPlanner:
     def remove_station(self, station_index: int) -> None:
         """Footnote 2: a station emptied of E-bikes leaves ``P``.
 
-        The location may be re-opened by a later request.  Space cost
+        ``station_index`` is the station's stable id.  The location may
+        be re-opened by a later request (under a fresh id).  Space cost
         already paid is not refunded.
 
         Raises:
-            IndexError: on an invalid index.
+            IndexError: on an unknown or already-removed id.
         """
-        if not 0 <= station_index < len(self.stations):
-            raise IndexError(f"station index {station_index} out of range")
-        del self.stations[station_index]
-        self.online_opened = [
-            i if i < station_index else i - 1
-            for i in self.online_opened
-            if i != station_index
-        ]
+        if station_index not in self.station_set:
+            raise IndexError(f"no active station with id {station_index}")
+        self.station_set.remove(station_index)
+        # Ids are stable, so surviving entries need no re-numbering.
+        self.online_opened = [i for i in self.online_opened if i != station_index]
         self._removals += 1
 
     # ------------------------------------------------------------------
@@ -290,11 +320,11 @@ class EsharingPlanner:
         """Snapshot of the run as a :class:`PlacementResult`.
 
         Raises:
-            RuntimeError: if stations were removed during the run —
-                decision indices then no longer address the surviving
-                station list.  Use
+            RuntimeError: if stations were removed during the run — the
+                dense station list of a :class:`PlacementResult` cannot
+                express retired ids.  Use
                 :class:`~repro.core.streaming.PlacementService`, which
-                maintains stable station ids across removals.
+                reports through the stable ids directly.
         """
         if self._removals:
             raise RuntimeError(
@@ -302,7 +332,7 @@ class EsharingPlanner:
                 "are stale — use PlacementService for id-stable accounting"
             )
         return PlacementResult(
-            stations=list(self.stations),
+            stations=self.stations,
             assignment=[d.station_index for d in self.decisions],
             walking=self.walking,
             space=self.space,

@@ -24,10 +24,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..geo.distance import nearest_point_index, pairwise_distances
 from ..geo.points import Point
 from .costs import DemandPoint, FacilityCostFn
 from .result import PlacementResult
+from .station_set import StationSet
 
 __all__ = ["online_kmeans_placement"]
 
@@ -38,6 +38,8 @@ def online_kmeans_placement(
     facility_cost: FacilityCostFn,
     rng: np.random.Generator,
     gamma: Optional[float] = None,
+    nn_backend: str = "linear",
+    nn_cell_size: Optional[float] = None,
 ) -> PlacementResult:
     """Run online k-means clustering over a destination stream.
 
@@ -50,6 +52,9 @@ def online_kmeans_placement(
         rng: randomness for the opening coin flips.
         gamma: per-phase opening budget before ``f`` doubles; defaults to
             ``3 * k * (1 + log2(n))`` as in [26].
+        nn_backend: :class:`StationSet` nearest-neighbour backend
+            (``"linear"`` or ``"grid"``); output is identical either way.
+        nn_cell_size: grid-bucket side for the ``"grid"`` backend.
 
     Raises:
         ValueError: if ``k`` is not positive.
@@ -58,7 +63,7 @@ def online_kmeans_placement(
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     n = len(stream)
-    stations: List[Point] = []
+    stations = StationSet(backend=nn_backend, cell_size=nn_cell_size)
     assignment: List[int] = []
     online_opened: List[int] = []
     walking = 0.0
@@ -68,20 +73,20 @@ def online_kmeans_placement(
 
     warmup = min(k + 1, n)
     for t in range(warmup):
-        online_opened.append(len(stations))
-        stations.append(stream[t])
+        # Centres are never closed, so stable ids are dense positions.
+        online_opened.append(stations.add(stream[t]))
         space += facility_cost(stream[t])
-        assignment.append(len(stations) - 1)
+        assignment.append(online_opened[-1])
     if n <= k + 1:
         return PlacementResult(
-            stations, assignment, walking, space,
+            stations.locations(), assignment, walking, space,
             demands=[DemandPoint(p) for p in stream], online_opened=online_opened,
         )
 
-    pd = pairwise_distances(stations)
-    np.fill_diagonal(pd, np.inf)
-    w_star = float(np.min(pd) ** 2) / 2.0
-    if w_star <= 0:  # coincident warm-up points
+    # The StationSet tracks the minimum centre spacing incrementally as
+    # the warm-up loads, replacing the pairwise-matrix rebuild.
+    w_star = float(stations.min_spacing() ** 2) / 2.0
+    if w_star <= 0 or not math.isfinite(w_star):  # coincident warm-up points
         w_star = 1.0
     f = w_star / k
     budget = gamma if gamma is not None else 3.0 * k * (1.0 + math.log2(max(n, 2)))
@@ -89,13 +94,12 @@ def online_kmeans_placement(
 
     for t in range(warmup, n):
         dest = stream[t]
-        idx, dist = nearest_point_index(dest, stations)
+        idx, dist = stations.nearest(dest)
         prob = min(dist**2 / f, 1.0)
         if rng.uniform() < prob:
-            online_opened.append(len(stations))
-            stations.append(dest)
+            online_opened.append(stations.add(dest))
             space += facility_cost(dest)
-            assignment.append(len(stations) - 1)
+            assignment.append(online_opened[-1])
             opened_this_phase += 1
             if opened_this_phase >= budget:
                 f *= 2.0
@@ -104,7 +108,7 @@ def online_kmeans_placement(
             assignment.append(idx)
             walking += dist
     return PlacementResult(
-        stations=stations,
+        stations=stations.locations(),
         assignment=assignment,
         walking=walking,
         space=space,

@@ -17,11 +17,11 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..geo.distance import nearest_point_index
 from ..geo.points import Point
 from .costs import DemandPoint, FacilityCostFn
 from .penalty import PenaltyFunction
 from .result import PlacementResult
+from .station_set import StationSet
 
 __all__ = ["meyerson_placement"]
 
@@ -32,6 +32,8 @@ def meyerson_placement(
     rng: np.random.Generator,
     initial_stations: Optional[Sequence[Point]] = None,
     penalty: Optional[PenaltyFunction] = None,
+    nn_backend: str = "linear",
+    nn_cell_size: Optional[float] = None,
 ) -> PlacementResult:
     """Run Meyerson's online algorithm over a destination stream.
 
@@ -45,19 +47,24 @@ def meyerson_placement(
             probability becomes ``min(g(d) * d / f, 1)`` — the setting of
             the paper's Section V-B sector experiment (Table III), where
             ``no penalty`` is plain Meyerson.
+        nn_backend: :class:`StationSet` nearest-neighbour backend
+            (``"linear"`` or ``"grid"``); output is identical either way.
+        nn_cell_size: grid-bucket side for the ``"grid"`` backend.
 
     Returns:
         :class:`PlacementResult`; ``assignment[t]`` is the irrevocable
         decision for the ``t``-th request.
     """
-    stations: List[Point] = list(initial_stations or [])
-    space = sum(facility_cost(s) for s in stations)
+    stations = StationSet(
+        initial_stations, backend=nn_backend, cell_size=nn_cell_size
+    )
+    space = sum(facility_cost(s) for s in stations.locations())
     online_opened: List[int] = []
     assignment: List[int] = []
     walking = 0.0
     for dest in stream:
-        if stations:
-            idx, dist = nearest_point_index(dest, stations)
+        if len(stations):
+            idx, dist = stations.nearest(dest)
         else:
             idx, dist = -1, float("inf")
         f = facility_cost(dest)
@@ -66,15 +73,16 @@ def meyerson_placement(
             g = penalty.value(dist)
         prob = 1.0 if f <= 0 else min(g * dist / f, 1.0)
         if rng.uniform() < prob:
-            online_opened.append(len(stations))
-            stations.append(dest)
+            # No removals happen here, so the stable id doubles as the
+            # position in the final dense station list.
+            online_opened.append(stations.add(dest))
             space += f
-            assignment.append(len(stations) - 1)
+            assignment.append(online_opened[-1])
         else:
             assignment.append(idx)
             walking += dist
     return PlacementResult(
-        stations=stations,
+        stations=stations.locations(),
         assignment=assignment,
         walking=walking,
         space=space,

@@ -1,0 +1,246 @@
+"""The unified station store behind every online planner and the simulator.
+
+Algorithm 2, both online baselines, the Fig. 3 placement service, the
+system simulator and the Tier-2 incentive mechanism all ask the same
+questions of the parking set ``P``: "which open station is nearest this
+destination?", "which stations lie within this radius?", "open a station
+here", "retire that emptied station" (footnote 2).  :class:`StationSet`
+answers all of them from one indexed store:
+
+* **stable ids** — a station keeps its id for life, across any number of
+  removals; ids are never reused, so decision traces, fleet slots and
+  event logs can reference stations without the re-indexing bookkeeping
+  previously duplicated in ``core/streaming.py``, ``sim/simulator.py``
+  and ``incentives/mechanism.py``;
+* **pluggable nearest-neighbour backends** — ``"linear"`` (the reference
+  O(k) scan, bit-identical to the historical behaviour) and ``"grid"``
+  (the bucketed :class:`~repro.geo.spatial_index.NearestNeighborIndex`,
+  sub-linear per query at production station counts).  Both backends
+  measure distances with :meth:`Point.distance_to` and break ties by
+  lowest id, so placement outputs are bit-identical across backends;
+* **inventory hooks** — consumers subscribe to open/retire events to keep
+  side-tables (the fleet's per-station racks, event logs) in sync instead
+  of diffing station lists after every request.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..geo.points import Point
+from ..geo.spatial_index import NearestNeighborIndex
+
+__all__ = ["StationSet", "BACKENDS", "DEFAULT_CELL_SIZE"]
+
+BACKENDS = ("linear", "grid")
+"""Recognised nearest-neighbour backend names."""
+
+DEFAULT_CELL_SIZE = 250.0
+"""Default grid-bucket side (metres) — the paper's tolerance scale L."""
+
+StationListener = Callable[[int, Point], None]
+
+
+class StationSet:
+    """Indexed set of station locations with stable ids.
+
+    Args:
+        points: initial stations, assigned ids ``0..len-1`` in order.
+        backend: ``"linear"`` or ``"grid"`` (see module docstring).
+        cell_size: grid-bucket side for the ``"grid"`` backend; ignored by
+            ``"linear"``.  Defaults to :data:`DEFAULT_CELL_SIZE`.
+
+    Raises:
+        ValueError: on an unknown backend or non-positive cell size.
+    """
+
+    def __init__(
+        self,
+        points: Optional[Iterable[Point]] = None,
+        *,
+        backend: str = "linear",
+        cell_size: Optional[float] = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if cell_size is not None and cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self.backend = backend
+        self.cell_size = float(cell_size) if cell_size is not None else DEFAULT_CELL_SIZE
+        self._all: List[Point] = []
+        # Active stations; insertion-ordered, and ids are monotone, so
+        # iteration is always in ascending id — the tie-break order.
+        self._active: Dict[int, Point] = {}
+        self._index = (
+            NearestNeighborIndex(self.cell_size) if backend == "grid" else None
+        )
+        self._min_spacing = math.inf
+        self._min_spacing_dirty = False
+        self._on_add: List[StationListener] = []
+        self._on_remove: List[StationListener] = []
+        for p in points or []:
+            self.add(p)
+
+    # ------------------------------------------------------------------
+    # store
+    def __len__(self) -> int:
+        return len(self._active)
+
+    def __contains__(self, station_id: int) -> bool:
+        return station_id in self._active
+
+    @property
+    def total_assigned(self) -> int:
+        """How many ids have ever been assigned (active + removed)."""
+        return len(self._all)
+
+    def ids(self) -> List[int]:
+        """Stable ids of the active stations, ascending."""
+        return list(self._active)
+
+    def locations(self) -> List[Point]:
+        """Locations of the active stations, in ascending-id order."""
+        return list(self._active.values())
+
+    def location(self, station_id: int) -> Point:
+        """Location of any ever-assigned id — active or removed.
+
+        Removed stations keep their coordinates (their space cost is not
+        refunded, and retired racks still exist physically).
+
+        Raises:
+            KeyError: for an id that was never assigned.
+        """
+        if not 0 <= station_id < len(self._all):
+            raise KeyError(f"unknown station id {station_id}")
+        return self._all[station_id]
+
+    def is_active(self, station_id: int) -> bool:
+        """Whether ``station_id`` is currently in the set ``P``."""
+        return station_id in self._active
+
+    def add(self, point: Point) -> int:
+        """Open a station; returns its stable id (never reused)."""
+        if self._active:
+            # Only pairs involving the new point can lower the minimum
+            # spacing — one NN query instead of an O(k^2) matrix rebuild.
+            _, d = self.nearest(point)
+            if d < self._min_spacing:
+                self._min_spacing = d
+        station_id = len(self._all)
+        self._all.append(point)
+        self._active[station_id] = point
+        if self._index is not None:
+            # The grid index assigns the same monotone ids.
+            self._index.add(point)
+        for listener in self._on_add:
+            listener(station_id, point)
+        return station_id
+
+    def remove(self, station_id: int) -> None:
+        """Retire a station from ``P`` (footnote 2); its id stays valid
+        for :meth:`location` but it no longer answers queries.
+
+        Raises:
+            KeyError: if the id is unknown or already removed.
+        """
+        if station_id not in self._active:
+            raise KeyError(f"no active station with id {station_id}")
+        point = self._active.pop(station_id)
+        if self._index is not None:
+            self._index.remove(station_id)
+        # The minimum-spacing pair may have involved this station; defer
+        # the recomputation until someone actually asks.
+        self._min_spacing_dirty = True
+        for listener in self._on_remove:
+            listener(station_id, point)
+
+    def subscribe(
+        self,
+        on_add: Optional[StationListener] = None,
+        on_remove: Optional[StationListener] = None,
+    ) -> None:
+        """Register inventory hooks called as ``hook(station_id, point)``
+        after every open / retire.  Consumers (the fleet, event logs) use
+        this to keep per-station side-tables aligned with the stable ids.
+        """
+        if on_add is not None:
+            self._on_add.append(on_add)
+        if on_remove is not None:
+            self._on_remove.append(on_remove)
+
+    # ------------------------------------------------------------------
+    # queries
+    def nearest(self, query: Point) -> Tuple[int, float]:
+        """``(station_id, distance)`` of the nearest active station.
+
+        Distance ties break to the lowest id on every backend.
+
+        Raises:
+            ValueError: if no station is active.
+        """
+        if not self._active:
+            raise ValueError("nearest() on an empty StationSet")
+        if self._index is not None:
+            return self._index.nearest(query)
+        best_id = -1
+        best_d = math.inf
+        for sid, p in self._active.items():
+            d = query.distance_to(p)
+            if d < best_d:
+                best_id, best_d = sid, d
+        return best_id, best_d
+
+    def nearest_where(
+        self, query: Point, predicate: Callable[[int], bool]
+    ) -> Optional[Tuple[int, float]]:
+        """Nearest active station whose id satisfies ``predicate``, or
+        ``None`` when no active station qualifies (ties to lowest id)."""
+        if not self._active:
+            return None
+        if self._index is not None:
+            sid, d = self._index.nearest(query, predicate=predicate)
+            return (sid, d) if sid >= 0 else None
+        best: Optional[Tuple[int, float]] = None
+        for sid, p in self._active.items():
+            if not predicate(sid):
+                continue
+            d = query.distance_to(p)
+            if best is None or d < best[1]:
+                best = (sid, d)
+        return best
+
+    def within(self, query: Point, radius: float) -> List[Tuple[int, float]]:
+        """Active stations within ``radius`` of ``query`` as
+        ``(station_id, distance)``, sorted by ``(distance, id)``.
+
+        Raises:
+            ValueError: if ``radius`` is negative.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        if self._index is not None:
+            return self._index.within(query, radius)
+        out = [
+            (sid, d)
+            for sid, p in self._active.items()
+            if (d := query.distance_to(p)) <= radius
+        ]
+        return sorted(out, key=lambda t: (t[1], t[0]))
+
+    def min_spacing(self) -> float:
+        """Minimum pairwise distance among active stations (Algorithm 2's
+        ``w*`` source).  Maintained incrementally on :meth:`add`;
+        recomputed lazily after a removal invalidates the cached pair.
+        Returns ``inf`` with fewer than two active stations.
+        """
+        if self._min_spacing_dirty:
+            self._min_spacing = math.inf
+            if len(self._active) >= 2:
+                for sid, p in self._active.items():
+                    hit = self.nearest_where(p, lambda other, me=sid: other != me)
+                    if hit is not None and hit[1] < self._min_spacing:
+                        self._min_spacing = hit[1]
+            self._min_spacing_dirty = False
+        return self._min_spacing

@@ -2,26 +2,26 @@
 
 Trip requests "are streamed to the server backend, calculated by
 E-sharing and assigned appropriate parking locations" (Section II-B).
-:class:`PlacementService` is that backend: it owns stable station ids,
-routes each trip through Algorithm 2, keeps the fleet inventory in sync,
-and implements footnote 2 — "when customers pick up all the E-bikes from
-a station ... the station is removed from P.  The algorithm can still
-establish a station at this location depending on the requests later."
+:class:`PlacementService` is that backend: it routes each trip through
+Algorithm 2, keeps the fleet inventory in sync, and implements
+footnote 2 — "when customers pick up all the E-bikes from a station ...
+the station is removed from P.  The algorithm can still establish a
+station at this location depending on the requests later."
 
-The planner's internal station list re-indexes on removal; the service
-maintains the stable-id mapping so callers never see indices move.
+Station identity is owned by the planner's
+:class:`~repro.core.station_set.StationSet`: ids are stable across
+removals, so the service carries no id-remapping tables of its own — it
+subscribes to the set's inventory hooks to grow the fleet's racks and
+answers every location query straight from the shared store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import List, Optional
 
 from ..datasets.trips import TripRecord
 from ..energy.fleet import Fleet
-from ..geo.distance import nearest_point_index
 from ..geo.points import Point
 from .esharing import EsharingPlanner
 
@@ -56,8 +56,9 @@ class PlacementService:
     """Stateful Tier-1 service wiring the planner to the fleet.
 
     Args:
-        planner: an anchored Algorithm-2 planner.  Its current stations
-            become stations ``0..k-1``.
+        planner: an anchored Algorithm-2 planner.  Its stations carry
+            stable ids ``0..k-1``; the fleet's rack list must line up
+            with them (one rack per ever-assigned id).
         fleet: a fleet whose stations list matches the planner's.
 
     Raises:
@@ -65,24 +66,31 @@ class PlacementService:
     """
 
     def __init__(self, planner: EsharingPlanner, fleet: Fleet) -> None:
-        if len(planner.stations) != len(fleet.stations):
+        if planner.station_set.total_assigned != len(fleet.stations):
             raise ValueError(
-                f"planner has {len(planner.stations)} stations, fleet has "
-                f"{len(fleet.stations)}"
+                f"planner has {planner.station_set.total_assigned} station ids, "
+                f"fleet has {len(fleet.stations)} racks; build the fleet on the "
+                "planner's stations"
             )
         self.planner = planner
         self.fleet = fleet
-        self.locations: List[Point] = list(fleet.stations)
-        # planner index -> stable id, kept aligned with planner.stations.
-        self._planner_ids: List[int] = list(range(len(self.locations)))
         self.retired: List[int] = []
         self.responses: List[ServiceResponse] = []
+        # Inventory hook: every station the planner opens online gets a
+        # rack in the fleet under the same stable id.
+        planner.station_set.subscribe(on_add=self._rack_for_new_station)
+
+    def _rack_for_new_station(self, station_id: int, location: Point) -> None:
+        rack = self.fleet.add_station(location)
+        assert rack == station_id, (
+            f"fleet rack {rack} diverged from station id {station_id}"
+        )
 
     # ------------------------------------------------------------------
     @property
     def active_station_ids(self) -> List[int]:
         """Stable ids of stations currently in the planner's set P."""
-        return list(self._planner_ids)
+        return self.planner.station_set.ids()
 
     def station_location(self, station_id: int) -> Point:
         """Location of a stable station id (active or retired).
@@ -90,21 +98,15 @@ class PlacementService:
         Raises:
             KeyError: for an unknown id.
         """
-        if not 0 <= station_id < len(self.locations):
-            raise KeyError(f"unknown station id {station_id}")
-        return self.locations[station_id]
+        return self.planner.station_set.location(station_id)
 
     # ------------------------------------------------------------------
     def _pickup_station(self, origin: Point) -> Optional[int]:
         """Stable id of the nearest *active* station holding a bike."""
-        candidates = [
-            (sid, self.locations[sid].distance_to(origin))
-            for sid in self._planner_ids
-            if self.fleet.pick_bike(sid) is not None
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda t: (t[1], t[0]))[0]
+        hit = self.planner.station_set.nearest_where(
+            origin, lambda sid: self.fleet.pick_bike(sid) is not None
+        )
+        return None if hit is None else hit[0]
 
     def handle_trip(self, trip: TripRecord) -> ServiceResponse:
         """Serve one trip end to end.
@@ -124,15 +126,7 @@ class PlacementService:
             return response
 
         decision = self.planner.offer(trip.end)
-        if decision.opened:
-            new_id = len(self.locations)
-            new_location = self.planner.stations[decision.station_index]
-            self.locations.append(new_location)
-            self._planner_ids.append(new_id)
-            self.fleet.stations.append(new_location)
-            dest_id = new_id
-        else:
-            dest_id = self._planner_ids[decision.station_index]
+        dest_id = decision.station_index
 
         bike = self.fleet.pick_bike(origin_id)
         assert bike is not None  # guaranteed by _pickup_station
@@ -140,9 +134,7 @@ class PlacementService:
 
         removed: Optional[int] = None
         if not self.fleet.bikes_at(origin_id) and origin_id != dest_id:
-            planner_idx = self._planner_ids.index(origin_id)
-            self.planner.remove_station(planner_idx)
-            del self._planner_ids[planner_idx]
+            self.planner.remove_station(origin_id)
             self.retired.append(origin_id)
             removed = origin_id
 
@@ -160,13 +152,13 @@ class PlacementService:
         """Assert the planner/fleet/id bookkeeping is coherent.
 
         Raises:
-            AssertionError: on any drift between the three views.
+            AssertionError: on any drift between the views.
         """
-        assert len(self._planner_ids) == len(self.planner.stations)
-        for idx, sid in enumerate(self._planner_ids):
-            assert self.planner.stations[idx] == self.locations[sid], (
-                f"planner slot {idx} diverged from stable id {sid}"
+        store = self.planner.station_set
+        assert store.total_assigned == len(self.fleet.stations)
+        for sid in store.ids():
+            assert store.location(sid) == self.fleet.stations[sid], (
+                f"station id {sid} diverged between planner and fleet"
             )
-        assert len(self.fleet.stations) == len(self.locations)
         for sid in self.retired:
-            assert sid not in self._planner_ids
+            assert not store.is_active(sid)

@@ -102,6 +102,17 @@ class Fleet:
     def __len__(self) -> int:
         return len(self.bikes)
 
+    def add_station(self, location: Point) -> int:
+        """Register a new (empty) station rack; returns its index.
+
+        The index matches the stable id handed out by the planner's
+        :class:`~repro.core.station_set.StationSet` when this is wired as
+        its ``on_add`` inventory hook, which is how stations opened online
+        join the fleet with no bikes.
+        """
+        self.stations.append(location)
+        return len(self.stations) - 1
+
     def bikes_at(self, station: int) -> List[Bike]:
         """Bikes currently parked at ``station``."""
         self._check_station(station)

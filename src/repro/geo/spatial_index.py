@@ -6,12 +6,19 @@ points into square cells and expands ring-by-ring from the query cell, so
 typical queries touch only a few buckets.  It supports dynamic insertion
 (stations open mid-stream) and removal (footnote 2: emptied stations
 leave ``P``), which rules out a static KD-tree.
+
+Tie-breaking contract: every query method resolves equal distances to the
+lowest stored index, matching :func:`repro.geo.distance.nearest_point_index`
+(``np.argmin`` keeps the first minimum).  The ring expansion therefore
+only stops once the best candidate is *strictly* closer than anything an
+unexplored ring could hold — an equal-distance, lower-index point in the
+next ring must still be visited.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from .points import Point
 
@@ -37,6 +44,10 @@ class NearestNeighborIndex:
         self._buckets: Dict[Tuple[int, int], List[int]] = {}
         self._points: List[Optional[Point]] = []
         self._size = 0
+        # Bounding box over occupied bucket keys, maintained on add/remove
+        # so the ring-expansion cutoff is O(1) per query instead of a scan
+        # over every bucket per ring (quadratic on sparse far-away queries).
+        self._bounds: Optional[Tuple[int, int, int, int]] = None
         for p in points or []:
             self.add(p)
 
@@ -51,8 +62,10 @@ class NearestNeighborIndex:
         """Insert a point; returns its stable index."""
         idx = len(self._points)
         self._points.append(point)
-        self._buckets.setdefault(self._key(point), []).append(idx)
+        key = self._key(point)
+        self._buckets.setdefault(key, []).append(idx)
         self._size += 1
+        self._grow_bounds(key)
         return idx
 
     def remove(self, index: int) -> None:
@@ -65,10 +78,12 @@ class NearestNeighborIndex:
             raise KeyError(f"no point with index {index}")
         point = self._points[index]
         self._points[index] = None
-        bucket = self._buckets[self._key(point)]
+        key = self._key(point)
+        bucket = self._buckets[key]
         bucket.remove(index)
         if not bucket:
-            del self._buckets[self._key(point)]
+            del self._buckets[key]
+            self._shrink_bounds(key)
         self._size -= 1
 
     def point(self, index: int) -> Point:
@@ -82,11 +97,23 @@ class NearestNeighborIndex:
         return self._points[index]
 
     # ------------------------------------------------------------------
-    def nearest(self, query: Point) -> Tuple[int, float]:
+    def nearest(
+        self,
+        query: Point,
+        predicate: Optional[Callable[[int], bool]] = None,
+    ) -> Tuple[int, float]:
         """Index of, and distance to, the nearest stored point.
 
         Expands square rings of buckets around the query until the best
-        candidate provably beats anything in unexplored rings.
+        candidate provably beats anything in unexplored rings.  Distance
+        ties resolve to the lowest index (see the module docstring).
+
+        Args:
+            query: the query location.
+            predicate: optional filter; only indices for which
+                ``predicate(idx)`` is true are considered.  When the
+                predicate rejects every stored point the result is
+                ``(-1, inf)``.
 
         Raises:
             ValueError: if the index is empty.
@@ -96,27 +123,31 @@ class NearestNeighborIndex:
         qc, qr = self._key(query)
         best_idx = -1
         best_dist = math.inf
+        max_ring = self._max_ring(qc, qr)
         ring = 0
-        # Upper bound on rings: enough to cover all buckets.
         while True:
-            found_any = False
             for key in self._ring_keys(qc, qr, ring):
                 for idx in self._buckets.get(key, ()):  # pragma: no branch
-                    found_any = True
+                    if predicate is not None and not predicate(idx):
+                        continue
                     d = query.distance_to(self._points[idx])
                     if d < best_dist or (d == best_dist and idx < best_idx):
                         best_dist = d
                         best_idx = idx
-            # Any point in ring r+1 or beyond is at least r*cell away.
-            if best_idx >= 0 and best_dist <= ring * self.cell_size:
+            # Any point in ring r+1 or beyond is at least r*cell away, so
+            # a *strictly* closer best cannot be beaten — and cannot even
+            # be tied by a lower index — in unexplored rings.
+            if best_idx >= 0 and best_dist < ring * self.cell_size:
                 break
             ring += 1
-            if ring > self._max_ring(qc, qr):
+            if ring > max_ring:
                 break
         return best_idx, best_dist
 
     def within(self, query: Point, radius: float) -> List[Tuple[int, float]]:
         """All stored points within ``radius`` of ``query`` as (idx, dist).
+
+        Sorted by ``(distance, index)``.
 
         Raises:
             ValueError: if ``radius`` is negative.
@@ -147,8 +178,38 @@ class NearestNeighborIndex:
             yield (qc + ring, qr + dr)
 
     def _max_ring(self, qc: int, qr: int) -> int:
-        if not self._buckets:
+        """Chebyshev distance from the query cell to the farthest corner
+        of the occupied-bucket bounding box — an O(1) upper bound on the
+        rings worth exploring (the exact per-bucket maximum would cost a
+        scan over every bucket, and only ever differs when the box's far
+        corner is empty, where a few extra no-op ring lookups are cheap).
+        """
+        if self._bounds is None:
             return 0
+        min_c, max_c, min_r, max_r = self._bounds
         return max(
-            max(abs(c - qc), abs(r - qr)) for c, r in self._buckets
+            max(abs(min_c - qc), abs(max_c - qc)),
+            max(abs(min_r - qr), abs(max_r - qr)),
         )
+
+    def _grow_bounds(self, key: Tuple[int, int]) -> None:
+        c, r = key
+        if self._bounds is None:
+            self._bounds = (c, c, r, r)
+            return
+        min_c, max_c, min_r, max_r = self._bounds
+        if c < min_c or c > max_c or r < min_r or r > max_r:
+            self._bounds = (min(min_c, c), max(max_c, c), min(min_r, r), max(max_r, r))
+
+    def _shrink_bounds(self, key: Tuple[int, int]) -> None:
+        """Called after a bucket at ``key`` was deleted: refresh the cached
+        bounds only when the vanished bucket sat on the box boundary."""
+        if not self._buckets:
+            self._bounds = None
+            return
+        min_c, max_c, min_r, max_r = self._bounds
+        c, r = key
+        if c in (min_c, max_c) or r in (min_r, max_r):
+            cs = [k[0] for k in self._buckets]
+            rs = [k[1] for k in self._buckets]
+            self._bounds = (min(cs), max(cs), min(rs), max(rs))

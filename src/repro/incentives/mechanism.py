@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.station_set import StationSet
 from ..energy.fleet import Fleet
 from ..geo.points import Point
 from .adaptive import AdaptiveAlphaController
@@ -93,6 +94,11 @@ class IncentiveMechanism:
         alpha_controller: optional adaptive controller; when given, the
             live ``alpha`` it maintains overrides ``config.alpha`` and is
             updated from every offer outcome (Section IV-C Remarks).
+        stations: the indexed station store answering the
+            mileage-equivalent neighbour search.  Pass the planner's
+            :class:`StationSet` to share one spatial index across tiers
+            (the simulator does); when absent a private store is built
+            over the fleet's stations and kept in sync lazily.
     """
 
     def __init__(
@@ -104,6 +110,7 @@ class IncentiveMechanism:
         rng: Optional[np.random.Generator] = None,
         aggregation_targets: Optional[Dict[int, int]] = None,
         alpha_controller: Optional[AdaptiveAlphaController] = None,
+        stations: Optional[StationSet] = None,
     ) -> None:
         self.fleet = fleet
         self.params = params
@@ -112,10 +119,17 @@ class IncentiveMechanism:
         self._rng = rng or np.random.default_rng(0)
         self._targets = dict(aggregation_targets or {})
         self.alpha_controller = alpha_controller
+        self.stations = stations if stations is not None else StationSet(fleet.stations)
         self.total_incentives_paid = 0.0
         self.offers_made = 0
         self.offers_accepted = 0
         self.relocations: List[OfferOutcome] = []
+
+    def _sync_stations(self) -> None:
+        """Index any fleet racks added since the last query (only relevant
+        for a private store; a shared planner set is already current)."""
+        for point in self.fleet.stations[self.stations.total_assigned:]:
+            self.stations.add(point)
 
     # ------------------------------------------------------------------
     @property
@@ -163,24 +177,30 @@ class IncentiveMechanism:
         ``|origin -> destination|`` within the configured slack, so the
         rider pays no extra metered distance.  Among valid sites, prefer
         the one already holding the most low-energy bikes (consolidation),
-        then the closest match.  Returns ``None`` when no site qualifies.
+        then the closest match, then the lowest id.  Returns ``None``
+        when no site qualifies.
         """
-        stations = self.fleet.stations
-        trip_len = stations[origin].distance_to(stations[destination])
+        origin_point = self.fleet.stations[origin]
+        trip_len = origin_point.distance_to(self.fleet.stations[destination])
         if trip_len <= 0:
             return None
+        self._sync_stations()
         low_map = self.fleet.low_energy_map()
         explicit = self._targets.get(origin)
         best: Optional[int] = None
         best_key = None
-        for k in range(len(stations)):
+        # The mileage-equivalent sites form an annulus around the origin;
+        # one radius query replaces the scan over every station (the tiny
+        # epsilon keeps boundary sites that exactly meet the slack from
+        # being lost to the radius rounding differently than |leg - trip|).
+        radius = trip_len * (1.0 + self.config.mileage_slack) + 1e-9
+        for k, leg in self.stations.within(origin_point, radius):
             if k in (origin, destination):
                 continue
-            leg = stations[origin].distance_to(stations[k])
             if abs(leg - trip_len) > self.config.mileage_slack * trip_len:
                 continue
             low_here = len(low_map.get(k, []))
-            key = (k != explicit, -low_here, abs(leg - trip_len))
+            key = (k != explicit, -low_here, abs(leg - trip_len), k)
             if best_key is None or key < best_key:
                 best_key = key
                 best = k

@@ -18,7 +18,6 @@ import numpy as np
 from ..core.esharing import EsharingPlanner
 from ..datasets.trips import TripRecord
 from ..energy.fleet import Fleet
-from ..geo.distance import nearest_point_index
 from ..incentives.adaptive import AdaptiveAlphaController
 from ..incentives.charging_cost import ChargingCostParams
 from ..incentives.mechanism import IncentiveConfig, IncentiveMechanism
@@ -116,14 +115,20 @@ class SystemSimulator:
     ) -> None:
         if pickup_radius_m <= 0:
             raise ValueError(f"pickup_radius_m must be positive, got {pickup_radius_m}")
-        if len(fleet.stations) != len(planner.stations):
+        if planner.station_set.total_assigned != len(fleet.stations):
             raise ValueError(
                 f"fleet has {len(fleet.stations)} stations but planner has "
-                f"{len(planner.stations)}; build the fleet on the planner's anchors"
+                f"{planner.station_set.total_assigned}; build the fleet on the "
+                "planner's anchors"
             )
         self.planner = planner
         self.fleet = fleet
         self.params = charging_params or ChargingCostParams()
+        # Inventory hook: stations the planner opens online join the
+        # fleet (with no bikes) under the same stable id.
+        planner.station_set.subscribe(
+            on_add=lambda sid, point: self.fleet.add_station(point)
+        )
         self.mechanism = IncentiveMechanism(
             fleet,
             self.params,
@@ -131,6 +136,7 @@ class SystemSimulator:
             population=population,
             rng=rng or np.random.default_rng(0),
             alpha_controller=alpha_controller,
+            stations=planner.station_set,
         )
         self.operator = ChargingOperator(self.params, operator_config)
         self._rng = rng or np.random.default_rng(0)
@@ -143,30 +149,22 @@ class SystemSimulator:
             self.event_log.emit(event)
 
     # ------------------------------------------------------------------
-    def _sync_stations(self) -> None:
-        """Stations opened online by the planner join the fleet."""
-        for point in self.planner.stations[len(self.fleet.stations):]:
-            self.fleet.stations.append(point)
-
     def _station_of(self, point) -> int:
-        idx, _ = nearest_point_index(point, self.fleet.stations)
+        idx, _ = self.planner.station_set.nearest(point)
         return idx
 
     def _pickup_station_of(self, point) -> Optional[int]:
         """Nearest station holding a bike, within the pickup radius.
 
         Riders walk past an empty rack to the next stocked one; beyond
-        ``pickup_radius_m`` they give up (the trip is lost).
+        ``pickup_radius_m`` they give up (the trip is lost).  Candidates
+        come pre-sorted by (distance, id) from the station store, so the
+        first stocked hit is the answer.
         """
-        best = None
-        best_dist = self.pickup_radius_m
-        for idx, station in enumerate(self.fleet.stations):
-            dist = point.distance_to(station)
-            if dist <= best_dist and self.fleet.pick_bike(idx) is not None:
-                if best is None or dist < best_dist or (dist == best_dist and idx < best):
-                    best = idx
-                    best_dist = dist
-        return best
+        for sid, _dist in self.planner.station_set.within(point, self.pickup_radius_m):
+            if self.fleet.pick_bike(sid) is not None:
+                return sid
+        return None
 
     # ------------------------------------------------------------------
     def run_period(self, trips: Iterable[TripRecord]) -> PeriodReport:
@@ -200,7 +198,6 @@ class SystemSimulator:
                 continue
             origin = pickup
             decision = self.planner.offer(trip.end)
-            self._sync_stations()
             destination = decision.station_index
             self._emit(PlacementDecided(
                 order_id=trip.order_id,

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.geo import Point
+from repro.geo.distance import nearest_point_index
 from repro.geo.spatial_index import NearestNeighborIndex
 
 
@@ -118,6 +119,92 @@ class TestNearest:
             bi, bd = brute_nearest(q, live)
             assert d == pytest.approx(bd)
             assert i not in removed
+
+
+class TestTieBreak:
+    """The index must resolve equal distances exactly like
+    ``nearest_point_index`` (np.argmin keeps the first minimum): lowest
+    stored index wins, even when the tie spans ring boundaries."""
+
+    TIED = [Point(2, 0), Point(-2, 0), Point(0, 2)]  # all at d=2 from origin
+
+    def test_tied_points_identical_to_reference(self):
+        idx = NearestNeighborIndex(1.0, points=self.TIED)
+        query = Point(0, 0)
+        assert idx.nearest(query) == nearest_point_index(query, self.TIED) == (0, 2.0)
+
+    def test_tie_break_survives_removal(self):
+        idx = NearestNeighborIndex(1.0, points=self.TIED)
+        idx.remove(0)
+        assert idx.nearest(Point(0, 0)) == (1, 2.0)
+        idx.remove(1)
+        assert idx.nearest(Point(0, 0)) == (2, 2.0)
+
+    def test_tie_across_ring_boundary(self):
+        # With cell_size 2 and a query at the origin, Point(2, 0) sits in
+        # ring 1 while Point(-2, 0) sits in ring 1 too, but a point at
+        # exactly ring*cell distance must not let the expansion stop
+        # before an equidistant lower-index point is seen.
+        points = [Point(4, 0), Point(0, 4), Point(-4, 0)]
+        idx = NearestNeighborIndex(2.0, points=points)
+        query = Point(0, 0)
+        assert idx.nearest(query) == nearest_point_index(query, points) == (0, 4.0)
+
+    @given(
+        st.lists(st.sampled_from([-4, -2, 0, 2, 4]), min_size=2, max_size=12),
+        st.sampled_from([1.0, 2.0, 5.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lattice_ties_match_reference(self, xs, cell):
+        # Lattice coordinates manufacture many exact distance ties.
+        points = [Point(float(x), float(-x)) for x in xs]
+        idx = NearestNeighborIndex(cell, points=points)
+        query = Point(0.0, 0.0)
+        assert idx.nearest(query) == nearest_point_index(query, points)
+
+
+class TestPredicate:
+    def test_predicate_filters(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(0, 0), Point(1, 0), Point(2, 0)])
+        i, d = idx.nearest(Point(0, 0), predicate=lambda k: k != 0)
+        assert (i, d) == (1, 1.0)
+
+    def test_predicate_rejecting_all(self):
+        idx = NearestNeighborIndex(10.0, points=[Point(0, 0)])
+        assert idx.nearest(Point(0, 0), predicate=lambda k: False) == (-1, float("inf"))
+
+
+class TestBoundsCache:
+    """The occupied-bucket bounding box must stay correct through add and
+    remove so the ring-expansion cutoff never terminates early."""
+
+    def _brute_bounds(self, idx):
+        if not idx._buckets:
+            return None
+        cs = [k[0] for k in idx._buckets]
+        rs = [k[1] for k in idx._buckets]
+        return (min(cs), max(cs), min(rs), max(rs))
+
+    def test_bounds_track_boundary_removals(self):
+        rng = np.random.default_rng(42)
+        idx = NearestNeighborIndex(25.0)
+        live = []
+        for _ in range(80):
+            p = Point(float(rng.uniform(-500, 500)), float(rng.uniform(-500, 500)))
+            live.append(idx.add(p))
+            assert idx._bounds == self._brute_bounds(idx)
+        rng.shuffle(live)
+        for i in live:
+            idx.remove(i)
+            assert idx._bounds == self._brute_bounds(idx)
+        assert idx._bounds is None
+
+    def test_query_correct_after_boundary_shrink(self):
+        # Remove the extreme point, then query far outside what remains:
+        # with stale bounds the expansion would overrun or stop early.
+        idx = NearestNeighborIndex(10.0, points=[Point(0, 0), Point(1000, 1000)])
+        idx.remove(1)
+        assert idx.nearest(Point(900, 900))[0] == 0
 
 
 class TestWithin:

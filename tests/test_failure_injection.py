@@ -147,7 +147,13 @@ class TestPlannerAbuse:
         planner.remove_station(2)
         planner.remove_station(1)
         decision = planner.offer(Point(100, 100))
-        assert decision.station_index < len(planner.stations)
+        # Stable ids: the decision references an active station whose id
+        # survives the removals (ids are never re-packed).
+        assert decision.station_index in planner.station_set
+        assert (
+            planner.station_set.location(decision.station_index)
+            in planner.stations
+        )
 
     def test_zero_facility_cost_everywhere(self):
         """Free parking: everything opens, nothing breaks."""
