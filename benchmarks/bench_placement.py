@@ -1,0 +1,271 @@
+"""Performance benchmarks — the placement pipeline's fast paths.
+
+Three layers got fast paths, all bit-identical to the reference
+behaviour (see DESIGN.md "Performance"):
+
+* ``offline_placement(strategy="lazy")`` — the lazy-greedy JMS solver
+  with cached star ratios vs the per-round full rescan (``reference``);
+* ``EsharingPlanner.replay`` — the batched online path with the
+  vectorized nearest-station cache vs one ``offer()`` call per arrival;
+* the periodic KS checkpoint, served by the cached dominance grid.
+
+Run standalone (``python benchmarks/bench_placement.py``) to regenerate
+``BENCH_placement.json`` at the repo root and enforce the speedup gates
+(>= 5x offline solve at 2k demands, >= 3x batched replay at 100k
+arrivals).  ``--smoke`` runs a seconds-scale subset for CI that gates on
+*parity only* — speed gates are meaningless on shared CI hardware.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DemandPoint,
+    EsharingConfig,
+    EsharingPlanner,
+    constant_facility_cost,
+    meyerson_placement,
+    offline_placement,
+    online_kmeans_placement,
+    uniform_facility_cost,
+)
+from repro.geo import Point
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_placement.json"
+EXTENT_M = 8_000.0
+OFFLINE_SIZES = (250, 500, 1_000, 2_000)
+REPLAY_SIZES = (10_000, 100_000)
+OFFLINE_GATE = 5.0  # at 2k demands
+REPLAY_GATE = 3.0  # at 100k arrivals
+
+
+def _random_demands(rng, n):
+    pts = rng.uniform(0, EXTENT_M, size=(n, 2))
+    weights = rng.integers(1, 6, size=n)
+    return [
+        DemandPoint(Point(float(x), float(y)), float(w))
+        for (x, y), w in zip(pts, weights)
+    ]
+
+
+def _same_result(a, b):
+    return (
+        a.stations == b.stations
+        and a.assignment == b.assignment
+        and a.walking == b.walking
+        and a.space == b.space
+    )
+
+
+def run_offline_sweep(sizes=OFFLINE_SIZES, seed=0):
+    """Time lazy vs reference offline solves over an instance-size sweep.
+
+    Both strategies solve the same seeded instances and must return
+    bit-identical results (the sweep doubles as a parity check at
+    scale).  Returns the JSON-ready report dict.
+    """
+    rng = np.random.default_rng(seed)
+    sweep = []
+    for n in sizes:
+        demands = _random_demands(rng, n)
+        cost_fn = constant_facility_cost(6_000.0)
+        times = {}
+        results = {}
+        for strategy in ("reference", "lazy"):
+            start = time.perf_counter()
+            results[strategy] = offline_placement(
+                demands, cost_fn, strategy=strategy
+            )
+            times[strategy] = time.perf_counter() - start
+        if not _same_result(results["reference"], results["lazy"]):
+            raise AssertionError(f"offline strategies diverged at n={n}")
+        sweep.append(
+            {
+                "demands": n,
+                "stations": len(results["lazy"].stations),
+                "reference_seconds": times["reference"],
+                "lazy_seconds": times["lazy"],
+                "speedup": times["reference"] / times["lazy"],
+            }
+        )
+    return {"benchmark": "offline_placement lazy vs reference", "seed": seed, "sweep": sweep}
+
+
+def run_replay_sweep(sizes=REPLAY_SIZES, n_anchors=150, seed=0):
+    """Time per-call ``offer()`` loops vs batched ``replay()``.
+
+    Both paths consume identical RNG streams and must produce
+    bit-identical placements, assignments and cost totals.  Returns the
+    JSON-ready report dict.
+    """
+    rng = np.random.default_rng(seed)
+    anchors = [
+        Point(float(x), float(y)) for x, y in rng.uniform(0, EXTENT_M, (n_anchors, 2))
+    ]
+    historical = rng.uniform(0, EXTENT_M, size=(5_000, 2))
+    sweep = []
+    for n in sizes:
+        stream = [
+            Point(float(x), float(y)) for x, y in rng.uniform(0, EXTENT_M, (n, 2))
+        ]
+        times = {}
+        results = {}
+        for mode in ("per_call", "batched"):
+            planner = EsharingPlanner(
+                anchors,
+                uniform_facility_cost(800.0, np.random.default_rng(seed + 1)),
+                historical,
+                np.random.default_rng(seed + 2),
+                EsharingConfig(),
+            )
+            start = time.perf_counter()
+            if mode == "batched":
+                planner.replay(stream)
+            else:
+                for p in stream:
+                    planner.offer(p)
+            times[mode] = time.perf_counter() - start
+            results[mode] = planner.result()
+        if not _same_result(results["per_call"], results["batched"]):
+            raise AssertionError(f"replay diverged from per-call at n={n}")
+        sweep.append(
+            {
+                "arrivals": n,
+                "anchors": n_anchors,
+                "stations": len(results["batched"].stations),
+                "per_call_seconds": times["per_call"],
+                "batched_seconds": times["batched"],
+                "speedup": times["per_call"] / times["batched"],
+            }
+        )
+    return {
+        "benchmark": "EsharingPlanner per-call offer vs batched replay",
+        "seed": seed,
+        "sweep": sweep,
+    }
+
+
+def run_full_report(offline_sizes=OFFLINE_SIZES, replay_sizes=REPLAY_SIZES, seed=0):
+    """Both sweeps plus the gate verdicts, as one JSON-ready dict."""
+    offline = run_offline_sweep(offline_sizes, seed=seed)
+    replay = run_replay_sweep(replay_sizes, seed=seed)
+    report = {
+        "offline": offline,
+        "replay": replay,
+        "gates": {
+            "offline_speedup_at_max": offline["sweep"][-1]["speedup"],
+            "offline_gate": OFFLINE_GATE,
+            "replay_speedup_at_max": replay["sweep"][-1]["speedup"],
+            "replay_gate": REPLAY_GATE,
+        },
+    }
+    return report
+
+
+def write_report(report, path=BENCH_JSON):
+    """Persist the report as pretty-printed JSON; returns the path."""
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def _print_report(report):
+    print(f"{'demands':>8} {'reference s':>12} {'lazy s':>8} {'speedup':>8}")
+    for row in report["offline"]["sweep"]:
+        print(
+            f"{row['demands']:>8} {row['reference_seconds']:>12.3f} "
+            f"{row['lazy_seconds']:>8.3f} {row['speedup']:>7.1f}x"
+        )
+    print(f"{'arrivals':>8} {'per-call s':>12} {'batched s':>10} {'speedup':>8}")
+    for row in report["replay"]["sweep"]:
+        print(
+            f"{row['arrivals']:>8} {row['per_call_seconds']:>12.3f} "
+            f"{row['batched_seconds']:>10.3f} {row['speedup']:>7.1f}x"
+        )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (pytest benchmarks/) — parity-gated, modest sizes.
+def test_offline_lazy_parity_smoke():
+    """Lazy and reference offline solves agree bit-for-bit (small sweep)."""
+    report = run_offline_sweep(sizes=(120, 300), seed=3)
+    assert all(row["stations"] > 0 for row in report["sweep"])
+
+
+def test_replay_parity_smoke():
+    """Batched replay matches the per-call loop bit-for-bit, and the
+    baseline planners' batched flags do too."""
+    run_replay_sweep(sizes=(3_000,), n_anchors=40, seed=4)
+    rng = np.random.default_rng(5)
+    stream = [Point(float(x), float(y)) for x, y in rng.uniform(0, EXTENT_M, (1_500, 2))]
+    for batched in (False, True):
+        fc = uniform_facility_cost(700.0, np.random.default_rng(6))
+        r = meyerson_placement(stream, fc, np.random.default_rng(7), batched=batched)
+        k = online_kmeans_placement(
+            stream, 15, constant_facility_cost(700.0), np.random.default_rng(8),
+            batched=batched,
+        )
+        if not batched:
+            ref_m, ref_k = r, k
+    assert _same_result(ref_m, r) and _same_result(ref_k, k)
+
+
+@pytest.mark.benchmark
+def test_lazy_solve_latency(benchmark):
+    """The lazy solver clears a 500-demand instance well under a second."""
+    rng = np.random.default_rng(9)
+    demands = _random_demands(rng, 500)
+    result = benchmark(
+        lambda: offline_placement(demands, constant_facility_cost(6_000.0))
+    )
+    assert result.stations
+
+
+def main(argv=None):
+    """Standalone entry point: run the sweeps and write the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset for CI (small sizes, parity gates only)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        report = {
+            "offline": run_offline_sweep(sizes=(120, 300), seed=3),
+            "replay": run_replay_sweep(sizes=(3_000,), n_anchors=40, seed=4),
+        }
+        print(f"{'demands':>8} {'speedup':>8}")
+        for row in report["offline"]["sweep"]:
+            print(f"{row['demands']:>8} {row['speedup']:>7.1f}x")
+        for row in report["replay"]["sweep"]:
+            print(f"replay {row['arrivals']} arrivals: {row['speedup']:.1f}x")
+        print("parity OK (both sweeps compare bit-identical outputs)")
+        return 0
+    report = run_full_report()
+    path = write_report(report)
+    _print_report(report)
+    print(f"wrote {path}")
+    gates = report["gates"]
+    failed = False
+    if gates["offline_speedup_at_max"] < OFFLINE_GATE:
+        print(
+            f"FAIL: lazy offline only {gates['offline_speedup_at_max']:.1f}x "
+            f"reference at {OFFLINE_SIZES[-1]} demands (gate {OFFLINE_GATE}x)"
+        )
+        failed = True
+    if gates["replay_speedup_at_max"] < REPLAY_GATE:
+        print(
+            f"FAIL: batched replay only {gates['replay_speedup_at_max']:.1f}x "
+            f"per-call at {REPLAY_SIZES[-1]} arrivals (gate {REPLAY_GATE}x)"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

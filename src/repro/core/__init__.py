@@ -11,7 +11,7 @@ from .costs import (
 )
 from .result import PlacementResult, evaluate_placement
 from .station_set import BACKENDS, StationSet
-from .offline import offline_placement
+from .offline import OFFLINE_STRATEGIES, offline_placement
 from .online_meyerson import meyerson_placement
 from .online_kmeans import online_kmeans_placement
 from .penalty import (
@@ -26,6 +26,7 @@ from .penalty import (
     select_penalty,
 )
 from .esharing import EsharingConfig, EsharingDecision, EsharingPlanner, esharing_placement
+from .replay import NearestCache, UniformStream, checkpoint_schedule
 from .local_search import local_search, refine_placement
 from .capacity import CapacitatedAssignment, assign_with_capacity
 from .streaming import PlacementService, ServiceResponse
@@ -50,6 +51,7 @@ __all__ = [
     "evaluate_placement",
     "BACKENDS",
     "StationSet",
+    "OFFLINE_STRATEGIES",
     "offline_placement",
     "meyerson_placement",
     "online_kmeans_placement",
@@ -66,6 +68,9 @@ __all__ = [
     "EsharingDecision",
     "EsharingPlanner",
     "esharing_placement",
+    "NearestCache",
+    "UniformStream",
+    "checkpoint_schedule",
     "local_search",
     "refine_placement",
     "CapacitatedAssignment",

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..geo.points import Point
 from .costs import DemandPoint, FacilityCostFn
+from .replay import NearestCache, UniformStream
 from .result import PlacementResult
 from .station_set import StationSet
 
@@ -40,6 +41,7 @@ def online_kmeans_placement(
     gamma: Optional[float] = None,
     nn_backend: str = "linear",
     nn_cell_size: Optional[float] = None,
+    batched: bool = False,
 ) -> PlacementResult:
     """Run online k-means clustering over a destination stream.
 
@@ -55,6 +57,9 @@ def online_kmeans_placement(
         nn_backend: :class:`StationSet` nearest-neighbour backend
             (``"linear"`` or ``"grid"``); output is identical either way.
         nn_cell_size: grid-bucket side for the ``"grid"`` backend.
+        batched: replace the per-arrival nearest scan with the
+            :class:`~repro.core.replay.NearestCache` fast path —
+            bit-identical results, several times faster on long streams.
 
     Raises:
         ValueError: if ``k`` is not positive.
@@ -92,14 +97,27 @@ def online_kmeans_placement(
     budget = gamma if gamma is not None else 3.0 * k * (1.0 + math.log2(max(n, 2)))
     opened_this_phase = 0
 
+    cache = uniforms = None
+    if batched:
+        rest = stream[warmup:]
+        cache = NearestCache(rest, stations.ids(), stations.locations())
+        uniforms = UniformStream(rng, len(rest))
     for t in range(warmup, n):
         dest = stream[t]
-        idx, dist = stations.nearest(dest)
+        if batched:
+            idx = int(cache.best_id[t - warmup])
+            # Scalar recompute keeps dist bit-identical to the scan.
+            dist = dest.distance_to(stations.location(idx))
+        else:
+            idx, dist = stations.nearest(dest)
         prob = min(dist**2 / f, 1.0)
-        if rng.uniform() < prob:
+        u = uniforms.next() if batched else rng.uniform()
+        if u < prob:
             online_opened.append(stations.add(dest))
             space += facility_cost(dest)
             assignment.append(online_opened[-1])
+            if batched:
+                cache.open(t - warmup, dest, online_opened[-1])
             opened_this_phase += 1
             if opened_this_phase >= budget:
                 f *= 2.0

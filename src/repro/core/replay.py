@@ -1,0 +1,167 @@
+"""Shared machinery for the batched ``replay`` paths of the online planners.
+
+Every online planner (Algorithm 2, Meyerson, online k-means) spends its
+per-arrival budget on the same two things: a nearest-station query and a
+handful of scalar cost/probability operations.  The per-call APIs pay a
+Python-level ``StationSet.nearest`` per arrival; the batched replay paths
+instead maintain a :class:`NearestCache` — the nearest active station of
+every *future* arrival, computed once with blocked NumPy broadcasting and
+patched incrementally when a station opens (only strictly-closer entries
+change, and a new station can never steal a tie because its id is the
+highest).
+
+Bit-identity contract (see DESIGN.md "Performance"):
+
+* The cache is only used to *select* the winning station.  The decision
+  distance is then recomputed per arrival with the same scalar
+  ``Point.distance_to`` (``math.hypot``) the per-call path uses, because
+  vectorized distance math (``np.hypot``, or the squared distances the
+  cache ranks by) is not bitwise interchangeable with ``math.hypot``.  A
+  selection flip would need two true distances within ~1 ulp of each
+  other that are *not* bitwise-equal under both formulas; exact ties
+  (duplicate points) produce identical bits under both and resolve to the
+  lowest id either way.
+* RNG draws happen one per arrival in arrival order.  Replay fetches them
+  in blocks via ``rng.uniform(size=m)``, which NumPy guarantees consumes
+  the stream exactly like ``m`` scalar ``rng.uniform()`` calls.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..geo.points import Point
+from .offline import DEFAULT_BLOCK_ELEMS
+
+__all__ = ["NearestCache", "UniformStream", "checkpoint_schedule"]
+
+
+class NearestCache:
+    """Nearest active station per future arrival, patched on openings.
+
+    The cache ranks stations by *squared* distance — monotone in the
+    true distance, cheaper by a 15M-element sqrt on big blocks, and
+    exact ties (duplicate coordinates) are still bitwise-equal, so the
+    lowest-id tie-break is preserved.
+
+    Args:
+        arrivals: the remaining request destinations, in arrival order.
+        station_ids: stable ids of the currently active stations,
+            ascending (the tie-break order).
+        station_points: locations matching ``station_ids``.
+        block_elems: cap on the ``arrivals x stations`` broadcast block.
+
+    Attributes:
+        best_id: per-arrival id of the nearest station (-1 when no
+            station is active yet).
+        best_d2: per-arrival squared distance to it (``inf`` when none).
+    """
+
+    def __init__(
+        self,
+        arrivals: Sequence[Point],
+        station_ids: Sequence[int],
+        station_points: Sequence[Point],
+        block_elems: int = DEFAULT_BLOCK_ELEMS,
+    ) -> None:
+        n = len(arrivals)
+        self._x = np.asarray([p.x for p in arrivals], dtype=float)
+        self._y = np.asarray([p.y for p in arrivals], dtype=float)
+        self.best_id = np.full(n, -1, dtype=np.int64)
+        self.best_d2 = np.full(n, np.inf, dtype=float)
+        k = len(station_points)
+        if n == 0 or k == 0:
+            return
+        ids = np.asarray(station_ids, dtype=np.int64)
+        sx = np.asarray([p.x for p in station_points], dtype=float)
+        sy = np.asarray([p.y for p in station_points], dtype=float)
+        chunk = max(1, min(k, block_elems // max(n, 1)))
+        rows = np.arange(n)
+        for lo in range(0, k, chunk):
+            hi = min(lo + chunk, k)
+            d2 = self._x[:, None] - sx[None, lo:hi]
+            d2 *= d2
+            dy = self._y[:, None] - sy[None, lo:hi]
+            dy *= dy
+            d2 += dy
+            col = d2.argmin(axis=1)  # first occurrence -> lowest id in chunk
+            dmin = d2[rows, col]
+            # Strict < keeps earlier (lower-id) chunks on ties.
+            better = dmin < self.best_d2
+            self.best_d2[better] = dmin[better]
+            self.best_id[better] = ids[lo:hi][col[better]]
+
+    def open(self, t: int, point: Point, station_id: int) -> None:
+        """A station opened at arrival ``t``; update later arrivals.
+
+        Only strictly-closer entries switch: the new id is the highest
+        ever assigned, so distance ties must keep the incumbent.
+        """
+        tail_d2 = self.best_d2[t + 1 :]
+        if tail_d2.size == 0:
+            return
+        d2 = self._x[t + 1 :] - point.x
+        d2 *= d2
+        dy = self._y[t + 1 :] - point.y
+        dy *= dy
+        d2 += dy
+        closer = d2 < tail_d2
+        tail_d2[closer] = d2[closer]
+        self.best_id[t + 1 :][closer] = station_id
+
+
+class UniformStream:
+    """Block-buffered ``rng.uniform()`` draws, one per arrival in order.
+
+    ``rng.uniform(size=m)`` consumes the bit stream exactly like ``m``
+    scalar calls, so fetching in blocks keeps replay on the same RNG
+    trajectory as the per-call API while skipping per-call overhead.
+    """
+
+    _BLOCK = 8192
+
+    def __init__(self, rng: np.random.Generator, total: int) -> None:
+        self._rng = rng
+        self._left = total
+        self._buf: np.ndarray = np.empty(0)
+        self._pos = 0
+
+    def next(self) -> float:
+        """The next uniform draw, refilling the block buffer as needed.
+
+        Raises:
+            RuntimeError: when more than ``total`` draws are requested.
+        """
+        if self._pos >= self._buf.size:
+            if self._left <= 0:
+                raise RuntimeError("uniform stream exhausted")
+            take = min(self._BLOCK, self._left)
+            self._buf = self._rng.uniform(size=take)
+            self._left -= take
+            self._pos = 0
+        u = float(self._buf[self._pos])
+        self._pos += 1
+        return u
+
+
+def checkpoint_schedule(counter: float, n: int, period: float) -> List[int]:
+    """Arrival indices (0-based) where a ``counter >= period`` checkpoint
+    fires, given the per-call contract: increment the counter once per
+    arrival, fire when it reaches ``period``, reset it to zero.
+
+    ``counter`` is the value carried in from arrivals already processed.
+    The schedule is exact because ``period`` never changes mid-stream
+    (``beta`` and ``k`` are fixed for a planner's lifetime).
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    fires: List[int] = []
+    step = max(1, math.ceil(period))
+    nxt = max(1, math.ceil(period - counter))
+    while nxt <= n:
+        fires.append(nxt - 1)
+        nxt += step
+    return fires

@@ -18,7 +18,7 @@ answers every location query straight from the shared store.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from ..datasets.trips import TripRecord
 from ..energy.fleet import Fleet
@@ -146,6 +146,22 @@ class PlacementService:
         )
         self.responses.append(response)
         return response
+
+    def serve(self, trips: Iterable[TripRecord]) -> List[ServiceResponse]:
+        """Serve a batch of trips in arrival order.
+
+        The service cannot route a whole batch through the planner's
+        vectorized :meth:`~repro.core.esharing.EsharingPlanner.replay`:
+        each pickup may empty a rack and retire its station (footnote 2),
+        which invalidates the nearest-station cache mid-batch, so trips
+        stay sequential here.  Drop-off-only streams — no fleet in the
+        loop — should call ``planner.replay`` directly.
+
+        Returns:
+            The responses for this batch, in order (also appended to
+            :attr:`responses`).
+        """
+        return [self.handle_trip(t) for t in trips]
 
     # ------------------------------------------------------------------
     def consistency_check(self) -> None:

@@ -27,7 +27,12 @@ __all__ = ["TripRecord", "TripDataset"]
 
 @dataclass(frozen=True)
 class TripRecord:
-    """One bike trip, locations already projected to planar metres."""
+    """One bike trip, locations already projected to planar metres.
+
+    ``geodesic_m`` is the great-circle trip length when the source
+    carried geographic coordinates (the Mobike CSV reader fills it in
+    one vectorized pass); ``None`` for synthetic planar-native trips.
+    """
 
     order_id: int
     user_id: int
@@ -36,6 +41,7 @@ class TripRecord:
     start_time: datetime
     start: Point
     end: Point
+    geodesic_m: Optional[float] = None
 
     @property
     def distance(self) -> float:

@@ -7,6 +7,7 @@ from .distance import (
     cross_distances,
     euclidean,
     haversine_m,
+    haversine_m_vec,
     nearest_point_index,
     pairwise_distances,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "cross_distances",
     "euclidean",
     "haversine_m",
+    "haversine_m_vec",
     "nearest_point_index",
     "pairwise_distances",
     "DemandGrid",

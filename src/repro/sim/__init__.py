@@ -21,7 +21,7 @@ from .policies import (
     ThresholdPolicy,
     TopDensityPolicy,
 )
-from .metrics import ServiceMetrics, analyze_log
+from .metrics import PhaseTimers, ServiceMetrics, analyze_log
 from .rebalancing import (
     RebalanceMove,
     RebalanceReport,
@@ -50,6 +50,7 @@ __all__ = [
     "SiteSelectionPolicy",
     "ThresholdPolicy",
     "TopDensityPolicy",
+    "PhaseTimers",
     "ServiceMetrics",
     "analyze_log",
     "RebalanceMove",

@@ -25,7 +25,36 @@ from .events import (
     TripSkipped,
 )
 
-__all__ = ["ServiceMetrics", "analyze_log"]
+__all__ = ["PhaseTimers", "ServiceMetrics", "analyze_log"]
+
+
+@dataclass
+class PhaseTimers:
+    """Wall-clock accumulators for the simulator's compute phases.
+
+    Future perf work needs in-repo numbers for where simulated time goes;
+    the simulator adds ``time.perf_counter()`` deltas here as it runs.
+
+    Attributes:
+        placement: seconds inside Tier-1 ``planner.offer`` calls — the
+            nearest-station query, the opening coin flip, and any
+            KS checkpoint that fires on that arrival.
+        ks: the KS-test share of ``placement`` (mirrors the planner's
+            own ``ks_seconds`` counter).
+        incentives: seconds inside Tier-2 ``mechanism.offer_ride``.
+    """
+
+    placement: float = 0.0
+    ks: float = 0.0
+    incentives: float = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """The counters as a plain dict (for summaries / JSON)."""
+        return {
+            "placement": self.placement,
+            "ks": self.ks,
+            "incentives": self.incentives,
+        }
 
 
 @dataclass(frozen=True)

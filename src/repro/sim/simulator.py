@@ -10,8 +10,9 @@ reports carry every metric the evaluation section tabulates.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from .events import (
     TripRequested,
     TripSkipped,
 )
+from .metrics import PhaseTimers
 from .operator import ChargingOperator, OperatorConfig, ServiceReport
 
 __all__ = ["PeriodReport", "SimulationSummary", "SystemSimulator"]
@@ -71,6 +73,7 @@ class SimulationSummary:
     total_bikes_charged: int
     mean_percent_charged: float
     final_station_count: int
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def service_rate(self) -> float:
@@ -143,6 +146,7 @@ class SystemSimulator:
         self.reports: List[PeriodReport] = []
         self.event_log = event_log
         self.pickup_radius_m = pickup_radius_m
+        self.timers = PhaseTimers()
 
     def _emit(self, event) -> None:
         if self.event_log is not None:
@@ -197,7 +201,9 @@ class SystemSimulator:
                 ))
                 continue
             origin = pickup
+            phase_start = time.perf_counter()
             decision = self.planner.offer(trip.end)
+            self.timers.placement += time.perf_counter() - phase_start
             destination = decision.station_index
             self._emit(PlacementDecided(
                 order_id=trip.order_id,
@@ -211,7 +217,9 @@ class SystemSimulator:
                 self._emit(StationOpened(
                     station_index=destination, x=opened.x, y=opened.y,
                 ))
+            phase_start = time.perf_counter()
             outcome = self.mechanism.offer_ride(origin, destination, trip.end)
+            self.timers.incentives += time.perf_counter() - phase_start
             if outcome.offered:
                 self._emit(OfferMade(
                     order_id=trip.order_id,
@@ -246,6 +254,9 @@ class SystemSimulator:
                 to_station=destination,
             ))
 
+        # The KS share of placement time comes straight off the planner's
+        # lifetime counter (checkpoints fire inside offer()).
+        self.timers.ks = self.planner.ks_seconds
         period_incentives = self.mechanism.total_incentives_paid - incentives_before
         service = self.operator.service_period(self.fleet, incentives_paid=period_incentives)
         for pos, (station, charged, in_shift) in enumerate(
@@ -342,4 +353,5 @@ class SystemSimulator:
             total_bikes_charged=sum(r.service.bikes_charged for r in self.reports),
             mean_percent_charged=float(np.mean(pct)),
             final_station_count=len(self.fleet.stations),
+            phase_seconds=self.timers.snapshot(),
         )

@@ -1,6 +1,13 @@
 """Statistical testing — Peacock 2-D KS test and request distributions."""
 
-from .ks2d import KSResult, ks2d_fast, ks2d_peacock, similarity_percent
+from .ks2d import (
+    CachedKS2D,
+    KSResult,
+    LiveWindow,
+    ks2d_fast,
+    ks2d_peacock,
+    similarity_percent,
+)
 from .bootstrap import bootstrap_ci, ks_similarity_ci
 from .distributions import (
     REQUEST_DISTRIBUTIONS,
@@ -11,7 +18,9 @@ from .distributions import (
 )
 
 __all__ = [
+    "CachedKS2D",
     "KSResult",
+    "LiveWindow",
     "ks2d_fast",
     "ks2d_peacock",
     "similarity_percent",

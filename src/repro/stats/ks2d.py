@@ -21,7 +21,14 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["KSResult", "ks2d_peacock", "ks2d_fast", "similarity_percent"]
+__all__ = [
+    "KSResult",
+    "ks2d_peacock",
+    "ks2d_fast",
+    "similarity_percent",
+    "CachedKS2D",
+    "LiveWindow",
+]
 
 
 @dataclass(frozen=True)
@@ -174,3 +181,140 @@ def similarity_percent(sample1: Sequence, sample2: Sequence, exact: bool = False
     """Similarity ``100(1 - D)`` between two 2-D samples (Table IV)."""
     result = ks2d_peacock(sample1, sample2) if exact else ks2d_fast(sample1, sample2)
     return result.similarity
+
+
+class _DominanceGrid:
+    """Exact quadrant counts of a fixed 2-D sample, answered in O(log n).
+
+    Points are mapped to rank space (their index among the sorted unique
+    coordinates per axis) and a 2-D cumulative count grid is built once:
+    ``cum[i, j]`` is the number of sample points with x-rank < ``i`` and
+    y-rank < ``j``.  Any quadrant count around any corner then reduces to
+    two ``searchsorted`` calls and four grid lookups — the counts are the
+    same integers the brute-force boolean tables of
+    :func:`ks2d_fast` produce, so the derived statistic is bit-identical.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.n = data.shape[0]
+        self._ux, x_rank = np.unique(data[:, 0], return_inverse=True)
+        self._uy, y_rank = np.unique(data[:, 1], return_inverse=True)
+        grid = np.zeros((self._ux.size + 1, self._uy.size + 1), dtype=np.int64)
+        np.add.at(grid, (x_rank + 1, y_rank + 1), 1)
+        self._cum = grid.cumsum(axis=0).cumsum(axis=1)
+
+    def quadrant_counts(self, xs: np.ndarray, ys: np.ndarray):
+        """Per-corner point counts in the four strict/non-strict quadrants.
+
+        Returns four arrays in the quadrant order of :func:`ks2d_fast`:
+        ``(x<X, y<Y), (x<X, y>=Y), (x>=X, y<Y), (x>=X, y>=Y)``.
+        """
+        i = np.searchsorted(self._ux, xs, side="left")
+        j = np.searchsorted(self._uy, ys, side="left")
+        ll = self._cum[i, j]
+        x_lt = self._cum[i, -1]
+        y_lt = self._cum[-1, j]
+        return ll, x_lt - ll, y_lt - ll, self.n - x_lt - y_lt + ll
+
+
+class CachedKS2D:
+    """Checkpoint-ready :func:`ks2d_fast` against a fixed reference sample.
+
+    Algorithm 2 re-tests the live destination window against the *same*
+    historical sample at every periodic checkpoint; :func:`ks2d_fast`
+    re-derives both samples' quadrant tables from scratch each time,
+    which is O((n1 + n2) * (n1 + n2)) per call.  This class sorts the
+    historical sample once into a :class:`_DominanceGrid` (and caches the
+    historical-side fractions at the historical corners, which never
+    change), so each checkpoint costs O((n1 + n2) log n) plus one small
+    grid build for the live window.
+
+    :meth:`test` returns a :class:`KSResult` bit-identical to
+    ``ks2d_fast(historical, live)`` — same statistic, same p-value.
+    """
+
+    def __init__(self, historical: Sequence) -> None:
+        self._a = _as_xy(historical)
+        self._grid_a = _DominanceGrid(self._a)
+        self._counts_a_at_a = self._grid_a.quadrant_counts(
+            self._a[:, 0], self._a[:, 1]
+        )
+
+    @property
+    def historical(self) -> np.ndarray:
+        """The cached reference sample (read-only view)."""
+        return self._a
+
+    def test(self, live: Sequence) -> KSResult:
+        """KS comparison of ``live`` against the cached reference."""
+        b = _as_xy(live)
+        grid_b = _DominanceGrid(b)
+        na, nb = self._a.shape[0], b.shape[0]
+        counts_b_at_a = grid_b.quadrant_counts(self._a[:, 0], self._a[:, 1])
+        counts_a_at_b = self._grid_a.quadrant_counts(b[:, 0], b[:, 1])
+        counts_b_at_b = grid_b.quadrant_counts(b[:, 0], b[:, 1])
+        best = 0.0
+        for q in range(4):
+            gap_a = np.max(np.abs(self._counts_a_at_a[q] / na - counts_b_at_a[q] / nb))
+            gap_b = np.max(np.abs(counts_a_at_b[q] / na - counts_b_at_b[q] / nb))
+            best = max(best, float(gap_a), float(gap_b))
+        return KSResult(best, na, nb, _peacock_pvalue(best, na, nb))
+
+
+class LiveWindow:
+    """Reservoir-capped buffer of the last ``cap`` 2-D observations.
+
+    The online algorithm's live window previously lived in a Python list
+    with an O(window) ``pop(0)`` per arrival once full; this ring buffer
+    makes every push O(1) and hands the KS test its ``(n, 2)`` array
+    without rebuilding it from Python objects.
+
+    Raises:
+        ValueError: if the cap is not positive.
+    """
+
+    def __init__(self, cap: int) -> None:
+        if cap <= 0:
+            raise ValueError(f"cap must be positive, got {cap}")
+        self._cap = cap
+        self._buf = np.empty((cap, 2), dtype=float)
+        self._n = 0
+        self._head = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def cap(self) -> int:
+        return self._cap
+
+    def push(self, x: float, y: float) -> None:
+        """Append one observation, evicting the oldest when full."""
+        self._buf[self._head, 0] = x
+        self._buf[self._head, 1] = y
+        self._head = (self._head + 1) % self._cap
+        if self._n < self._cap:
+            self._n += 1
+
+    def extend(self, points: np.ndarray) -> None:
+        """Append ``(m, 2)`` observations in order (bulk, still O(m))."""
+        pts = np.asarray(points, dtype=float).reshape(-1, 2)
+        if pts.shape[0] >= self._cap:
+            # Only the trailing cap observations survive.
+            self._buf[:] = pts[-self._cap :]
+            self._head = 0
+            self._n = self._cap
+            return
+        first = min(pts.shape[0], self._cap - self._head)
+        self._buf[self._head : self._head + first] = pts[:first]
+        rest = pts.shape[0] - first
+        if rest:
+            self._buf[:rest] = pts[first:]
+        self._head = (self._head + pts.shape[0]) % self._cap
+        self._n = min(self._n + pts.shape[0], self._cap)
+
+    def array(self) -> np.ndarray:
+        """The current window, oldest first, as an ``(n, 2)`` copy."""
+        if self._n < self._cap:
+            return self._buf[: self._n].copy()
+        return np.concatenate([self._buf[self._head :], self._buf[: self._head]])

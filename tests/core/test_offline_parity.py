@@ -1,0 +1,100 @@
+"""Randomized parity: the lazy-greedy offline solver vs the reference.
+
+The lazy solver must reproduce the per-round full-rescan reference bit
+for bit — same stations in the same order, same assignment, same walking
+and space totals — across weights, duplicate candidate points, exact
+ratio ties and separate candidate sets.  The blocked connection-cost
+path must match the dense one too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DemandPoint, constant_facility_cost, uniform_facility_cost
+from repro.core.offline import DEFAULT_BLOCK_ELEMS, offline_placement
+from repro.geo import Point
+
+
+def _identical(a, b):
+    assert a.stations == b.stations
+    assert a.assignment == b.assignment
+    assert a.walking == b.walking
+    assert a.space == b.space
+    assert a.online_opened == b.online_opened
+
+
+def _random_instance(seed):
+    """A randomized instance exercising the tie-break hazards.
+
+    Duplicated demand points create exact star-ratio ties; integer
+    coordinates create distance ties; mixed weights and facility costs
+    vary which candidate wins each round.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 120))
+    if rng.uniform() < 0.5:  # integer grid -> frequent exact distance ties
+        coords = rng.integers(0, 12, size=(n, 2)).astype(float)
+    else:
+        coords = rng.uniform(0, 2_000.0, size=(n, 2))
+    # Duplicate a slice of points to force exact ratio ties.
+    n_dup = int(rng.integers(0, max(2, n // 3)))
+    for i in range(n_dup):
+        coords[int(rng.integers(0, n))] = coords[int(rng.integers(0, n))]
+    if rng.uniform() < 0.5:
+        weights = np.ones(n)
+    else:
+        weights = rng.integers(1, 6, size=n).astype(float)
+    demands = [
+        DemandPoint(Point(float(x), float(y)), float(w))
+        for (x, y), w in zip(coords, weights)
+    ]
+    if rng.uniform() < 0.7:
+        cost_fn = constant_facility_cost(float(rng.uniform(50.0, 5_000.0)))
+    else:
+        cost_fn = uniform_facility_cost(
+            float(rng.uniform(100.0, 3_000.0)), np.random.default_rng(seed + 1)
+        )
+    candidates = None
+    if rng.uniform() < 0.3:  # separate candidate set
+        c = rng.uniform(0, 2_000.0, size=(int(rng.integers(4, 40)), 2))
+        candidates = [Point(float(x), float(y)) for x, y in c]
+    return demands, cost_fn, candidates
+
+
+@pytest.mark.parametrize("seed", range(24))
+def test_lazy_matches_reference(seed):
+    demands, cost_fn, candidates = _random_instance(seed)
+    ref = offline_placement(demands, cost_fn, candidates, strategy="reference")
+    lazy = offline_placement(demands, cost_fn, candidates, strategy="lazy")
+    _identical(ref, lazy)
+
+
+@pytest.mark.parametrize("seed", (0, 7, 13))
+def test_blocked_connection_costs_match_dense(seed):
+    """Tiny block sizes force the row-cached path; results must not move."""
+    demands, cost_fn, candidates = _random_instance(seed)
+    dense = offline_placement(
+        demands, cost_fn, candidates, block_elems=DEFAULT_BLOCK_ELEMS
+    )
+    for block in (1, 7, 64):
+        blocked = offline_placement(
+            demands, cost_fn, candidates, block_elems=block
+        )
+        _identical(dense, blocked)
+
+
+def test_unknown_strategy_rejected():
+    demands = [DemandPoint(Point(0.0, 0.0))]
+    with pytest.raises(ValueError, match="strategy"):
+        offline_placement(demands, constant_facility_cost(1.0), strategy="magic")
+
+
+@pytest.mark.parametrize("strategy", ("reference", "lazy"))
+def test_no_finite_star_raises(strategy):
+    """An infinite facility cost everywhere leaves no finite-ratio star;
+    both strategies must fail loudly instead of indexing ``is_open[-1]``."""
+    demands = [DemandPoint(Point(float(i), 0.0)) for i in range(4)]
+    with pytest.raises(RuntimeError, match="finite"):
+        offline_placement(
+            demands, constant_facility_cost(float("inf")), strategy=strategy
+        )

@@ -107,3 +107,55 @@ class TestSaveLoad:
             writer.writerow([1, 2, 3, 1, "10/05/17", "wx4g0bm", "wx4g0bn"])
         with pytest.raises(ValueError, match="starttime"):
             load_mobike_csv(path)
+
+
+class TestVectorizedIngestion:
+    """The batched loader must match the scalar row-by-row path exactly."""
+
+    def test_projection_bit_identical_to_scalar_path(self, small_dataset, tmp_path):
+        from repro.geo import LocalProjection, geohash
+        from repro.datasets.mobike import BEIJING_CENTER
+
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        loaded = load_mobike_csv(path)
+        proj = LocalProjection(*BEIJING_CENTER)
+        with open(path) as f:
+            rows = {int(r["orderid"]): r for r in csv.DictReader(f)}
+        for rec in loaded:
+            row = rows[rec.order_id]
+            for field, col in (("start", "geohashed_start_loc"), ("end", "geohashed_end_loc")):
+                lat, lon = geohash.decode(row[col])
+                p = proj.to_plane(lat, lon)
+                got = getattr(rec, field)
+                assert (got.x, got.y) == (p.x, p.y)
+
+    def test_geodesic_filled_and_consistent(self, small_dataset, tmp_path):
+        from repro.geo import geohash, haversine_m
+        from repro.datasets.mobike import BEIJING_CENTER
+
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        loaded = load_mobike_csv(path)
+        with open(path) as f:
+            rows = {int(r["orderid"]): r for r in csv.DictReader(f)}
+        for rec in loaded:
+            assert rec.geodesic_m is not None and rec.geodesic_m >= 0.0
+            row = rows[rec.order_id]
+            s_lat, s_lon = geohash.decode(row["geohashed_start_loc"])
+            e_lat, e_lon = geohash.decode(row["geohashed_end_loc"])
+            want = haversine_m(s_lat, s_lon, e_lat, e_lon)
+            assert rec.geodesic_m == pytest.approx(want, rel=1e-12, abs=1e-9)
+            # The equirectangular planar length agrees to sub-percent
+            # over a city-scale trip.
+            if rec.geodesic_m > 100.0:
+                assert rec.distance == pytest.approx(rec.geodesic_m, rel=0.01)
+
+    def test_synthetic_records_have_no_geodesic(self, small_dataset):
+        assert all(r.geodesic_m is None for r in small_dataset)
+
+    def test_empty_csv_loads_empty_dataset(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        with open(path, "w", newline="") as f:
+            csv.writer(f).writerow(MOBIKE_HEADER)
+        assert len(load_mobike_csv(path)) == 0

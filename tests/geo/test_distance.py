@@ -12,6 +12,7 @@ from repro.geo import (
     cross_distances,
     euclidean,
     haversine_m,
+    haversine_m_vec,
     nearest_point_index,
     pairwise_distances,
 )
@@ -113,3 +114,36 @@ class TestLocalProjection:
         planar = euclidean(p1, p2)
         sphere = haversine_m(39.91, 116.41, 39.93, 116.45)
         assert planar == pytest.approx(sphere, rel=0.001)
+
+
+class TestVectorizedGeo:
+    @given(lat, lon, lat, lon)
+    def test_haversine_vec_matches_scalar(self, la1, lo1, la2, lo2):
+        vec = haversine_m_vec(
+            np.asarray([la1]), np.asarray([lo1]), np.asarray([la2]), np.asarray([lo2])
+        )
+        assert float(vec[0]) == pytest.approx(haversine_m(la1, lo1, la2, lo2), rel=1e-12, abs=1e-9)
+
+    def test_haversine_vec_batches_and_broadcasts(self):
+        rng = np.random.default_rng(0)
+        lats1, lons1 = rng.uniform(-80, 80, 50), rng.uniform(-179, 179, 50)
+        lats2, lons2 = rng.uniform(-80, 80, 50), rng.uniform(-179, 179, 50)
+        vec = haversine_m_vec(lats1, lons1, lats2, lons2)
+        assert vec.shape == (50,)
+        for i in range(50):
+            assert vec[i] == pytest.approx(
+                haversine_m(lats1[i], lons1[i], lats2[i], lons2[i]), rel=1e-12, abs=1e-9
+            )
+        # scalar against array broadcasts
+        assert haversine_m_vec(lats1, lons1, 0.0, 0.0).shape == (50,)
+
+    def test_to_plane_vec_bit_identical_to_scalar(self):
+        rng = np.random.default_rng(1)
+        proj = LocalProjection(39.9042, 116.4074)
+        lats = rng.uniform(39.5, 40.3, 200)
+        lons = rng.uniform(116.0, 116.9, 200)
+        xy = proj.to_plane_vec(lats, lons)
+        assert xy.shape == (200, 2)
+        for i in range(200):
+            p = proj.to_plane(lats[i], lons[i])
+            assert (float(xy[i, 0]), float(xy[i, 1])) == (p.x, p.y)

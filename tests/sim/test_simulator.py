@@ -156,3 +156,18 @@ class TestIncentiveEffect:
         report = self._run(alpha=0.0)
         assert report.incentives_paid == 0.0
         assert report.offers_made == 0
+
+
+class TestPhaseTimers:
+    def test_timers_accumulate_and_surface_in_summary(self, system):
+        sim, centers = system
+        assert sim.timers.placement == 0.0 and sim.timers.incentives == 0.0
+        trips = hotspot_trips(np.random.default_rng(5), centers, 120)
+        sim.run_period(trips)
+        assert sim.timers.placement > 0.0
+        assert sim.timers.incentives > 0.0
+        assert 0.0 <= sim.timers.ks <= sim.timers.placement
+        assert sim.timers.ks == sim.planner.ks_seconds
+        summary = sim.summary()
+        assert summary.phase_seconds == sim.timers.snapshot()
+        assert set(summary.phase_seconds) == {"placement", "ks", "incentives"}

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.stats import KSResult, ks2d_fast, ks2d_peacock, similarity_percent
+from repro.stats import (
+    CachedKS2D,
+    KSResult,
+    LiveWindow,
+    ks2d_fast,
+    ks2d_peacock,
+    similarity_percent,
+)
 
 
 def gaussian_sample(rng, n, mean=(0.0, 0.0), sigma=1.0):
@@ -128,3 +135,67 @@ class TestSimilarityPercent:
         res = ks2d_fast(a, b)
         assert 0.0 <= res.statistic <= 1.0
         assert res.similarity == pytest.approx(100 * (1 - res.statistic))
+
+
+class TestCachedKS2D:
+    """The checkpoint cache must be bit-identical to ks2d_fast."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_ks2d_fast_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        na = int(rng.integers(5, 400))
+        nb = int(rng.integers(5, 400))
+        a = gaussian_sample(rng, na)
+        b = gaussian_sample(rng, nb, mean=(rng.uniform(-1, 1), rng.uniform(-1, 1)))
+        if seed % 3 == 0:  # inject duplicate coordinates / exact ties
+            a[:: 4] = a[0]
+            b[:: 5] = a[0]
+        cache = CachedKS2D(a)
+        got = cache.test(b)
+        want = ks2d_fast(a, b)
+        assert got.statistic == want.statistic
+        assert got.p_value == want.p_value
+        assert (got.n1, got.n2) == (want.n1, want.n2)
+
+    def test_reused_across_checkpoints(self):
+        rng = np.random.default_rng(99)
+        a = gaussian_sample(rng, 200)
+        cache = CachedKS2D(a)
+        for _ in range(5):
+            b = gaussian_sample(rng, 150, mean=(rng.uniform(-1, 1), 0.0))
+            assert cache.test(b).statistic == ks2d_fast(a, b).statistic
+        assert cache.historical.shape == (200, 2)
+
+
+class TestLiveWindow:
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError):
+            LiveWindow(0)
+
+    def test_matches_sliding_list_semantics(self):
+        rng = np.random.default_rng(5)
+        cap = 7
+        win = LiveWindow(cap)
+        reference = []
+        for x, y in rng.normal(size=(40, 2)):
+            win.push(float(x), float(y))
+            reference.append((float(x), float(y)))
+            if len(reference) > cap:
+                reference.pop(0)
+            assert len(win) == len(reference)
+            np.testing.assert_array_equal(win.array(), np.asarray(reference))
+
+    def test_extend_equivalent_to_pushes(self):
+        rng = np.random.default_rng(6)
+        pts = rng.normal(size=(23, 2))
+        bulk, serial = LiveWindow(9), LiveWindow(9)
+        bulk.extend(pts)
+        for x, y in pts:
+            serial.push(float(x), float(y))
+        np.testing.assert_array_equal(bulk.array(), serial.array())
+
+    def test_extend_longer_than_cap_keeps_tail(self):
+        pts = np.arange(30, dtype=float).reshape(15, 2)
+        win = LiveWindow(4)
+        win.extend(pts)
+        np.testing.assert_array_equal(win.array(), pts[-4:])
