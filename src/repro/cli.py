@@ -8,6 +8,8 @@ Usage::
     esharing run all
     esharing stats                     # describe the synthetic workload
     esharing stats --mobike trips.csv  # describe a real Mobike CSV
+    esharing checkpoint --dir ckpt --trips 400 --crash-at 150
+    esharing resume --dir ckpt --trips 400   # recover + finish the workload
 
 (or ``python -m repro.cli ...``)
 """
@@ -43,6 +45,41 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--days", type=int, default=14, help="synthetic workload days")
     stats.add_argument(
         "--volume", type=int, default=1500, help="synthetic weekday trip volume"
+    )
+    ckpt = sub.add_parser(
+        "checkpoint",
+        help="run a demo workload under the crash-safe checkpointing service",
+    )
+    ckpt.add_argument(
+        "--dir", required=True, help="checkpoint directory (snapshots + journal)"
+    )
+    ckpt.add_argument("--trips", type=int, default=400, help="demo workload length")
+    ckpt.add_argument(
+        "--every", type=int, default=100, help="trips between periodic snapshots"
+    )
+    ckpt.add_argument("--seed", type=int, default=0, help="workload seed")
+    ckpt.add_argument("--bikes", type=int, default=80, help="fleet size")
+    ckpt.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        dest="crash_at",
+        help="stop after this many trips to simulate a crash",
+    )
+    res = sub.add_parser(
+        "resume", help="recover a checkpointed run and optionally finish the workload"
+    )
+    res.add_argument("--dir", required=True, help="checkpoint directory to recover")
+    res.add_argument(
+        "--trips",
+        type=int,
+        default=None,
+        help="regenerate the demo workload (same --seed) and serve the "
+        "remainder; already-served trips are screened as duplicates",
+    )
+    res.add_argument("--seed", type=int, default=0, help="workload seed")
+    res.add_argument(
+        "--every", type=int, default=100, help="snapshot cadence going forward"
     )
     return parser
 
@@ -82,11 +119,113 @@ def _run_stats(args) -> int:
     return 0
 
 
+def _demo_trips(seed: int, trips: int):
+    """Deterministic demo workload shared by ``checkpoint`` and ``resume``.
+
+    Both commands must regenerate the identical stream from the same
+    seed so that ``resume`` can replay the full workload and let the
+    duplicate screen drop what the crashed run already served.
+    """
+    from .datasets import SyntheticConfig, mobike_like_dataset
+
+    volume = max(trips, 50)
+    dataset = mobike_like_dataset(
+        seed=seed,
+        days=3,
+        config=SyntheticConfig(
+            trips_per_weekday=volume, trips_per_weekend_day=volume
+        ),
+    )
+    return list(dataset)[:trips]
+
+
+def _run_checkpoint(args) -> int:
+    import numpy as np
+
+    from .core.costs import constant_facility_cost
+    from .core.esharing import EsharingConfig, EsharingPlanner
+    from .core.streaming import PlacementService
+    from .energy.fleet import Fleet
+    from .geo.points import Point
+    from .resilience import CheckpointingService, constant_cost_spec
+
+    records = _demo_trips(args.seed, args.trips)
+    xs = [r.start.x for r in records]
+    ys = [r.start.y for r in records]
+    anchors = [
+        Point(float(x), float(y))
+        for x in np.linspace(min(xs), max(xs), 3)
+        for y in np.linspace(min(ys), max(ys), 3)
+    ]
+    historical = np.asarray([[r.start.x, r.start.y] for r in records], dtype=float)
+    cost_value = 8000.0
+    planner = EsharingPlanner(
+        anchors,
+        constant_facility_cost(cost_value),
+        historical,
+        np.random.default_rng(args.seed + 1),
+        EsharingConfig(),
+    )
+    fleet = Fleet(
+        planner.stations, n_bikes=args.bikes, rng=np.random.default_rng(args.seed + 2)
+    )
+    wrapped = CheckpointingService(
+        PlacementService(planner, fleet),
+        args.dir,
+        checkpoint_every=args.every,
+        facility_cost_spec=constant_cost_spec(cost_value),
+    )
+    served = len(records) if args.crash_at is None else min(args.crash_at, len(records))
+    for record in records[:served]:
+        wrapped.handle_trip(record)
+    if args.crash_at is None:
+        # Clean completion gets a final snapshot; a simulated crash does
+        # not, so 'resume' genuinely exercises the journal-tail replay.
+        wrapped.checkpoint()
+    wrapped.close()
+    print(f"served {served}/{len(records)} trips; checkpoints in {args.dir}")
+    if served < len(records):
+        print(
+            "stopped early (simulated crash); "
+            "run 'esharing resume' to recover and finish"
+        )
+    return 0
+
+
+def _run_resume(args) -> int:
+    from .resilience import CheckpointingService
+
+    wrapped = CheckpointingService.recover(args.dir, checkpoint_every=args.every)
+    info = wrapped.last_recovery
+    print(
+        f"recovered from {info.snapshot_path} "
+        f"(snapshot seq {info.snapshot_seq}, replayed {info.replayed} "
+        "journal records)"
+    )
+    wrapped.consistency_check()
+    print(f"{wrapped.applied_seq} trips applied; consistency check passed")
+    if args.trips is not None:
+        records = _demo_trips(args.seed, args.trips)
+        fresh = sum(1 for r in records if wrapped.handle_trip(r) is not None)
+        wrapped.consistency_check()
+        print(
+            f"continued: {fresh} new trips served "
+            f"({len(records) - fresh} duplicates screened), "
+            f"total {wrapped.applied_seq}"
+        )
+    wrapped.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "checkpoint":
+        return _run_checkpoint(args)
+    if args.command == "resume":
+        return _run_resume(args)
     if args.command == "list":
         width = max(len(k) for k in EXPERIMENTS)
         for key in sorted(EXPERIMENTS):

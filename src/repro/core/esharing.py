@@ -22,12 +22,13 @@ value only controls the opening probability.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from ..geo.points import Point
+from ..serialize import rng_from_state, rng_to_state
 from ..stats.ks2d import CachedKS2D, LiveWindow, ks2d_peacock
 from .costs import DemandPoint, FacilityCostFn
 from .penalty import (
@@ -395,6 +396,109 @@ class EsharingPlanner:
             # readings that small live windows produce.
             self._cost_scale = self._initial_cost_scale
             self._shift_absorbed = True
+
+    # ------------------------------------------------------------------
+    def state_dict(self, include_history: bool = True) -> dict:
+        """Checkpointable state for bit-identical crash recovery.
+
+        Captures everything :meth:`offer` reads or writes — the station
+        store, cost scale and doubling counter, penalty type and
+        tolerance, KS live window, shift latch, and the RNG bit stream —
+        so a planner rebuilt by :meth:`from_state` continues the run with
+        the exact coin flips and checkpoint schedule the original would
+        have used.  The opening-cost *function* is not serialisable (it
+        is an arbitrary callable) and must be passed to
+        :meth:`from_state` again.
+
+        Args:
+            include_history: also capture the decision trace.  Without it
+                the snapshot is O(state) instead of O(arrivals), at the
+                price that :meth:`result` reports only post-restore
+                decisions.
+        """
+        state = {
+            "config": asdict(self.config),
+            "k": self.k,
+            "station_set": self.station_set.state_dict(),
+            "historical": self._historical.tolist(),
+            "cost_scale": self._cost_scale,
+            "initial_cost_scale": self._initial_cost_scale,
+            "shift_absorbed": self._shift_absorbed,
+            "removals": self._removals,
+            "arrivals_since_check": self._arrivals_since_check,
+            "penalty": {"name": self.penalty.name, "tolerance": self.penalty.tolerance},
+            "live": self._live.state_dict(),
+            "rng": rng_to_state(self._rng),
+            "walking": self.walking,
+            "space": self.space,
+            "online_opened": list(self.online_opened),
+            "similarity_history": list(self.similarity_history),
+            "ks_seconds": self.ks_seconds,
+            "decisions": None,
+        }
+        if include_history:
+            state["decisions"] = [
+                {
+                    "destination": [d.destination.x, d.destination.y],
+                    "station_index": d.station_index,
+                    "opened": d.opened,
+                    "walking_cost": d.walking_cost,
+                    "open_probability": d.open_probability,
+                    "penalty_name": d.penalty_name,
+                }
+                for d in self.decisions
+            ]
+        return state
+
+    @classmethod
+    def from_state(
+        cls, state: dict, facility_cost: FacilityCostFn
+    ) -> "EsharingPlanner":
+        """Rebuild a planner from :meth:`state_dict` output.
+
+        ``facility_cost`` must be the same *deterministic* function the
+        original planner ran with — memoised random costs (e.g.
+        :func:`~repro.core.costs.uniform_facility_cost` with a fresh RNG)
+        would break bit identity for locations not yet drawn.
+
+        Raises:
+            KeyError: on a missing field or unknown penalty name.
+            ValueError: on malformed nested state.
+        """
+        planner = cls.__new__(cls)
+        planner.config = EsharingConfig(**state["config"])
+        planner.station_set = StationSet.from_state(state["station_set"])
+        planner.k = int(state["k"])
+        planner._facility_cost = facility_cost
+        planner._historical = np.asarray(state["historical"], dtype=float).reshape(-1, 2)
+        planner._ks_cache = CachedKS2D(planner._historical)
+        planner._rng = rng_from_state(state["rng"])
+        planner._cost_scale = float(state["cost_scale"])
+        planner._initial_cost_scale = float(state["initial_cost_scale"])
+        planner._shift_absorbed = bool(state["shift_absorbed"])
+        planner._removals = int(state["removals"])
+        planner._arrivals_since_check = int(state["arrivals_since_check"])
+        planner._check_period = planner.config.beta * planner.k
+        penalty = state["penalty"]
+        planner.penalty = PENALTY_REGISTRY[penalty["name"]](penalty["tolerance"])
+        planner._live = LiveWindow.from_state(state["live"])
+        planner.decisions = [
+            EsharingDecision(
+                destination=Point(float(d["destination"][0]), float(d["destination"][1])),
+                station_index=int(d["station_index"]),
+                opened=bool(d["opened"]),
+                walking_cost=float(d["walking_cost"]),
+                open_probability=float(d["open_probability"]),
+                penalty_name=d["penalty_name"],
+            )
+            for d in (state["decisions"] or [])
+        ]
+        planner.walking = float(state["walking"])
+        planner.space = float(state["space"])
+        planner.online_opened = [int(i) for i in state["online_opened"]]
+        planner.similarity_history = [float(s) for s in state["similarity_history"]]
+        planner.ks_seconds = float(state["ks_seconds"])
+        return planner
 
     # ------------------------------------------------------------------
     def result(self) -> PlacementResult:

@@ -156,6 +156,60 @@ class StationSet:
         for listener in self._on_remove:
             listener(station_id, point)
 
+    def state_dict(self) -> dict:
+        """Checkpointable state: every id ever assigned plus the live set.
+
+        Listener subscriptions are deliberately *not* captured — they are
+        in-memory wiring that each consumer re-establishes on restore
+        (the placement service re-subscribes its rack hook when it is
+        rebuilt around the restored set).
+        """
+        min_spacing = self._min_spacing
+        return {
+            "backend": self.backend,
+            "cell_size": self.cell_size,
+            "all": [[p.x, p.y] for p in self._all],
+            "active_ids": list(self._active),
+            # inf (fewer than two stations) is not valid strict JSON.
+            "min_spacing": None if math.isinf(min_spacing) else min_spacing,
+            "min_spacing_dirty": self._min_spacing_dirty,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StationSet":
+        """Rebuild a set from :meth:`state_dict` output, bit-identically.
+
+        The cached minimum spacing is restored verbatim (it is
+        add-order-dependent, so recomputing could diverge from the
+        original run); the grid backend's buckets are rebuilt by
+        re-adding every point in id order and retiring the inactive ids.
+
+        Raises:
+            ValueError: on an unknown backend name.
+            KeyError: on a required field missing from ``state``.
+        """
+        store = cls(
+            backend=state["backend"],
+            cell_size=state["cell_size"],
+        )
+        store._all = [Point(float(x), float(y)) for x, y in state["all"]]
+        active = set(state["active_ids"])
+        # Ascending iteration keeps the dict in id order — the tie-break
+        # contract every query relies on.
+        store._active = {
+            sid: p for sid, p in enumerate(store._all) if sid in active
+        }
+        if store._index is not None:
+            for p in store._all:
+                store._index.add(p)
+            for sid in range(len(store._all)):
+                if sid not in active:
+                    store._index.remove(sid)
+        raw = state["min_spacing"]
+        store._min_spacing = math.inf if raw is None else float(raw)
+        store._min_spacing_dirty = bool(state["min_spacing_dirty"])
+        return store
+
     def subscribe(
         self,
         on_add: Optional[StationListener] = None,

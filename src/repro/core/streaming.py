@@ -17,12 +17,14 @@ answers every location query straight from the shared store.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, List, Optional
 
 from ..datasets.trips import TripRecord
 from ..energy.fleet import Fleet
+from ..errors import StateDriftError
 from ..geo.points import Point
+from .costs import FacilityCostFn
 from .esharing import EsharingPlanner
 
 __all__ = ["ServiceResponse", "PlacementService"]
@@ -82,9 +84,10 @@ class PlacementService:
 
     def _rack_for_new_station(self, station_id: int, location: Point) -> None:
         rack = self.fleet.add_station(location)
-        assert rack == station_id, (
-            f"fleet rack {rack} diverged from station id {station_id}"
-        )
+        if rack != station_id:
+            raise StateDriftError(
+                f"fleet rack {rack} diverged from station id {station_id}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -129,7 +132,11 @@ class PlacementService:
         dest_id = decision.station_index
 
         bike = self.fleet.pick_bike(origin_id)
-        assert bike is not None  # guaranteed by _pickup_station
+        if bike is None:  # guaranteed by _pickup_station
+            raise StateDriftError(
+                f"station {origin_id} emptied between selection and pickup "
+                f"for order {trip.order_id}"
+            )
         self.fleet.ride(bike.bike_id, dest_id, trip.distance)
 
         removed: Optional[int] = None
@@ -164,17 +171,68 @@ class PlacementService:
         return [self.handle_trip(t) for t in trips]
 
     # ------------------------------------------------------------------
-    def consistency_check(self) -> None:
-        """Assert the planner/fleet/id bookkeeping is coherent.
+    def state_dict(self) -> dict:
+        """Checkpointable state of the whole service: planner + fleet +
+        the response stream and retired-id ledger.
+
+        Everything needed to continue the run bit-identically after a
+        crash, except the planner's opening-cost callable — pass that to
+        :meth:`from_state` again.
+        """
+        return {
+            "planner": self.planner.state_dict(),
+            "fleet": self.fleet.state_dict(),
+            "retired": list(self.retired),
+            "responses": [asdict(r) for r in self.responses],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, facility_cost: FacilityCostFn
+    ) -> "PlacementService":
+        """Rebuild a service from :meth:`state_dict` output.
+
+        The planner and fleet are restored first, then the service is
+        constructed around them — which re-wires the rack-growth
+        subscription exactly as the original construction did.
 
         Raises:
-            AssertionError: on any drift between the views.
+            KeyError: on a missing field.
+            ValueError: if the restored planner and fleet disagree on the
+                station layout (a corrupt or hand-edited snapshot).
+        """
+        planner = EsharingPlanner.from_state(state["planner"], facility_cost)
+        fleet = Fleet.from_state(state["fleet"])
+        service = cls(planner, fleet)
+        service.retired = [int(sid) for sid in state["retired"]]
+        service.responses = [
+            ServiceResponse(**response) for response in state["responses"]
+        ]
+        return service
+
+    # ------------------------------------------------------------------
+    def consistency_check(self) -> None:
+        """Verify the planner/fleet/id bookkeeping is coherent.
+
+        Raises:
+            StateDriftError: on any drift between the views (real
+                exceptions, not ``assert``, so the guard also holds under
+                ``python -O``).
         """
         store = self.planner.station_set
-        assert store.total_assigned == len(self.fleet.stations)
-        for sid in store.ids():
-            assert store.location(sid) == self.fleet.stations[sid], (
-                f"station id {sid} diverged between planner and fleet"
+        if store.total_assigned != len(self.fleet.stations):
+            raise StateDriftError(
+                f"planner knows {store.total_assigned} station ids but the "
+                f"fleet has {len(self.fleet.stations)} racks"
             )
+        for sid in store.ids():
+            if store.location(sid) != self.fleet.stations[sid]:
+                raise StateDriftError(
+                    f"station id {sid} diverged between planner and fleet"
+                )
         for sid in self.retired:
-            assert not store.is_active(sid)
+            if store.is_active(sid):
+                raise StateDriftError(
+                    f"station id {sid} is on the retired ledger but still "
+                    "active in the planner"
+                )

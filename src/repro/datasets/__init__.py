@@ -3,7 +3,14 @@
 from .trips import TripDataset, TripRecord
 from .pois import POI, CityModel, POICategory, default_city
 from .synthetic import SyntheticConfig, generate_day, generate_trips, mobike_like_dataset
-from .mobike import BEIJING_CENTER, MOBIKE_HEADER, load_mobike_csv, save_mobike_csv
+from .mobike import (
+    BEIJING_CENTER,
+    MOBIKE_HEADER,
+    QuarantinedRow,
+    QuarantineReport,
+    load_mobike_csv,
+    save_mobike_csv,
+)
 from .scenarios import DemandEvent, Scenario
 from .statistics import DatasetStats, describe
 
@@ -20,6 +27,8 @@ __all__ = [
     "mobike_like_dataset",
     "BEIJING_CENTER",
     "MOBIKE_HEADER",
+    "QuarantinedRow",
+    "QuarantineReport",
     "load_mobike_csv",
     "save_mobike_csv",
     "DemandEvent",

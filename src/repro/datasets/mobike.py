@@ -11,23 +11,42 @@ a user holding the real dataset can feed it straight into the library;
 :func:`save_mobike_csv` writes a :class:`~repro.datasets.trips.TripDataset`
 back out in the same schema, which is how the synthetic generator can
 materialise a drop-in replacement file.
+
+A multi-million-row export always contains a few damaged rows, and
+aborting the whole load on row N is unacceptable for a production
+ingest.  ``on_error="quarantine"`` therefore diverts each malformed row
+— bad geohash, unparseable ``starttime``, non-integer id — into a
+:class:`QuarantineReport` (row number, offending field, reason) and
+keeps going; the strict default preserves the historical fail-fast
+behaviour.  Writes go through the atomic tmp+fsync+rename helper so a
+partially-written CSV can never be mistaken for a complete one.
 """
 
 from __future__ import annotations
 
 import csv
+import io
+from dataclasses import dataclass
 from datetime import datetime
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..geo import geohash
 from ..geo.distance import LocalProjection, haversine_m_vec
 from ..geo.points import Point
+from ..ioutil import atomic_write_text
 from .trips import TripDataset, TripRecord
 
-__all__ = ["MOBIKE_HEADER", "load_mobike_csv", "save_mobike_csv", "BEIJING_CENTER"]
+__all__ = [
+    "MOBIKE_HEADER",
+    "QuarantinedRow",
+    "QuarantineReport",
+    "load_mobike_csv",
+    "save_mobike_csv",
+    "BEIJING_CENTER",
+]
 
 MOBIKE_HEADER = [
     "orderid",
@@ -44,6 +63,62 @@ BEIJING_CENTER = (39.9042, 116.4074)
 
 _TIME_FORMATS = ("%Y-%m-%d %H:%M:%S", "%Y-%m-%d %H:%M", "%Y/%m/%d %H:%M:%S")
 
+_INT_FIELDS = ("orderid", "userid", "bikeid", "biketype")
+_GEO_FIELDS = ("geohashed_start_loc", "geohashed_end_loc")
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One malformed CSV row diverted from a quarantine-mode load.
+
+    Attributes:
+        row: 1-based data-row number (the header does not count).
+        field: name of the column that failed to parse.
+        reason: human-readable parse failure.
+    """
+
+    row: int
+    field: str
+    reason: str
+
+
+class QuarantineReport:
+    """Collected malformed rows from a ``on_error="quarantine"`` load."""
+
+    def __init__(self) -> None:
+        self.rows: List[QuarantinedRow] = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def add(self, row: int, field: str, reason: str) -> None:
+        """Record one diverted row."""
+        self.rows.append(QuarantinedRow(row=row, field=field, reason=reason))
+
+    def to_text(self, limit: int = 20) -> str:
+        """Human-readable summary, at most ``limit`` detail lines."""
+        lines = [f"{len(self.rows)} row(s) quarantined"]
+        for entry in self.rows[:limit]:
+            lines.append(f"  row {entry.row}: {entry.field}: {entry.reason}")
+        if len(self.rows) > limit:
+            lines.append(f"  ... and {len(self.rows) - limit} more")
+        return "\n".join(lines)
+
+
+class _MalformedRow(ValueError):
+    """Internal: a row failed to parse; carries the field and reason."""
+
+    def __init__(self, field: str, reason: str) -> None:
+        super().__init__(f"{field}: {reason}")
+        self.field = field
+        self.reason = reason
+
 
 def _parse_time(text: str) -> datetime:
     for fmt in _TIME_FORMATS:
@@ -54,10 +129,37 @@ def _parse_time(text: str) -> datetime:
     raise ValueError(f"unparseable starttime: {text!r}")
 
 
+def _parse_row(row: dict) -> Tuple[Tuple[int, int, int, int, datetime], List[float]]:
+    """Parse one DictReader row; raises :class:`_MalformedRow` on damage."""
+    ints = []
+    for field in _INT_FIELDS:
+        raw = row.get(field)
+        try:
+            ints.append(int(raw))
+        except (TypeError, ValueError):
+            raise _MalformedRow(field, f"non-integer value {raw!r}") from None
+    raw_time = row.get("starttime")
+    try:
+        start_time = _parse_time(raw_time if raw_time is not None else "")
+    except ValueError as exc:
+        raise _MalformedRow("starttime", str(exc)) from None
+    coords: List[float] = []
+    for field in _GEO_FIELDS:
+        raw = row.get(field)
+        try:
+            coords.extend(geohash.decode(raw if raw is not None else ""))
+        except ValueError as exc:
+            raise _MalformedRow(field, str(exc)) from None
+    order_id, user_id, bike_id, bike_type = ints
+    return (order_id, user_id, bike_id, bike_type, start_time), coords
+
+
 def load_mobike_csv(
     path: Union[str, Path],
     projection: Optional[LocalProjection] = None,
     limit: Optional[int] = None,
+    on_error: str = "raise",
+    quarantine: Optional[QuarantineReport] = None,
 ) -> TripDataset:
     """Load a Mobike-schema CSV into a :class:`TripDataset`.
 
@@ -65,12 +167,28 @@ def load_mobike_csv(
         path: CSV file with the :data:`MOBIKE_HEADER` columns.
         projection: projection to planar metres; defaults to one centred
             on Beijing (:data:`BEIJING_CENTER`).
-        limit: optional cap on the number of rows read.
+        limit: optional cap on the number of rows read (quarantined rows
+            count toward it — the cap bounds I/O, not yield).
+        on_error: ``"raise"`` (default) aborts on the first malformed
+            row, preserving the historical strict behaviour;
+            ``"quarantine"`` diverts malformed rows into ``quarantine``
+            and keeps loading.
+        quarantine: the report malformed rows are collected into under
+            ``"quarantine"`` mode; a fresh one is created (and discarded
+            with the return) when not supplied — pass your own to
+            inspect what was diverted.
 
     Raises:
-        ValueError: on a missing required column or malformed row.
+        ValueError: on a missing required column, an unknown ``on_error``
+            mode, or (strict mode) a malformed row — the message names
+            the data-row number and offending field.
         FileNotFoundError: if the file does not exist.
     """
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
+        )
+    report = quarantine if quarantine is not None else QuarantineReport()
     proj = projection or LocalProjection(*BEIJING_CENTER)
     fields = []
     coords = []
@@ -79,22 +197,18 @@ def load_mobike_csv(
         missing = [c for c in MOBIKE_HEADER if c not in (reader.fieldnames or [])]
         if missing:
             raise ValueError(f"CSV missing required columns: {missing}")
-        for row_no, row in enumerate(reader):
-            if limit is not None and row_no >= limit:
+        for row_no, row in enumerate(reader, start=1):
+            if limit is not None and row_no > limit:
                 break
-            fields.append(
-                (
-                    int(row["orderid"]),
-                    int(row["userid"]),
-                    int(row["bikeid"]),
-                    int(row["biketype"]),
-                    _parse_time(row["starttime"]),
-                )
-            )
-            coords.append(
-                geohash.decode(row["geohashed_start_loc"])
-                + geohash.decode(row["geohashed_end_loc"])
-            )
+            try:
+                parsed, row_coords = _parse_row(row)
+            except _MalformedRow as exc:
+                if on_error == "raise":
+                    raise ValueError(f"row {row_no}: {exc}") from None
+                report.add(row_no, exc.field, exc.reason)
+                continue
+            fields.append(parsed)
+            coords.append(row_coords)
     if not fields:
         return TripDataset([])
     # The coordinate math runs once over the whole file: projection and
@@ -130,6 +244,8 @@ def save_mobike_csv(
 
     The inverse of :func:`load_mobike_csv` up to geohash-cell quantisation
     (~76 m at precision 7, below the paper's 100 m grid granularity).
+    The file is written atomically (tmp + fsync + rename), so a crash
+    mid-export can never leave a truncated CSV under ``path``.
     """
     proj = projection or LocalProjection(*BEIJING_CENTER)
 
@@ -137,18 +253,19 @@ def save_mobike_csv(
         lat, lon = proj.to_geo(p)
         return geohash.encode(lat, lon, precision=precision)
 
-    with open(path, "w", newline="") as f:
-        writer = csv.writer(f)
-        writer.writerow(MOBIKE_HEADER)
-        for r in dataset:
-            writer.writerow(
-                [
-                    r.order_id,
-                    r.user_id,
-                    r.bike_id,
-                    r.bike_type,
-                    r.start_time.strftime("%Y-%m-%d %H:%M:%S"),
-                    to_hash(r.start),
-                    to_hash(r.end),
-                ]
-            )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(MOBIKE_HEADER)
+    for r in dataset:
+        writer.writerow(
+            [
+                r.order_id,
+                r.user_id,
+                r.bike_id,
+                r.bike_type,
+                r.start_time.strftime("%Y-%m-%d %H:%M:%S"),
+                to_hash(r.start),
+                to_hash(r.end),
+            ]
+        )
+    atomic_write_text(path, buffer.getvalue())

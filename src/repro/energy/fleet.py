@@ -9,12 +9,13 @@ operator's tour planner consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ..geo.points import Point
+from ..serialize import rng_from_state, rng_to_state
 from .battery import Battery, BatteryConfig, LOW_ENERGY_THRESHOLD
 
 __all__ = ["Bike", "Fleet", "StationEnergySnapshot"]
@@ -101,6 +102,50 @@ class Fleet:
 
     def __len__(self) -> int:
         return len(self.bikes)
+
+    def state_dict(self) -> dict:
+        """Checkpointable state: racks, every bike, and the ride-noise RNG.
+
+        Charge levels are exact floats and the RNG bit stream is captured
+        in full, so a fleet rebuilt by :meth:`from_state` drains batteries
+        bit-identically to the uninterrupted run.
+        """
+        return {
+            "stations": [[p.x, p.y] for p in self.stations],
+            "threshold": self.threshold,
+            "rng": rng_to_state(self._rng),
+            "bikes": [
+                {
+                    "bike_id": b.bike_id,
+                    "station": b.station,
+                    "level": b.battery.level,
+                    "config": asdict(b.battery.config),
+                }
+                for b in self.bikes
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Fleet":
+        """Rebuild a fleet from :meth:`state_dict` output.
+
+        Raises:
+            KeyError: on a missing field.
+            ValueError: on out-of-range levels or battery parameters.
+        """
+        fleet = cls.__new__(cls)
+        fleet.stations = [Point(float(x), float(y)) for x, y in state["stations"]]
+        fleet.threshold = float(state["threshold"])
+        fleet._rng = rng_from_state(state["rng"])
+        fleet.bikes = [
+            Bike(
+                bike_id=int(b["bike_id"]),
+                battery=Battery(BatteryConfig(**b["config"]), float(b["level"])),
+                station=int(b["station"]),
+            )
+            for b in state["bikes"]
+        ]
+        return fleet
 
     def add_station(self, location: Point) -> int:
         """Register a new (empty) station rack; returns its index.

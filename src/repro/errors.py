@@ -1,0 +1,66 @@
+"""Exception taxonomy for runtime state protection and crash recovery.
+
+The long-running service tier (Fig. 3) needs failures it can *reason*
+about: invariant violations between live views must surface as typed
+errors even under ``python -O`` (a bare ``assert`` is stripped), and the
+recovery path must distinguish a torn checkpoint file (skip to the
+previous good one) from an incompatible format version (refuse loudly).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "StateDriftError",
+    "SnapshotError",
+    "SnapshotCorruptError",
+    "SnapshotVersionError",
+    "JournalCorruptError",
+    "InjectedCrash",
+]
+
+
+class StateDriftError(RuntimeError):
+    """Two live views of the system state disagree.
+
+    Raised by consistency checks (planner vs fleet vs retired-id
+    bookkeeping) in place of ``assert`` so the guard survives
+    ``python -O``.  Seeing this means in-memory state is corrupt; the
+    safe reaction is to restore the latest checkpoint.
+    """
+
+
+class SnapshotError(RuntimeError):
+    """Base class for checkpoint save/load failures."""
+
+
+class SnapshotCorruptError(SnapshotError):
+    """A snapshot file failed its checksum or could not be parsed.
+
+    Torn / partially-written files land here; recovery skips them and
+    falls back to the previous good snapshot.
+    """
+
+
+class SnapshotVersionError(SnapshotError):
+    """A snapshot was written by an incompatible format version.
+
+    Unlike corruption this is never silently skipped: loading must be
+    refused so an operator can migrate the file deliberately.
+    """
+
+
+class JournalCorruptError(RuntimeError):
+    """The trip journal is damaged somewhere other than its tail.
+
+    A torn *final* record is the expected signature of a crash mid-append
+    and is dropped silently; a bad checksum earlier in the file means the
+    journal cannot be trusted and replay must stop.
+    """
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated crash raised by the chaos harness.
+
+    Production code never raises this; tests and the fault-injection
+    smoke job use it to cut a run short at a controlled point.
+    """

@@ -1,0 +1,96 @@
+"""Durable file I/O: atomic writes and content checksums.
+
+Every file the system must be able to trust after a crash — checkpoint
+snapshots, the trip journal's rotation target, CSV exports, event-log
+dumps — goes through :func:`atomic_write_bytes`: write to a temporary
+sibling, flush, ``fsync``, then ``os.replace`` onto the final name.  On
+POSIX the rename is atomic, so a reader can never observe a
+partially-written file under the final path; a crash mid-write leaves
+only a ``*.tmp-*`` sibling that the next writer ignores.
+
+Checksums use SHA-256; :func:`checksum_hex` is the single definition the
+snapshot and journal formats both embed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import uuid
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "checksum_hex", "fsync_dir"]
+
+
+def checksum_hex(data: bytes) -> str:
+    """SHA-256 hex digest of ``data`` — the checkpoint/journal checksum."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def fsync_dir(directory: Union[str, Path]) -> None:
+    """Flush a directory entry so a completed rename survives power loss.
+
+    Best-effort: platforms without directory fsync (e.g. Windows) are
+    silently tolerated — the rename itself is still atomic there.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Union[str, Path], data: bytes, durable: bool = True
+) -> Path:
+    """Write ``data`` to ``path`` via tmp + (fsync) + rename.
+
+    Args:
+        path: final destination; its parent must exist.
+        data: full file contents.
+        durable: also ``fsync`` the file and its directory, so the write
+            survives power loss as well as process crash.  Tests disable
+            this for speed — atomicity (no torn file under ``path``) is
+            preserved either way.
+
+    Returns:
+        The destination as a :class:`~pathlib.Path`.
+
+    Raises:
+        OSError: on any filesystem failure; the temporary file is removed
+            when possible and ``path`` is left untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp-{uuid.uuid4().hex[:8]}")
+    try:
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            if durable:
+                os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(path.parent)
+    return path
+
+
+def atomic_write_text(
+    path: Union[str, Path],
+    text: str,
+    encoding: str = "utf-8",
+    durable: bool = True,
+) -> Path:
+    """Text-mode convenience wrapper over :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode(encoding), durable=durable)

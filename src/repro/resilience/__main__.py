@@ -1,0 +1,32 @@
+"""Fault-injection smoke entry point: ``python -m repro.resilience``.
+
+Runs the self-contained chaos scenario (crash/recover a checkpointed
+service bit-for-bit, tear a snapshot and fall back, crash/recover the
+simulator mid-period under unreliable trip delivery) and exits non-zero
+on any divergence.  CI runs this as its fault-injection smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .chaos import _smoke
+
+
+def main() -> int:
+    """Parse flags and run the smoke scenario; returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="fault-injection smoke scenario",
+    )
+    parser.add_argument("--trips", type=int, default=400, help="stream length")
+    parser.add_argument(
+        "--crash-at", type=int, default=150, help="trips served before the crash"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload/fault seed")
+    args = parser.parse_args()
+    return _smoke(args.trips, args.crash_at, args.seed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""Write-ahead trip journal with exact replay recovery.
+
+Every trip is appended (and flushed, optionally fsynced) *before* it is
+applied to the service, so the durable journal is always at least as
+long as any state a snapshot can capture.  Recovery is then::
+
+    restore(latest good snapshot)        # state through journal seq S
+    replay(journal entries with seq > S) # the tail the crash cut off
+
+and reproduces the exact state and response stream of an uninterrupted
+run — the trips are the only input, and the restored RNG replays the
+same coin flips.
+
+Record format, one per line::
+
+    <sha256-prefix> {"seq": n, "trip": {...}}
+
+The checksum covers the JSON body.  A damaged *final* line is the
+expected signature of a crash mid-append and is dropped silently; damage
+anywhere earlier means the file cannot be trusted and raises
+:class:`~repro.errors.JournalCorruptError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+from ..datasets.trips import TripRecord
+from ..errors import JournalCorruptError
+from ..ioutil import checksum_hex
+from ..serialize import trip_from_state, trip_to_state
+
+__all__ = ["JournalEntry", "TripJournal", "CHECKSUM_PREFIX_LEN"]
+
+CHECKSUM_PREFIX_LEN = 16
+"""Hex chars of the per-record SHA-256 stored in front of each line."""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One replayable journal record.
+
+    Attributes:
+        seq: 1-based append sequence number.
+        trip: the journaled trip.
+    """
+
+    seq: int
+    trip: TripRecord
+
+
+def _encode_line(seq: int, trip: TripRecord) -> str:
+    body = json.dumps(
+        {"seq": seq, "trip": trip_to_state(trip)},
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    digest = checksum_hex(body.encode("utf-8"))[:CHECKSUM_PREFIX_LEN]
+    return f"{digest} {body}\n"
+
+
+def _decode_line(line: str) -> Optional[JournalEntry]:
+    """Parse one journal line; ``None`` signals a damaged record."""
+    digest, sep, body = line.rstrip("\n").partition(" ")
+    if not sep or len(digest) != CHECKSUM_PREFIX_LEN:
+        return None
+    if checksum_hex(body.encode("utf-8"))[:CHECKSUM_PREFIX_LEN] != digest:
+        return None
+    try:
+        record = json.loads(body)
+        return JournalEntry(seq=int(record["seq"]), trip=trip_from_state(record["trip"]))
+    except (ValueError, KeyError, TypeError, IndexError):
+        return None
+
+
+class TripJournal:
+    """Append-only write-ahead log of trips, one checksummed line each.
+
+    Args:
+        path: the journal file; created on first append, re-opened for
+            append when it already exists (sequence numbering continues
+            from the durable tail).
+        durable: ``fsync`` after every append so records survive power
+            loss, not just process crash.  Tests disable it for speed.
+
+    Raises:
+        JournalCorruptError: if an existing file is damaged anywhere
+            other than its final record.
+    """
+
+    def __init__(self, path: Union[str, Path], durable: bool = True) -> None:
+        self.path = Path(path)
+        self.durable = durable
+        self._fh: Optional[IO[str]] = None
+        self._next_seq = self._scan_tail() + 1
+
+    def _scan_tail(self) -> int:
+        if not self.path.exists():
+            return 0
+        entries = self.scan()
+        return entries[-1].seq if entries else 0
+
+    # ------------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next :meth:`append` will assign."""
+        return self._next_seq
+
+    def append(self, trip: TripRecord) -> int:
+        """Durably journal one trip; returns its sequence number.
+
+        The record is flushed (and fsynced when ``durable``) before this
+        returns, so a trip is never applied to the service without being
+        recoverable from disk.
+        """
+        seq = self._next_seq
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(_encode_line(seq, trip))
+        self._fh.flush()
+        if self.durable:
+            os.fsync(self._fh.fileno())
+        self._next_seq = seq + 1
+        return seq
+
+    def close(self) -> None:
+        """Close the underlying file handle (reopened on next append)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    def scan(self) -> List[JournalEntry]:
+        """Every intact record in order, dropping only a torn tail.
+
+        Raises:
+            JournalCorruptError: if a damaged record is followed by an
+                intact one (mid-file corruption — the log cannot be
+                trusted) or if sequence numbers are not consecutive.
+        """
+        if not self.path.exists():
+            return []
+        entries: List[JournalEntry] = []
+        torn_at: Optional[int] = None
+        with open(self.path, "r", encoding="utf-8") as f:
+            for line_no, line in enumerate(f, start=1):
+                if line.strip() == "":
+                    continue
+                entry = _decode_line(line)
+                if entry is None:
+                    # Tolerated only as the very last record (torn append).
+                    torn_at = line_no
+                    continue
+                if torn_at is not None:
+                    raise JournalCorruptError(
+                        f"{self.path}: damaged record at line {torn_at} is "
+                        "followed by intact records — journal unusable"
+                    )
+                if entries and entry.seq != entries[-1].seq + 1:
+                    raise JournalCorruptError(
+                        f"{self.path}: sequence jump {entries[-1].seq} -> "
+                        f"{entry.seq} at line {line_no}"
+                    )
+                entries.append(entry)
+        return entries
+
+    def replay(self, after_seq: int = 0) -> List[JournalEntry]:
+        """Records with ``seq > after_seq`` — the tail a recovery applies.
+
+        Raises:
+            JournalCorruptError: as for :meth:`scan`.
+        """
+        return [e for e in self.scan() if e.seq > after_seq]

@@ -1,0 +1,116 @@
+"""Round-trip-exact state primitives shared by the checkpoint formats.
+
+The crash-recovery contract is *bit identity*: a restored planner must
+make the same coin flips, measure the same distances and write the same
+responses as the uninterrupted run.  Everything here therefore
+round-trips exactly through JSON:
+
+* floats — Python's ``json`` emits ``repr``-shortest decimal strings,
+  which parse back to the identical IEEE-754 double;
+* NumPy RNGs — captured via ``Generator.bit_generator.state`` (plain
+  ints/strings) and restored onto a freshly constructed bit generator of
+  the same class;
+* :class:`~repro.geo.points.Point`, :class:`datetime` and
+  :class:`~repro.datasets.trips.TripRecord` — field-wise encodings with
+  no precision loss.
+"""
+
+from __future__ import annotations
+
+import copy
+from datetime import datetime
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .datasets.trips import TripRecord
+from .geo.points import Point
+
+__all__ = [
+    "rng_to_state",
+    "rng_from_state",
+    "points_to_state",
+    "points_from_state",
+    "datetime_to_state",
+    "datetime_from_state",
+    "trip_to_state",
+    "trip_from_state",
+]
+
+
+def rng_to_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """JSON-safe snapshot of a NumPy ``Generator``'s full bit stream.
+
+    The returned dict is a deep copy, so later draws on ``rng`` do not
+    mutate an already-captured checkpoint.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def rng_from_state(state: Dict[str, Any]) -> np.random.Generator:
+    """Rebuild a ``Generator`` that continues the captured bit stream.
+
+    Raises:
+        ValueError: if the bit-generator class named in ``state`` does
+            not exist in :mod:`numpy.random`.
+    """
+    name = state.get("bit_generator")
+    cls = getattr(np.random, str(name), None)
+    if cls is None or not isinstance(name, str):
+        raise ValueError(f"unknown bit generator {name!r} in RNG state")
+    bit_gen = cls()
+    bit_gen.state = copy.deepcopy(state)
+    return np.random.Generator(bit_gen)
+
+
+def points_to_state(points: Sequence[Point]) -> List[List[float]]:
+    """Encode points as ``[[x, y], ...]`` (floats round-trip exactly)."""
+    return [[p.x, p.y] for p in points]
+
+
+def points_from_state(state: Sequence[Sequence[float]]) -> List[Point]:
+    """Decode the :func:`points_to_state` encoding."""
+    return [Point(float(x), float(y)) for x, y in state]
+
+
+def datetime_to_state(moment: datetime) -> str:
+    """ISO-8601 encoding; microseconds and timezone survive."""
+    return moment.isoformat()
+
+
+def datetime_from_state(state: str) -> datetime:
+    """Decode the :func:`datetime_to_state` encoding."""
+    return datetime.fromisoformat(state)
+
+
+def trip_to_state(trip: TripRecord) -> Dict[str, Any]:
+    """Field-wise encoding of a :class:`TripRecord` for the journal."""
+    return {
+        "order_id": trip.order_id,
+        "user_id": trip.user_id,
+        "bike_id": trip.bike_id,
+        "bike_type": trip.bike_type,
+        "start_time": datetime_to_state(trip.start_time),
+        "start": [trip.start.x, trip.start.y],
+        "end": [trip.end.x, trip.end.y],
+        "geodesic_m": trip.geodesic_m,
+    }
+
+
+def trip_from_state(state: Dict[str, Any]) -> TripRecord:
+    """Decode the :func:`trip_to_state` encoding.
+
+    Raises:
+        KeyError: if a required field is missing.
+    """
+    geodesic: Optional[float] = state.get("geodesic_m")
+    return TripRecord(
+        order_id=int(state["order_id"]),
+        user_id=int(state["user_id"]),
+        bike_id=int(state["bike_id"]),
+        bike_type=int(state["bike_type"]),
+        start_time=datetime_from_state(state["start_time"]),
+        start=Point(float(state["start"][0]), float(state["start"][1])),
+        end=Point(float(state["end"][0]), float(state["end"][1])),
+        geodesic_m=None if geodesic is None else float(geodesic),
+    )

@@ -18,6 +18,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Type, TypeVar, Union
 
 from ..geo.points import Point
+from ..ioutil import atomic_write_text
 
 __all__ = [
     "Event",
@@ -168,11 +169,15 @@ class EventLog:
         return "\n".join(lines)
 
     def save(self, path) -> None:
-        """Write the JSON-lines serialisation to ``path``."""
-        with open(path, "w") as f:
-            f.write(self.to_jsonl())
-            if self._events:
-                f.write("\n")
+        """Write the JSON-lines serialisation to ``path`` atomically.
+
+        Goes through the tmp+fsync+rename helper so a crash mid-save can
+        never leave a truncated log under ``path``.
+        """
+        text = self.to_jsonl()
+        if self._events:
+            text += "\n"
+        atomic_write_text(path, text)
 
 
 _EVENT_TYPES: Dict[str, Type[Event]] = {

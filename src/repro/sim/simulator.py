@@ -19,6 +19,7 @@ import numpy as np
 from ..core.esharing import EsharingPlanner
 from ..datasets.trips import TripRecord
 from ..energy.fleet import Fleet
+from ..errors import StateDriftError
 from ..incentives.adaptive import AdaptiveAlphaController
 from ..incentives.charging_cost import ChargingCostParams
 from ..incentives.mechanism import IncentiveConfig, IncentiveMechanism
@@ -329,6 +330,54 @@ class SystemSimulator:
                 self.rebalance()
             reports.append(self.run_period(day))
         return reports
+
+    # ------------------------------------------------------------------
+    def consistency_check(self) -> None:
+        """Verify cross-component invariants after a period (or recovery).
+
+        Checks that the planner and fleet agree on the station layout,
+        that every period's trip accounting adds up, and that the
+        incentive counters are coherent — the invariants the chaos
+        harness asserts after every crash/recovery cycle.
+
+        Raises:
+            StateDriftError: on any violated invariant (a real exception,
+                so the guard also holds under ``python -O``).
+        """
+        store = self.planner.station_set
+        if store.total_assigned != len(self.fleet.stations):
+            raise StateDriftError(
+                f"planner knows {store.total_assigned} station ids but the "
+                f"fleet has {len(self.fleet.stations)} racks"
+            )
+        for sid in store.ids():
+            if store.location(sid) != self.fleet.stations[sid]:
+                raise StateDriftError(
+                    f"station id {sid} diverged between planner and fleet"
+                )
+        for i, report in enumerate(self.reports):
+            if report.trips_executed + report.trips_skipped_empty != report.trips_requested:
+                raise StateDriftError(
+                    f"period {i}: executed {report.trips_executed} + skipped "
+                    f"{report.trips_skipped_empty} != requested "
+                    f"{report.trips_requested}"
+                )
+            if report.offers_accepted > report.offers_made:
+                raise StateDriftError(
+                    f"period {i}: {report.offers_accepted} offers accepted "
+                    f"exceeds {report.offers_made} made"
+                )
+            if report.incentives_paid < 0:
+                raise StateDriftError(
+                    f"period {i}: negative incentives paid "
+                    f"({report.incentives_paid})"
+                )
+        for bike in self.fleet.bikes:
+            if not 0 <= bike.station < len(self.fleet.stations):
+                raise StateDriftError(
+                    f"bike {bike.bike_id} parked at unknown station "
+                    f"{bike.station}"
+                )
 
     # ------------------------------------------------------------------
     def total_cost(self) -> float:

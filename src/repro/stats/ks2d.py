@@ -318,3 +318,25 @@ class LiveWindow:
         if self._n < self._cap:
             return self._buf[: self._n].copy()
         return np.concatenate([self._buf[self._head :], self._buf[: self._head]])
+
+    def state_dict(self) -> dict:
+        """Checkpointable state: the cap and the logical window contents.
+
+        The ring offset is *not* part of the logical state — a window
+        rebuilt by pushing :meth:`array` back in observes and evicts in
+        exactly the same order as the original.
+        """
+        return {"cap": self._cap, "data": self.array().tolist()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LiveWindow":
+        """Rebuild a window from :meth:`state_dict` output.
+
+        Raises:
+            ValueError: on a non-positive cap or malformed contents.
+        """
+        window = cls(int(state["cap"]))
+        data = np.asarray(state["data"], dtype=float)
+        if data.size:
+            window.extend(data)
+        return window

@@ -135,3 +135,34 @@ class TestHandleTrip:
         for i in range(5):
             service.handle_trip(make_trip(i, Point(0, 5), Point(1000, 5)))
         assert len(service.responses) == 5
+
+
+class TestStateDriftGuards:
+    """Invariant guards raise typed errors (assert would vanish under -O)."""
+
+    def test_rack_count_drift_detected(self, service):
+        from repro.errors import StateDriftError
+
+        service.fleet.stations.append(Point(9999.0, 9999.0))
+        with pytest.raises(StateDriftError, match="racks"):
+            service.consistency_check()
+
+    def test_location_divergence_detected(self, service):
+        from repro.errors import StateDriftError
+
+        service.fleet.stations[0] = Point(123.0, 456.0)
+        with pytest.raises(StateDriftError, match="diverged"):
+            service.consistency_check()
+
+    def test_zombie_retired_id_detected(self, service):
+        from repro.errors import StateDriftError
+
+        service.retired.append(0)  # id 0 is still active in the planner
+        with pytest.raises(StateDriftError, match="retired"):
+            service.consistency_check()
+
+    def test_state_drift_error_is_runtime_error(self):
+        from repro.errors import StateDriftError
+
+        assert issubclass(StateDriftError, RuntimeError)
+        assert not issubclass(StateDriftError, AssertionError)

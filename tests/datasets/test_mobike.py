@@ -159,3 +159,110 @@ class TestVectorizedIngestion:
         with open(path, "w", newline="") as f:
             csv.writer(f).writerow(MOBIKE_HEADER)
         assert len(load_mobike_csv(path)) == 0
+
+
+class TestQuarantine:
+    """Malformed rows diverted instead of aborting a multi-million-row load."""
+
+    def _write(self, path, rows):
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(MOBIKE_HEADER)
+            writer.writerows(rows)
+
+    GOOD = [1, 2, 3, 1, "2017-05-10 08:00:00", "wx4g0bm", "wx4g0bn"]
+
+    def _mixed_csv(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        self._write(
+            path,
+            [
+                self.GOOD,
+                ["oops", 2, 3, 1, "2017-05-10 08:00:00", "wx4g0bm", "wx4g0bn"],
+                [2, 2, 3, 1, "2017-05-10 08:01:00", "wx4g0bm", "wx4g0bn"],
+                [3, 2, 3, 1, "not a time", "wx4g0bm", "wx4g0bn"],
+                [4, 2, 3, 1, "2017-05-10 08:02:00", "wx4!0bm", "wx4g0bn"],
+                [5, 2, 3, 1, "2017-05-10 08:03:00"],  # short row
+                [6, 2, 3, 1, "2017-05-10 08:04:00", "wx4g0bm", "wx4g0bn"],
+            ],
+        )
+        return path
+
+    def test_strict_mode_stays_default(self, tmp_path):
+        path = self._mixed_csv(tmp_path)
+        with pytest.raises(ValueError, match="row 2.*orderid"):
+            load_mobike_csv(path)
+
+    def test_quarantine_keeps_good_rows(self, tmp_path):
+        from repro.datasets import QuarantineReport
+
+        path = self._mixed_csv(tmp_path)
+        report = QuarantineReport()
+        loaded = load_mobike_csv(path, on_error="quarantine", quarantine=report)
+        assert sorted(r.order_id for r in loaded) == [1, 2, 6]
+        assert len(report) == 4
+
+    def test_report_attributes_failures_to_fields(self, tmp_path):
+        from repro.datasets import QuarantineReport
+
+        path = self._mixed_csv(tmp_path)
+        report = QuarantineReport()
+        load_mobike_csv(path, on_error="quarantine", quarantine=report)
+        by_row = {entry.row: entry for entry in report}
+        assert by_row[2].field == "orderid"
+        assert by_row[4].field == "starttime"
+        assert by_row[5].field == "geohashed_start_loc"
+        assert by_row[6].field == "geohashed_start_loc"  # short row: missing loc
+        for entry in report:
+            assert entry.reason
+
+    def test_quarantine_without_explicit_report(self, tmp_path):
+        path = self._mixed_csv(tmp_path)
+        loaded = load_mobike_csv(path, on_error="quarantine")
+        assert len(loaded) == 3
+
+    def test_report_to_text(self, tmp_path):
+        from repro.datasets import QuarantineReport
+
+        path = self._mixed_csv(tmp_path)
+        report = QuarantineReport()
+        load_mobike_csv(path, on_error="quarantine", quarantine=report)
+        text = report.to_text(limit=2)
+        assert "4 row(s) quarantined" in text
+        assert "and 2 more" in text
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = self._mixed_csv(tmp_path)
+        with pytest.raises(ValueError, match="on_error"):
+            load_mobike_csv(path, on_error="ignore")
+
+    def test_all_rows_bad_yields_empty_dataset(self, tmp_path):
+        from repro.datasets import QuarantineReport
+
+        path = tmp_path / "all_bad.csv"
+        self._write(path, [["x", "y", "z", "w", "t", "g1", "g2"]] * 3)
+        report = QuarantineReport()
+        loaded = load_mobike_csv(path, on_error="quarantine", quarantine=report)
+        assert len(loaded) == 0
+        assert len(report) == 3
+
+    def test_quarantined_rows_count_toward_limit(self, tmp_path):
+        path = self._mixed_csv(tmp_path)
+        loaded = load_mobike_csv(path, on_error="quarantine", limit=3)
+        # Rows 1-3: good, bad, good.
+        assert sorted(r.order_id for r in loaded) == [1, 2]
+
+
+class TestAtomicSave:
+    def test_no_tmp_siblings_left(self, small_dataset, tmp_path):
+        import os
+
+        save_mobike_csv(small_dataset, tmp_path / "trips.csv")
+        assert [p for p in os.listdir(tmp_path) if ".tmp-" in p] == []
+
+    def test_overwrite_is_clean(self, small_dataset, tmp_path):
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        first = path.read_text()
+        save_mobike_csv(small_dataset, path)
+        assert path.read_text() == first

@@ -1,0 +1,60 @@
+"""Tests for repro.ioutil (atomic writes, checksums)."""
+
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_bytes, atomic_write_text, checksum_hex
+
+
+class TestChecksum:
+    def test_stable(self):
+        assert checksum_hex(b"abc") == checksum_hex(b"abc")
+        assert checksum_hex(b"abc") != checksum_hex(b"abd")
+
+    def test_is_sha256_hex(self):
+        digest = checksum_hex(b"")
+        assert len(digest) == 64
+        int(digest, 16)  # valid hex
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.bin"
+        returned = atomic_write_bytes(target, b"payload", durable=False)
+        assert returned == target
+        assert target.read_bytes() == b"payload"
+
+    def test_overwrites_atomically(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"old", durable=False)
+        atomic_write_bytes(target, b"new", durable=False)
+        assert target.read_bytes() == b"new"
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        atomic_write_bytes(tmp_path / "a.bin", b"x", durable=False)
+        atomic_write_text(tmp_path / "b.txt", "y", durable=False)
+        leftovers = [p for p in os.listdir(tmp_path) if ".tmp-" in p]
+        assert leftovers == []
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"good", durable=False)
+        # Writing "to" a path whose parent is a file must fail ...
+        bogus = target / "child.bin"
+        with pytest.raises(OSError):
+            atomic_write_bytes(bogus, b"bad", durable=False)
+        # ... without touching the existing file or leaving tmp litter.
+        assert target.read_bytes() == b"good"
+        leftovers = [p for p in os.listdir(tmp_path) if ".tmp-" in p]
+        assert leftovers == []
+
+    def test_durable_mode_also_writes(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"synced", durable=True)
+        assert target.read_bytes() == b"synced"
+
+    def test_text_roundtrip(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "héllo\n", durable=False)
+        assert target.read_text(encoding="utf-8") == "héllo\n"

@@ -1,0 +1,102 @@
+"""Tests for the write-ahead trip journal."""
+
+import pytest
+
+from repro.resilience import JournalCorruptError, TripJournal
+
+from .conftest import make_trips
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return tmp_path / "journal.jsonl"
+
+
+class TestAppendReplay:
+    def test_roundtrip_exact_trips(self, journal_path):
+        trips = make_trips(10, seed=3)
+        journal = TripJournal(journal_path, durable=False)
+        seqs = [journal.append(t) for t in trips]
+        journal.close()
+        assert seqs == list(range(1, 11))
+        entries = TripJournal(journal_path, durable=False).scan()
+        assert [e.seq for e in entries] == seqs
+        # TripRecord is a dataclass: full-field equality, datetimes and
+        # float coordinates included.
+        assert [e.trip for e in entries] == trips
+
+    def test_replay_after_seq(self, journal_path):
+        trips = make_trips(6, seed=4)
+        journal = TripJournal(journal_path, durable=False)
+        for t in trips:
+            journal.append(t)
+        tail = journal.replay(after_seq=4)
+        assert [e.seq for e in tail] == [5, 6]
+        assert [e.trip for e in tail] == trips[4:]
+
+    def test_sequence_continues_after_reopen(self, journal_path):
+        trips = make_trips(5, seed=5)
+        first = TripJournal(journal_path, durable=False)
+        for t in trips[:3]:
+            first.append(t)
+        first.close()
+        second = TripJournal(journal_path, durable=False)
+        assert second.next_seq == 4
+        assert [second.append(t) for t in trips[3:]] == [4, 5]
+        assert [e.seq for e in second.scan()] == [1, 2, 3, 4, 5]
+
+    def test_missing_file_is_empty(self, journal_path):
+        journal = TripJournal(journal_path, durable=False)
+        assert journal.scan() == []
+        assert journal.next_seq == 1
+
+    def test_durable_appends(self, journal_path):
+        journal = TripJournal(journal_path, durable=True)
+        journal.append(make_trips(1)[0])
+        journal.close()
+        assert len(TripJournal(journal_path).scan()) == 1
+
+
+class TestDamage:
+    def _write(self, path, n):
+        journal = TripJournal(path, durable=False)
+        for t in make_trips(n, seed=6):
+            journal.append(t)
+        journal.close()
+
+    def test_torn_tail_dropped_silently(self, journal_path):
+        self._write(journal_path, 4)
+        lines = journal_path.read_text().splitlines(keepends=True)
+        torn = lines[-1][: len(lines[-1]) // 2]
+        journal_path.write_text("".join(lines[:-1]) + torn)
+        entries = TripJournal(journal_path, durable=False).scan()
+        assert [e.seq for e in entries] == [1, 2, 3]
+
+    def test_append_resumes_past_torn_tail(self, journal_path):
+        self._write(journal_path, 4)
+        lines = journal_path.read_text().splitlines(keepends=True)
+        journal_path.write_text("".join(lines[:-1]) + lines[-1][:10])
+        journal = TripJournal(journal_path, durable=False)
+        # The torn record 4 is gone; the next append re-uses its seq.
+        assert journal.next_seq == 4
+
+    def test_midfile_damage_raises(self, journal_path):
+        self._write(journal_path, 5)
+        lines = journal_path.read_text().splitlines(keepends=True)
+        lines[2] = lines[2][: len(lines[2]) // 2] + "\n"
+        journal_path.write_text("".join(lines))
+        with pytest.raises(JournalCorruptError):
+            TripJournal(journal_path, durable=False)
+
+    def test_sequence_jump_raises(self, journal_path):
+        self._write(journal_path, 4)
+        lines = journal_path.read_text().splitlines(keepends=True)
+        del lines[1]  # a whole intact record vanished: seq 1 -> 3
+        journal_path.write_text("".join(lines))
+        with pytest.raises(JournalCorruptError):
+            TripJournal(journal_path, durable=False)
+
+    def test_blank_lines_tolerated(self, journal_path):
+        self._write(journal_path, 2)
+        journal_path.write_text(journal_path.read_text() + "\n\n")
+        assert len(TripJournal(journal_path, durable=False).scan()) == 2

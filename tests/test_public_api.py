@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.routing",
     "repro.sim",
     "repro.experiments",
+    "repro.resilience",
 ]
 
 
