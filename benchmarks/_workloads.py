@@ -1,0 +1,13 @@
+"""Synthetic sweep workloads shared across the benchmark modules.
+
+``bench_placement`` and ``bench_throughput`` used to each carry a copy
+of the uniform-square generators; the copies are now thin re-exports of
+:mod:`repro.parallel.cells`, which is also what the parallel sweep cells
+draw from — so the benchmark sweep shapes and the multicore scaling
+sweeps can never drift apart.  Draw order is part of the recorded
+BENCH baselines: change it only with the JSON artifacts.
+"""
+
+from repro.parallel.cells import random_demand_points, random_points
+
+__all__ = ["random_points", "random_demand_points"]

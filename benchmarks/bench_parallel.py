@@ -1,0 +1,319 @@
+"""Scaling benchmark — the deterministic multicore execution layer.
+
+Times three fan-outs from :mod:`repro.parallel` across a worker-count
+sweep (1/2/4/8 by default) and records the curves to
+``BENCH_parallel.json`` at the repo root:
+
+* **placement** — the offline JMS sweep cells of ``bench_placement``
+  fanned through :class:`~repro.parallel.ParallelRunner`;
+* **ingest** — ``load_mobike_csv(workers=N)`` over a synthetic
+  Mobike-schema CSV with malformed rows sprinkled in;
+* **pipeline** — :func:`repro.experiments.run_pipeline_sweep` over a
+  seed grid, worker phase timers merged into one breakdown.
+
+Every sweep runs the parity assertion *inside* the benchmark (as
+``bench_placement`` does): the pooled outputs — placements, trip
+records, quarantine reports, sweep tables — must be bit-identical to
+the 1-worker serial reference at every worker count, or the run fails
+regardless of speed.
+
+The efficiency gate (>= 1.6x end-to-end placement speedup at 4 workers)
+is enforced only when the host actually has >= 4 usable cores; on a
+smaller machine (CI containers are routinely core-limited) the measured
+curve is still recorded but the verdict says why the gate was skipped —
+a wall-clock speedup gate on hardware that cannot exhibit one would
+measure the scheduler, not the code.  ``--smoke`` runs a seconds-scale
+parity-only subset for CI.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import (
+    QuarantineReport,
+    load_mobike_csv,
+    mobike_like_dataset,
+    save_mobike_csv,
+)
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments import run_pipeline_sweep
+from repro.parallel import ParallelRunner, TaskSpec, spawn_seeds, usable_cores
+from repro.parallel.cells import offline_cell
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+WORKER_SWEEP = (1, 2, 4, 8)
+GATE_WORKERS = 4
+GATE_SPEEDUP = 1.6  # end-to-end placement sweep at 4 workers
+MIN_GATE_CORES = 4  # the gate needs hardware that can express a speedup
+
+
+def _placement_tasks(n_cells, n_demands, root_seed=0):
+    """The placement sweep fan-out: self-seeded offline JMS cells."""
+    return [
+        TaskSpec(
+            offline_cell,
+            kwargs={"seed": ss, "n_demands": n_demands},
+            label=f"offline[{i}]",
+        )
+        for i, ss in enumerate(spawn_seeds(root_seed, n_cells))
+    ]
+
+
+def run_placement_scaling(worker_sweep=WORKER_SWEEP, n_cells=12, n_demands=500):
+    """Time the offline sweep fan-out per worker count; assert parity.
+
+    Returns the JSON-ready report dict with one end-to-end wall time,
+    speedup and parallel efficiency per worker count; digests at every
+    count must match the 1-worker serial baseline bit for bit.
+    """
+    tasks = _placement_tasks(n_cells, n_demands)
+    sweep = []
+    baseline_digests = None
+    baseline_seconds = None
+    for workers in worker_sweep:
+        start = time.perf_counter()
+        cells = ParallelRunner(workers).run(tasks)
+        elapsed = time.perf_counter() - start
+        digests = [c["digest"] for c in cells]
+        if baseline_digests is None:
+            baseline_digests, baseline_seconds = digests, elapsed
+        elif digests != baseline_digests:
+            raise AssertionError(
+                f"placement digests diverged from serial at workers={workers}"
+            )
+        sweep.append(
+            {
+                "workers": workers,
+                "seconds": elapsed,
+                "speedup": baseline_seconds / elapsed,
+                "efficiency": baseline_seconds / elapsed / workers,
+            }
+        )
+    return {
+        "benchmark": "offline placement sweep fan-out",
+        "cells": n_cells,
+        "demands_per_cell": n_demands,
+        "parity": "bit-identical digests at every worker count",
+        "sweep": sweep,
+    }
+
+
+def _make_csv(path, n_weekday, n_malformed=8, seed=11):
+    """Write a synthetic Mobike CSV with malformed rows sprinkled in."""
+    dataset = mobike_like_dataset(
+        seed=seed,
+        days=3,
+        config=SyntheticConfig(
+            trips_per_weekday=n_weekday, trips_per_weekend_day=n_weekday
+        ),
+    )
+    save_mobike_csv(dataset, path)
+    with open(path) as f:
+        lines = f.read().splitlines(keepends=True)
+    rng = np.random.default_rng(seed)
+    for row in rng.choice(len(lines) - 1, size=n_malformed, replace=False):
+        parts = lines[row + 1].split(",")
+        parts[5] = "!!badgeohash"
+        lines[row + 1] = ",".join(parts)
+    with open(path, "w") as f:
+        f.writelines(lines)
+    return len(lines) - 1
+
+
+def run_ingest_scaling(worker_sweep=WORKER_SWEEP, n_weekday=6_000):
+    """Time sharded CSV ingest per worker count; assert byte parity.
+
+    The serial records *and* the quarantine report are the reference;
+    every sharded load must reproduce both exactly.
+    """
+    sweep = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trips.csv")
+        n_rows = _make_csv(path, n_weekday)
+        reference = None
+        ref_quarantine = None
+        baseline_seconds = None
+        for workers in worker_sweep:
+            report = QuarantineReport()
+            start = time.perf_counter()
+            dataset = load_mobike_csv(
+                path, on_error="quarantine", quarantine=report, workers=workers
+            )
+            elapsed = time.perf_counter() - start
+            if reference is None:
+                reference, ref_quarantine = list(dataset), report.rows
+                baseline_seconds = elapsed
+            elif list(dataset) != reference or report.rows != ref_quarantine:
+                raise AssertionError(
+                    f"sharded ingest diverged from serial at workers={workers}"
+                )
+            sweep.append(
+                {
+                    "workers": workers,
+                    "seconds": elapsed,
+                    "speedup": baseline_seconds / elapsed,
+                    "rows_per_sec": n_rows / elapsed,
+                }
+            )
+    return {
+        "benchmark": "sharded Mobike CSV ingest",
+        "rows": n_rows,
+        "quarantined": len(ref_quarantine),
+        "parity": "records and QuarantineReport byte-identical at every worker count",
+        "sweep": sweep,
+    }
+
+
+def run_pipeline_scaling(worker_sweep=(1, 2, 4), seeds=(0, 1, 2, 3), volume=400):
+    """Time the end-to-end pipeline seed sweep per worker count.
+
+    The merged sweep tables (and their placement digests) must be
+    identical at every worker count; merged phase-timer totals are
+    recorded so the breakdown survives the worker processes.
+    """
+    sweep = []
+    reference_rows = None
+    baseline_seconds = None
+    phase_seconds = None
+    for workers in worker_sweep:
+        start = time.perf_counter()
+        result = run_pipeline_sweep(seeds, volume=volume, workers=workers)
+        elapsed = time.perf_counter() - start
+        digests = [c["digest"] for c in result.extras["cells"]]
+        if reference_rows is None:
+            reference_rows = (result.rows, digests)
+            baseline_seconds = elapsed
+            phase_seconds = result.extras["phase_seconds"]
+        elif (result.rows, digests) != reference_rows:
+            raise AssertionError(
+                f"pipeline sweep diverged from serial at workers={workers}"
+            )
+        sweep.append(
+            {
+                "workers": workers,
+                "seconds": elapsed,
+                "speedup": baseline_seconds / elapsed,
+            }
+        )
+    return {
+        "benchmark": "end-to-end pipeline seed sweep",
+        "seeds": list(seeds),
+        "volume": volume,
+        "parity": "sweep tables and placement digests identical at every worker count",
+        "merged_phase_seconds": phase_seconds,
+        "sweep": sweep,
+    }
+
+
+def run_full_report(worker_sweep=WORKER_SWEEP):
+    """All three scaling sweeps plus the gate verdict, as one dict."""
+    cores = usable_cores()
+    placement = run_placement_scaling(worker_sweep)
+    ingest = run_ingest_scaling(worker_sweep)
+    pipeline = run_pipeline_scaling()
+    at_gate = next(
+        (row for row in placement["sweep"] if row["workers"] == GATE_WORKERS), None
+    )
+    gate_enforced = cores >= MIN_GATE_CORES
+    report = {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "usable_cores": cores,
+        },
+        "placement": placement,
+        "ingest": ingest,
+        "pipeline": pipeline,
+        "gates": {
+            "parity": "ok (asserted inside every sweep, every worker count)",
+            "required_speedup_at_4_workers": GATE_SPEEDUP,
+            "measured_speedup_at_4_workers": at_gate["speedup"] if at_gate else None,
+            "enforced": gate_enforced,
+            "verdict": (
+                ("pass" if at_gate and at_gate["speedup"] >= GATE_SPEEDUP else "fail")
+                if gate_enforced
+                else f"skipped: host exposes {cores} usable core(s); the "
+                f"wall-clock gate needs >= {MIN_GATE_CORES} to be measurable"
+            ),
+        },
+    }
+    return report
+
+
+def write_report(report, path=BENCH_JSON):
+    """Persist the report as pretty-printed JSON; returns the path."""
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def _print_report(report):
+    for section in ("placement", "ingest", "pipeline"):
+        print(f"{report[section]['benchmark']}:")
+        print(f"{'workers':>8} {'seconds':>9} {'speedup':>8}")
+        for row in report[section]["sweep"]:
+            print(
+                f"{row['workers']:>8} {row['seconds']:>9.3f} {row['speedup']:>7.2f}x"
+            )
+    gates = report["gates"]
+    print(
+        f"gate: >= {gates['required_speedup_at_4_workers']}x at {GATE_WORKERS} "
+        f"workers -> {gates['verdict']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (pytest benchmarks/) — parity-gated, modest sizes.
+def test_placement_fanout_parity_smoke():
+    """Pooled placement cells match the serial baseline bit for bit."""
+    report = run_placement_scaling(worker_sweep=(1, 2), n_cells=4, n_demands=150)
+    assert all(row["seconds"] > 0 for row in report["sweep"])
+
+
+def test_ingest_fanout_parity_smoke():
+    """Sharded ingest matches the serial load, quarantine included."""
+    report = run_ingest_scaling(worker_sweep=(1, 2), n_weekday=400)
+    assert report["quarantined"] > 0
+
+
+def main(argv=None):
+    """Standalone entry point: run the sweeps and write the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset for CI (2-worker sweeps, parity gates only)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        placement = run_placement_scaling(worker_sweep=(1, 2), n_cells=4,
+                                          n_demands=150)
+        ingest = run_ingest_scaling(worker_sweep=(1, 2), n_weekday=400)
+        pipeline = run_pipeline_scaling(worker_sweep=(1, 2), seeds=(0, 1),
+                                        volume=200)
+        _print_report({"placement": placement, "ingest": ingest,
+                       "pipeline": pipeline,
+                       "gates": {"required_speedup_at_4_workers": GATE_SPEEDUP,
+                                 "verdict": "skipped (smoke: parity only)"}})
+        print("parity OK (all three fan-outs bit-identical to serial)")
+        return 0
+    report = run_full_report()
+    path = write_report(report)
+    _print_report(report)
+    print(f"wrote {path}")
+    if report["gates"]["verdict"] == "fail":
+        print(
+            f"FAIL: placement fan-out only "
+            f"{report['gates']['measured_speedup_at_4_workers']:.2f}x serial "
+            f"at {GATE_WORKERS} workers (gate {GATE_SPEEDUP}x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from _workloads import random_demand_points, random_points
 from repro.core import (
-    DemandPoint,
     EsharingConfig,
     EsharingPlanner,
     constant_facility_cost,
@@ -36,6 +36,7 @@ from repro.core import (
     uniform_facility_cost,
 )
 from repro.geo import Point
+from repro.parallel import ParallelRunner, TaskSpec
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_placement.json"
 EXTENT_M = 8_000.0
@@ -46,12 +47,21 @@ REPLAY_GATE = 3.0  # at 100k arrivals
 
 
 def _random_demands(rng, n):
-    pts = rng.uniform(0, EXTENT_M, size=(n, 2))
-    weights = rng.integers(1, 6, size=n)
-    return [
-        DemandPoint(Point(float(x), float(y)), float(w))
-        for (x, y), w in zip(pts, weights)
-    ]
+    return random_demand_points(rng, n, EXTENT_M)
+
+
+def _solve_cell(demands, strategy):
+    """One (instance, strategy) sweep cell, timed in the executing process.
+
+    Module-level so it pickles into pool workers; the instance itself is
+    generated in the parent (the sweep's RNG stream is sequential across
+    sizes) and shipped with the task.
+    """
+    start = time.perf_counter()
+    result = offline_placement(
+        demands, constant_facility_cost(6_000.0), strategy=strategy
+    )
+    return result, time.perf_counter() - start
 
 
 def _same_result(a, b):
@@ -63,35 +73,44 @@ def _same_result(a, b):
     )
 
 
-def run_offline_sweep(sizes=OFFLINE_SIZES, seed=0):
+def run_offline_sweep(sizes=OFFLINE_SIZES, seed=0, workers=1):
     """Time lazy vs reference offline solves over an instance-size sweep.
 
     Both strategies solve the same seeded instances and must return
     bit-identical results (the sweep doubles as a parity check at
-    scale).  Returns the JSON-ready report dict.
+    scale).  With ``workers > 1`` the (instance x strategy) cells fan
+    across a process pool and merge in canonical order, so the report's
+    results — parity check included — are identical for any worker
+    count; per-cell times are measured inside the executing process
+    either way.  Returns the JSON-ready report dict.
     """
     rng = np.random.default_rng(seed)
+    # Instances draw from one sequential RNG stream (size k's demands
+    # depend on the draws for sizes before it), so generation stays in
+    # the parent; only the solves fan out.
+    instances = [(n, _random_demands(rng, n)) for n in sizes]
+    tasks = [
+        TaskSpec(
+            _solve_cell,
+            kwargs={"demands": demands, "strategy": strategy},
+            label=f"offline[n={n},{strategy}]",
+        )
+        for n, demands in instances
+        for strategy in ("reference", "lazy")
+    ]
+    cells = ParallelRunner(workers).run(tasks)
     sweep = []
-    for n in sizes:
-        demands = _random_demands(rng, n)
-        cost_fn = constant_facility_cost(6_000.0)
-        times = {}
-        results = {}
-        for strategy in ("reference", "lazy"):
-            start = time.perf_counter()
-            results[strategy] = offline_placement(
-                demands, cost_fn, strategy=strategy
-            )
-            times[strategy] = time.perf_counter() - start
-        if not _same_result(results["reference"], results["lazy"]):
+    for i, (n, _) in enumerate(instances):
+        (ref_result, ref_seconds), (lazy_result, lazy_seconds) = cells[2 * i], cells[2 * i + 1]
+        if not _same_result(ref_result, lazy_result):
             raise AssertionError(f"offline strategies diverged at n={n}")
         sweep.append(
             {
                 "demands": n,
-                "stations": len(results["lazy"].stations),
-                "reference_seconds": times["reference"],
-                "lazy_seconds": times["lazy"],
-                "speedup": times["reference"] / times["lazy"],
+                "stations": len(lazy_result.stations),
+                "reference_seconds": ref_seconds,
+                "lazy_seconds": lazy_seconds,
+                "speedup": ref_seconds / lazy_seconds,
             }
         )
     return {"benchmark": "offline_placement lazy vs reference", "seed": seed, "sweep": sweep}
@@ -105,15 +124,11 @@ def run_replay_sweep(sizes=REPLAY_SIZES, n_anchors=150, seed=0):
     JSON-ready report dict.
     """
     rng = np.random.default_rng(seed)
-    anchors = [
-        Point(float(x), float(y)) for x, y in rng.uniform(0, EXTENT_M, (n_anchors, 2))
-    ]
+    anchors = random_points(rng, n_anchors, EXTENT_M)
     historical = rng.uniform(0, EXTENT_M, size=(5_000, 2))
     sweep = []
     for n in sizes:
-        stream = [
-            Point(float(x), float(y)) for x, y in rng.uniform(0, EXTENT_M, (n, 2))
-        ]
+        stream = random_points(rng, n, EXTENT_M)
         times = {}
         results = {}
         for mode in ("per_call", "batched"):
@@ -151,9 +166,10 @@ def run_replay_sweep(sizes=REPLAY_SIZES, n_anchors=150, seed=0):
     }
 
 
-def run_full_report(offline_sizes=OFFLINE_SIZES, replay_sizes=REPLAY_SIZES, seed=0):
+def run_full_report(offline_sizes=OFFLINE_SIZES, replay_sizes=REPLAY_SIZES, seed=0,
+                    workers=1):
     """Both sweeps plus the gate verdicts, as one JSON-ready dict."""
-    offline = run_offline_sweep(offline_sizes, seed=seed)
+    offline = run_offline_sweep(offline_sizes, seed=seed, workers=workers)
     replay = run_replay_sweep(replay_sizes, seed=seed)
     report = {
         "offline": offline,
@@ -233,10 +249,15 @@ def main(argv=None):
         "--smoke", action="store_true",
         help="seconds-scale subset for CI (small sizes, parity gates only)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="fan the offline sweep cells across this many worker "
+        "processes (bit-identical results for any value)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         report = {
-            "offline": run_offline_sweep(sizes=(120, 300), seed=3),
+            "offline": run_offline_sweep(sizes=(120, 300), seed=3, workers=args.workers),
             "replay": run_replay_sweep(sizes=(3_000,), n_anchors=40, seed=4),
         }
         print(f"{'demands':>8} {'speedup':>8}")
@@ -246,7 +267,7 @@ def main(argv=None):
             print(f"replay {row['arrivals']} arrivals: {row['speedup']:.1f}x")
         print("parity OK (both sweeps compare bit-identical outputs)")
         return 0
-    report = run_full_report()
+    report = run_full_report(workers=args.workers)
     path = write_report(report)
     _print_report(report)
     print(f"wrote {path}")

@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from _workloads import random_points
 from repro.core import (
     BACKENDS,
     EsharingConfig,
@@ -48,13 +49,10 @@ def run_backend_sweep(station_counts=SWEEP_COUNTS, n_queries=500, seed=0):
     rng = np.random.default_rng(seed)
     sweep = []
     for n in station_counts:
-        stations = [
-            Point(float(x), float(y)) for x, y in rng.uniform(0, EXTENT_M, (n, 2))
-        ]
-        queries = [
-            Point(float(x), float(y))
-            for x, y in rng.uniform(0, EXTENT_M, (n_queries, 2))
-        ]
+        # Shared workload generators (benchmarks/_workloads.py) keep the
+        # sweep shape in sync with bench_placement and the parallel cells.
+        stations = random_points(rng, n, EXTENT_M)
+        queries = random_points(rng, n_queries, EXTENT_M)
         # Cell size near the mean station spacing keeps ring expansions short.
         cell_size = EXTENT_M / math.sqrt(n)
         entry = {"stations": n, "queries": n_queries, "backends": {}}

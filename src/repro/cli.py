@@ -6,8 +6,11 @@ Usage::
     esharing run table5
     esharing run table2 --seed 1 --csv out.csv
     esharing run all
+    esharing sweep table5 --seeds 0,1,2,3 --workers 4   # parallel seed grid
+    esharing sweep pipeline --seeds 0:4 --workers 4     # merged sweep table
     esharing stats                     # describe the synthetic workload
     esharing stats --mobike trips.csv  # describe a real Mobike CSV
+    esharing stats --mobike trips.csv --workers 4       # sharded ingest
     esharing checkpoint --dir ckpt --trips 400 --crash-at 150
     esharing resume --dir ckpt --trips 400   # recover + finish the workload
 
@@ -37,6 +40,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
     run.add_argument("--seed", type=int, default=0, help="RNG seed")
     run.add_argument("--csv", default=None, help="also write rows to this CSV path")
+    sweep = sub.add_parser(
+        "sweep",
+        help="run one experiment across a seed grid, fanned over worker "
+        "processes (results merge in seed order — identical for any "
+        "--workers value)",
+    )
+    sweep.add_argument("experiment", help="experiment id (see 'list')")
+    sweep.add_argument(
+        "--seeds",
+        default="0,1,2,3",
+        help="seed grid: comma list ('0,1,5') or a 'start:stop' range ('0:8')",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial in-process reference path)",
+    )
+    sweep.add_argument(
+        "--volume", type=int, default=600,
+        help="trip volume per cell (pipeline sweep only)",
+    )
     stats = sub.add_parser(
         "stats", help="describe a trip workload (synthetic or a Mobike CSV)"
     )
@@ -45,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--days", type=int, default=14, help="synthetic workload days")
     stats.add_argument(
         "--volume", type=int, default=1500, help="synthetic weekday trip volume"
+    )
+    stats.add_argument(
+        "--workers", type=int, default=1,
+        help="CSV parse workers (--mobike only); sharded ingest is "
+        "byte-identical to the serial load",
     )
     ckpt = sub.add_parser(
         "checkpoint",
@@ -101,7 +129,7 @@ def _run_stats(args) -> int:
     from .geo import UniformGrid
 
     if args.mobike:
-        dataset = load_mobike_csv(args.mobike)
+        dataset = load_mobike_csv(args.mobike, workers=args.workers)
         source = args.mobike
     else:
         dataset = mobike_like_dataset(
@@ -116,6 +144,68 @@ def _run_stats(args) -> int:
     grid = UniformGrid(dataset.bounding_box(margin=50.0), cell_size=150.0)
     print(f"workload: {source}")
     print(describe(dataset, grid).to_text())
+    return 0
+
+
+def _parse_seed_grid(spec: str) -> List[int]:
+    """Parse a ``--seeds`` spec: ``"0,1,5"`` or a ``"start:stop"`` range."""
+    spec = spec.strip()
+    if ":" in spec:
+        start_s, stop_s = spec.split(":", 1)
+        start, stop = int(start_s), int(stop_s)
+        if stop <= start:
+            raise ValueError(f"empty seed range {spec!r}")
+        return list(range(start, stop))
+    seeds = [int(s) for s in spec.split(",") if s.strip()]
+    if not seeds:
+        raise ValueError(f"no seeds in {spec!r}")
+    return seeds
+
+
+def _run_sweep(args) -> int:
+    from .experiments import ExperimentResult, run_pipeline_sweep
+    from .parallel.cells import experiment_cell
+    from .parallel.pool import ParallelRunner
+
+    try:
+        seeds = _parse_seed_grid(args.seeds)
+    except ValueError as exc:
+        print(f"bad --seeds: {exc}", file=sys.stderr)
+        return 2
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    start = time.time()
+    if args.experiment == "pipeline":
+        # The pipeline sweep merges all seeds into one table (and one
+        # whole-sweep phase-timer breakdown).
+        result = run_pipeline_sweep(seeds, volume=args.volume, workers=args.workers)
+        print(result.to_text())
+    else:
+        cells = ParallelRunner(args.workers).map(
+            experiment_cell,
+            [(args.experiment, s) for s in seeds],
+            labels=[f"{args.experiment}[seed={s}]" for s in seeds],
+        )
+        for cell in cells:  # canonical seed order, independent of workers
+            result = ExperimentResult(
+                experiment_id=cell["experiment_id"],
+                title=f"{cell['title']} [seed={cell['seed']}]",
+                headers=cell["headers"],
+                rows=cell["rows"],
+                notes=cell["notes"],
+            )
+            print(result.to_text())
+            print()
+    elapsed = time.time() - start
+    print(
+        f"({args.experiment} x {len(seeds)} seeds finished in {elapsed:.1f}s "
+        f"on {args.workers} worker(s))"
+    )
     return 0
 
 
@@ -222,6 +312,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "checkpoint":
         return _run_checkpoint(args)
     if args.command == "resume":

@@ -20,6 +20,17 @@ ingest.  ``on_error="quarantine"`` therefore diverts each malformed row
 keeps going; the strict default preserves the historical fail-fast
 behaviour.  Writes go through the atomic tmp+fsync+rename helper so a
 partially-written CSV can never be mistaken for a complete one.
+
+``workers=N`` shards the parse across worker processes: the file is cut
+into line-aligned byte ranges
+(:func:`repro.parallel.ingest.chunk_byte_ranges`), each range is parsed
+and quarantined in a worker, and the per-chunk outputs are concatenated
+in file order with row numbers rebased on the preceding chunks' row
+counts.  The resulting :class:`~repro.datasets.trips.TripDataset` and
+:class:`QuarantineReport` are byte-for-byte equal to the serial load's
+— strict mode even raises on the globally earliest malformed row, as
+the serial scan would.  The one semantic carve-out is ``limit``, which
+bounds sequential I/O and therefore always takes the serial path.
 """
 
 from __future__ import annotations
@@ -154,12 +165,85 @@ def _parse_row(row: dict) -> Tuple[Tuple[int, int, int, int, datetime], List[flo
     return (order_id, user_id, bike_id, bike_type, start_time), coords
 
 
+def _parse_chunk(
+    path: Union[str, Path], start: int, end: int, fieldnames: List[str]
+) -> Tuple[List[tuple], List[List[float]], List[Tuple[int, str, str]], int]:
+    """Parse one byte range of a Mobike CSV (worker-side).
+
+    Returns ``(fields, coords, quarantined, n_rows)`` where
+    ``quarantined`` carries chunk-local 1-based row numbers and
+    ``n_rows`` counts every CSV record the range yielded (parsed or
+    quarantined) so the parent can rebase row numbers of later chunks.
+    """
+    with open(path, "rb") as f:
+        f.seek(start)
+        blob = f.read(end - start)
+    # TextIOWrapper resolves the same locale default encoding and the
+    # same newline handling as the serial ``open(path, newline="")``.
+    text = io.TextIOWrapper(io.BytesIO(blob), newline="")
+    reader = csv.DictReader(text, fieldnames=fieldnames)
+    fields: List[tuple] = []
+    coords: List[List[float]] = []
+    quarantined: List[Tuple[int, str, str]] = []
+    n_rows = 0
+    for row in reader:
+        n_rows += 1
+        try:
+            parsed, row_coords = _parse_row(row)
+        except _MalformedRow as exc:
+            quarantined.append((n_rows, exc.field, exc.reason))
+            continue
+        fields.append(parsed)
+        coords.append(row_coords)
+    return fields, coords, quarantined, n_rows
+
+
+def _load_sharded(
+    path: Union[str, Path], workers: int, on_error: str, report: QuarantineReport
+) -> Tuple[List[tuple], List[List[float]]]:
+    """Fan the CSV parse across workers; merge chunks in file order.
+
+    The concatenated ``(fields, coords)`` — and the row numbers fed to
+    ``report`` — are exactly what one serial scan would produce, because
+    chunks are line-aligned, cover the data bytes once, and are reduced
+    in canonical order.
+    """
+    from ..parallel.ingest import chunk_byte_ranges
+    from ..parallel.pool import ParallelRunner
+
+    with open(path, "rb") as f:
+        header_line = f.readline()
+        data_start = f.tell()
+    header = next(csv.reader(io.TextIOWrapper(io.BytesIO(header_line), newline="")), [])
+    missing = [c for c in MOBIKE_HEADER if c not in header]
+    if missing:
+        raise ValueError(f"CSV missing required columns: {missing}")
+    ranges = chunk_byte_ranges(path, workers, data_start=data_start)
+    chunks = ParallelRunner(workers).map(
+        _parse_chunk, [(path, s, e, header) for s, e in ranges]
+    )
+    fields: List[tuple] = []
+    coords: List[List[float]] = []
+    rows_before = 0
+    for chunk_fields, chunk_coords, quarantined, n_rows in chunks:
+        for local_no, field, reason in quarantined:
+            row_no = rows_before + local_no
+            if on_error == "raise":
+                raise ValueError(f"row {row_no}: {field}: {reason}")
+            report.add(row_no, field, reason)
+        fields.extend(chunk_fields)
+        coords.extend(chunk_coords)
+        rows_before += n_rows
+    return fields, coords
+
+
 def load_mobike_csv(
     path: Union[str, Path],
     projection: Optional[LocalProjection] = None,
     limit: Optional[int] = None,
     on_error: str = "raise",
     quarantine: Optional[QuarantineReport] = None,
+    workers: int = 1,
 ) -> TripDataset:
     """Load a Mobike-schema CSV into a :class:`TripDataset`.
 
@@ -177,38 +261,50 @@ def load_mobike_csv(
             ``"quarantine"`` mode; a fresh one is created (and discarded
             with the return) when not supplied — pass your own to
             inspect what was diverted.
+        workers: parse worker processes.  ``> 1`` shards the file into
+            line-aligned byte ranges and parses them concurrently; the
+            returned dataset and quarantine report are byte-for-byte
+            identical to the serial load (see the module docstring).
+            Ignored when ``limit`` is set — a row cap is inherently
+            sequential I/O.
 
     Raises:
         ValueError: on a missing required column, an unknown ``on_error``
-            mode, or (strict mode) a malformed row — the message names
-            the data-row number and offending field.
+            mode, a non-positive ``workers``, or (strict mode) a
+            malformed row — the message names the data-row number and
+            offending field.
         FileNotFoundError: if the file does not exist.
     """
     if on_error not in ("raise", "quarantine"):
         raise ValueError(
             f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
         )
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     report = quarantine if quarantine is not None else QuarantineReport()
     proj = projection or LocalProjection(*BEIJING_CENTER)
-    fields = []
-    coords = []
-    with open(path, newline="") as f:
-        reader = csv.DictReader(f)
-        missing = [c for c in MOBIKE_HEADER if c not in (reader.fieldnames or [])]
-        if missing:
-            raise ValueError(f"CSV missing required columns: {missing}")
-        for row_no, row in enumerate(reader, start=1):
-            if limit is not None and row_no > limit:
-                break
-            try:
-                parsed, row_coords = _parse_row(row)
-            except _MalformedRow as exc:
-                if on_error == "raise":
-                    raise ValueError(f"row {row_no}: {exc}") from None
-                report.add(row_no, exc.field, exc.reason)
-                continue
-            fields.append(parsed)
-            coords.append(row_coords)
+    if workers > 1 and limit is None:
+        fields, coords = _load_sharded(path, workers, on_error, report)
+    else:
+        fields = []
+        coords = []
+        with open(path, newline="") as f:
+            reader = csv.DictReader(f)
+            missing = [c for c in MOBIKE_HEADER if c not in (reader.fieldnames or [])]
+            if missing:
+                raise ValueError(f"CSV missing required columns: {missing}")
+            for row_no, row in enumerate(reader, start=1):
+                if limit is not None and row_no > limit:
+                    break
+                try:
+                    parsed, row_coords = _parse_row(row)
+                except _MalformedRow as exc:
+                    if on_error == "raise":
+                        raise ValueError(f"row {row_no}: {exc}") from None
+                    report.add(row_no, exc.field, exc.reason)
+                    continue
+                fields.append(parsed)
+                coords.append(row_coords)
     if not fields:
         return TripDataset([])
     # The coordinate math runs once over the whole file: projection and

@@ -16,6 +16,7 @@ __all__ = [
     "SnapshotVersionError",
     "JournalCorruptError",
     "InjectedCrash",
+    "WorkerCrashError",
 ]
 
 
@@ -63,4 +64,16 @@ class InjectedCrash(RuntimeError):
 
     Production code never raises this; tests and the fault-injection
     smoke job use it to cut a run short at a controlled point.
+    """
+
+
+class WorkerCrashError(RuntimeError):
+    """A process-pool worker died without returning a result.
+
+    Raised by :class:`repro.parallel.ParallelRunner` when a worker
+    process exits abnormally (segfault, ``os._exit``, OOM kill) or a
+    task exceeds its timeout.  Ordinary exceptions raised *inside* a
+    task are re-raised as themselves; this error means the pool itself
+    broke, so the fan-out must be treated as failed rather than silently
+    hanging on futures that will never complete.
     """

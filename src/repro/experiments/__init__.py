@@ -21,7 +21,7 @@ from .table4_ks_similarity import run_table4
 from .table5_plp_comparison import run_table5
 from .table6_incentives import run_fig11, run_fig12, run_table6
 from .thm1_lower_bound import run_thm1
-from .endtoend import run_pipeline
+from .endtoend import run_pipeline, run_pipeline_sweep
 from .fig9_penalty_scatter import run_fig9
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -64,5 +64,6 @@ __all__ = [
     "run_table6",
     "run_thm1",
     "run_pipeline",
+    "run_pipeline_sweep",
     "run_fig9",
 ]

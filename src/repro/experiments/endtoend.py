@@ -12,7 +12,7 @@ cost vs the no-incentive baseline, plus the event-level tallies.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ from ..sim.operator import OperatorConfig
 from ..sim.simulator import SystemSimulator
 from .reporting import ExperimentResult
 
-__all__ = ["run_pipeline"]
+__all__ = ["run_pipeline", "run_pipeline_sweep"]
 
 
 def run_pipeline(seed: int = 0, volume: int = 1200) -> ExperimentResult:
@@ -156,5 +156,68 @@ def run_pipeline(seed: int = 0, volume: int = 1200) -> ExperimentResult:
             "tier1": tier1,
             "report": report,
             "event_log": log,
+            "phase_seconds": sim.timers.snapshot(),
         },
+    )
+
+
+def run_pipeline_sweep(
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    volume: int = 600,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Fan :func:`run_pipeline` over a seed grid, optionally multicore.
+
+    Each seed is one self-contained cell
+    (:func:`repro.parallel.cells.pipeline_cell`); cells fan across
+    ``workers`` processes and merge in canonical seed order, so the
+    table is identical for every worker count.  Per-worker
+    :class:`~repro.sim.metrics.PhaseTimers` snapshots are merged into
+    one whole-sweep phase breakdown (reported in the notes) instead of
+    being lost with the worker processes.
+
+    Args:
+        seeds: the sweep grid, one pipeline run per seed.
+        volume: weekday trip volume passed to every cell.
+        workers: worker-process count (``1`` = serial in-process).
+    """
+    from ..parallel.cells import pipeline_cell
+    from ..parallel.pool import ParallelRunner
+    from ..sim.metrics import PhaseTimers
+
+    if not seeds:
+        raise ValueError("seed grid cannot be empty")
+    cells = ParallelRunner(workers).map(
+        pipeline_cell,
+        [(int(s), volume) for s in seeds],
+        labels=[f"pipeline[seed={s}]" for s in seeds],
+    )
+    timers = PhaseTimers()
+    rows: List[List] = []
+    for cell in cells:
+        timers.merge(cell["phase_seconds"])
+        rows.append([
+            cell["seed"],
+            cell["trips_requested"],
+            cell["trips_executed"],
+            cell["tier1_stations"],
+            round(cell["tier1_total"] / 1000, 1),
+            round(cell["tier2_cost"], 0),
+            round(cell["incentives_paid"], 1),
+        ])
+    snap = timers.snapshot()
+    return ExperimentResult(
+        experiment_id="Pipeline sweep",
+        title=f"End-to-end pipeline over seeds {list(seeds)} ({workers} worker(s))",
+        headers=["seed", "requested", "executed", "tier-1 stations",
+                 "tier-1 cost (km)", "tier-2 cost ($)", "incentives ($)"],
+        rows=rows,
+        notes=[
+            f"cells merged in canonical seed order; table is identical "
+            f"for any worker count (digests: "
+            f"{', '.join(c['digest'][:8] for c in cells)})",
+            "merged worker phase seconds: "
+            + ", ".join(f"{k}={v:.3f}" for k, v in snap.items()),
+        ],
+        extras={"cells": cells, "phase_seconds": snap},
     )

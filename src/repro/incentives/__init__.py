@@ -4,6 +4,7 @@ from .charging_cost import (
     ChargingCostParams,
     per_bike_cost,
     saving_ratio,
+    saving_ratio_vec,
     tour_charging_cost,
 )
 from .user_model import UserPopulation, UserPreferences, accepts_offer
@@ -14,6 +15,7 @@ __all__ = [
     "ChargingCostParams",
     "per_bike_cost",
     "saving_ratio",
+    "saving_ratio_vec",
     "tour_charging_cost",
     "UserPopulation",
     "UserPreferences",

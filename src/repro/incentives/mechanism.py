@@ -179,6 +179,63 @@ class IncentiveMechanism:
         the one already holding the most low-energy bikes (consolidation),
         then the closest match, then the lowest id.  Returns ``None``
         when no site qualifies.
+
+        This is the per-rider hot loop of Tier 2, so the candidate scan
+        is batched: masks and the four-way preference key run as NumPy
+        array operations over the whole annulus instead of one Python
+        tuple comparison per candidate.  The selection is bit-identical
+        to the scalar reference
+        (:meth:`choose_aggregation_site_reference`) — same float
+        expressions, and ``lexsort``'s last-key-primary order mirrors
+        the tuple comparison exactly.
+        """
+        origin_point = self.fleet.stations[origin]
+        trip_len = origin_point.distance_to(self.fleet.stations[destination])
+        if trip_len <= 0:
+            return None
+        self._sync_stations()
+        candidates = self.stations.within(
+            origin_point, trip_len * (1.0 + self.config.mileage_slack) + 1e-9
+        )
+        if not candidates:
+            return None
+        ids = np.fromiter((k for k, _ in candidates), dtype=np.int64,
+                          count=len(candidates))
+        legs = np.fromiter((d for _, d in candidates), dtype=float,
+                           count=len(candidates))
+        mismatch = np.abs(legs - trip_len)
+        valid = (
+            (ids != origin)
+            & (ids != destination)
+            & (mismatch <= self.config.mileage_slack * trip_len)
+        )
+        if not valid.any():
+            return None
+        ids, mismatch = ids[valid], mismatch[valid]
+        low_map = self.fleet.low_energy_map()
+        low_here = np.fromiter(
+            (len(low_map.get(int(k), ())) for k in ids), dtype=np.int64,
+            count=ids.size,
+        )
+        explicit = self._targets.get(origin)
+        not_explicit = (
+            (ids != explicit).astype(np.int8)
+            if explicit is not None
+            else np.ones(ids.size, dtype=np.int8)
+        )
+        # Minimize (k != explicit, -low_here, |leg - trip|, k): lexsort
+        # takes its keys least-significant first.
+        order = np.lexsort((ids, mismatch, -low_here, not_explicit))
+        return int(ids[order[0]])
+
+    def choose_aggregation_site_reference(
+        self, origin: int, destination: int
+    ) -> Optional[int]:
+        """Scalar reference of :meth:`choose_aggregation_site`.
+
+        One Python-level key comparison per candidate — the historical
+        implementation, kept as the parity oracle for the batched scan
+        (the vectorized path must match it on every input).
         """
         origin_point = self.fleet.stations[origin]
         trip_len = origin_point.distance_to(self.fleet.stations[destination])

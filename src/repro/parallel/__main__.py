@@ -1,0 +1,120 @@
+"""Parity smoke for the parallel execution layer (CI job).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.parallel [--workers 2]
+
+Proves the bit-identical fan-out/fan-in contract end to end on real
+work, in seconds:
+
+1. offline placement cells — serial vs pooled digests must match;
+2. sharded Mobike CSV ingest (malformed rows included) — records and
+   the quarantine report must equal the serial load's;
+3. the worker-crash path — a dying worker must surface
+   :class:`~repro.errors.WorkerCrashError`, not hang the pool.
+
+Exits non-zero on the first violated contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+from .cells import offline_cell
+from .pool import ParallelRunner, TaskSpec, spawn_seeds
+
+
+def _crash(_: int) -> None:
+    """Kill the worker process without returning (crash-path probe)."""
+    os._exit(13)
+
+
+def _placement_parity(workers: int) -> None:
+    seeds = spawn_seeds(2024, 6)
+    tasks = [
+        TaskSpec(offline_cell, kwargs={"seed": ss, "n_demands": 150}, label=f"cell{i}")
+        for i, ss in enumerate(seeds)
+    ]
+    serial = ParallelRunner(workers=1).run(tasks)
+    pooled = ParallelRunner(workers=workers).run(tasks)
+    if [c["digest"] for c in serial] != [c["digest"] for c in pooled]:
+        raise SystemExit(
+            f"FAIL: placement digests diverged between serial and "
+            f"{workers}-worker runs"
+        )
+    print(
+        f"placement parity OK: {len(tasks)} cells bit-identical at "
+        f"workers=1 and workers={workers}"
+    )
+
+
+def _ingest_parity(workers: int) -> None:
+    import numpy as np
+
+    from ..datasets import load_mobike_csv, mobike_like_dataset, save_mobike_csv
+    from ..datasets.mobike import QuarantineReport
+    from ..datasets.synthetic import SyntheticConfig
+
+    dataset = mobike_like_dataset(
+        seed=7, days=2, config=SyntheticConfig(trips_per_weekday=400,
+                                               trips_per_weekend_day=300)
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trips.csv")
+        save_mobike_csv(dataset, path)
+        # Damage a few rows scattered across the future chunks.
+        lines = open(path).read().splitlines(keepends=True)
+        rng = np.random.default_rng(0)
+        for row in sorted(rng.choice(len(lines) - 1, size=5, replace=False)):
+            parts = lines[row + 1].split(",")
+            parts[4] = "not-a-time"
+            lines[row + 1] = ",".join(parts)
+        open(path, "w").writelines(lines)
+        serial_q, pooled_q = QuarantineReport(), QuarantineReport()
+        serial = load_mobike_csv(path, on_error="quarantine", quarantine=serial_q)
+        pooled = load_mobike_csv(
+            path, on_error="quarantine", quarantine=pooled_q, workers=workers
+        )
+    if list(serial) != list(pooled) or serial_q.rows != pooled_q.rows:
+        raise SystemExit(
+            f"FAIL: sharded ingest diverged from serial at workers={workers}"
+        )
+    print(
+        f"ingest parity OK: {len(serial)} records + {len(serial_q)} quarantined "
+        f"rows bit-identical at workers={workers}"
+    )
+
+
+def _crash_path(workers: int) -> None:
+    from ..errors import WorkerCrashError
+
+    runner = ParallelRunner(workers=max(workers, 2))
+    try:
+        runner.map(_crash, [(0,)])
+    except WorkerCrashError as exc:
+        print(f"crash path OK: typed error surfaced ({exc})")
+        return
+    raise SystemExit("FAIL: dead worker did not raise WorkerCrashError")
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=2, help="pool size for the parallel side"
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 2:
+        parser.error("--workers must be >= 2 to exercise the pool")
+    _placement_parity(args.workers)
+    _ingest_parity(args.workers)
+    _crash_path(args.workers)
+    print("parallel smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

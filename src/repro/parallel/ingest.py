@@ -1,0 +1,70 @@
+"""Byte-range sharding of line-oriented files.
+
+Splitting a multi-million-row CSV for parallel parsing must not change
+what gets parsed: :func:`chunk_byte_ranges` cuts the file into
+contiguous, non-overlapping byte ranges that each start exactly at the
+beginning of a line and together cover every data byte once.  Workers
+parse their range independently; concatenating the per-chunk outputs in
+range order therefore yields the byte-for-byte serial result.
+
+The newline-snapping assumes records do not contain embedded newlines
+(true of the Mobike schema, whose fields are bare integers, timestamps
+and geohashes).  A quoted field spanning lines would be split mid-record
+— callers owning such data must stay on the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Tuple, Union
+
+__all__ = ["chunk_byte_ranges"]
+
+
+def chunk_byte_ranges(
+    path: Union[str, Path], n_chunks: int, data_start: int = 0
+) -> List[Tuple[int, int]]:
+    """Split ``path[data_start:]`` into up to ``n_chunks`` line-aligned ranges.
+
+    Args:
+        path: the file to shard.
+        n_chunks: desired number of ranges (fewer come back when the
+            file is too small to cut that often).
+        data_start: byte offset where records begin — pass the offset
+            just past the header line so no chunk re-parses it.
+
+    Returns:
+        ``(start, end)`` byte ranges, in file order, covering
+        ``[data_start, filesize)`` exactly once.  Empty list when there
+        are no data bytes.
+
+    Raises:
+        ValueError: if ``n_chunks`` is not positive or ``data_start`` is
+            negative.
+    """
+    if n_chunks <= 0:
+        raise ValueError(f"n_chunks must be positive, got {n_chunks}")
+    if data_start < 0:
+        raise ValueError(f"data_start must be >= 0, got {data_start}")
+    size = os.path.getsize(path)
+    if size <= data_start:
+        return []
+    approx = max(1, (size - data_start) // n_chunks)
+    bounds = [data_start]
+    with open(path, "rb") as f:
+        for i in range(1, n_chunks):
+            target = data_start + i * approx
+            if target <= bounds[-1]:
+                continue
+            if target >= size:
+                break
+            f.seek(target)
+            f.readline()  # snap forward to the start of the next line
+            pos = f.tell()
+            if pos >= size:
+                break
+            if pos > bounds[-1]:
+                bounds.append(pos)
+    bounds.append(size)
+    return list(zip(bounds[:-1], bounds[1:]))

@@ -1,0 +1,119 @@
+"""Pickle-free read-only NumPy arrays for worker processes.
+
+Fanning a sweep whose cells all read the same large array (a historical
+destination sample, a demand grid) through a process pool normally
+pickles that array into every task message.  :class:`SharedNDArray`
+places one copy in POSIX shared memory instead; tasks carry only a
+:class:`SharedArrayHandle` (name + shape + dtype, a few bytes) and
+attach a read-only view on the worker side.
+
+Lifecycle: the parent ``create()``s from a source array, passes
+``handle()`` in task kwargs, and calls ``unlink()`` once the fan-in
+completes.  Workers call :func:`attach_readonly` (or
+``SharedArrayHandle.open``) per task; the view is marked non-writeable
+so a task cannot corrupt its siblings' input.  Values are byte-for-byte
+the source array's, so sharing is invisible to the bit-identical
+contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["SharedArrayHandle", "SharedNDArray", "attach_readonly"]
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable descriptor of a shared array (name, shape, dtype)."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    def open(self) -> "SharedNDArray":
+        """Attach to the existing shared block this handle describes."""
+        shm = shared_memory.SharedMemory(name=self.name, create=False)
+        return SharedNDArray(shm, self.shape, self.dtype, owner=False)
+
+
+class SharedNDArray:
+    """A NumPy array whose buffer lives in ``multiprocessing.shared_memory``.
+
+    Build with :meth:`create` in the parent; re-open from a
+    :class:`SharedArrayHandle` in workers.  The owning side must call
+    :meth:`unlink` when the fan-out is done or the OS object leaks until
+    interpreter exit.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        shape: Tuple[int, ...],
+        dtype: str,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._shape = tuple(shape)
+        self._dtype = np.dtype(dtype)
+        self._owner = owner
+
+    @classmethod
+    def create(cls, source: np.ndarray) -> "SharedNDArray":
+        """Copy ``source`` into a fresh shared-memory block."""
+        arr = np.ascontiguousarray(source)
+        shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        return cls(shm, arr.shape, arr.dtype.str, owner=True)
+
+    def handle(self) -> SharedArrayHandle:
+        """The picklable descriptor workers attach through."""
+        return SharedArrayHandle(self._shm.name, self._shape, str(self._dtype))
+
+    def array(self) -> np.ndarray:
+        """A read-only ndarray view over the shared buffer."""
+        view = np.ndarray(self._shape, dtype=self._dtype, buffer=self._shm.buf)
+        view.flags.writeable = False
+        return view
+
+    def close(self) -> None:
+        """Detach this process's mapping (the block itself survives)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Detach and destroy the OS object (owner side, after fan-in)."""
+        self._shm.close()
+        if self._owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedNDArray":
+        """Context-manager entry; returns self."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: unlink (owner) or close (worker)."""
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()
+
+
+def attach_readonly(handle: SharedArrayHandle) -> np.ndarray:
+    """Worker-side one-shot attach: a private *copy* of the shared array.
+
+    Copying decouples the returned array's lifetime from the shared
+    block (no dangling view once the parent unlinks) while still moving
+    the bytes across the process boundary exactly once per worker task
+    instead of once per pickle.  Use ``handle.open()``/``array()`` when
+    a zero-copy view is safe.
+    """
+    shared = handle.open()
+    try:
+        return shared.array().copy()
+    finally:
+        shared.close()

@@ -10,7 +10,7 @@ can be audited after the fact without re-running it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +35,13 @@ class PhaseTimers:
     Future perf work needs in-repo numbers for where simulated time goes;
     the simulator adds ``time.perf_counter()`` deltas here as it runs.
 
+    When phases execute in *worker processes* (a sweep fanned through
+    :class:`repro.parallel.ParallelRunner`), each worker accumulates its
+    own timers; ship the :meth:`snapshot` back with the task result and
+    fold it into the parent's accumulators with :meth:`merge`, so the
+    summary reports whole-job phase time instead of silently counting
+    only the parent's share.
+
     Attributes:
         placement: seconds inside Tier-1 ``planner.offer`` calls — the
             nearest-station query, the opening coin flip, and any
@@ -55,6 +62,35 @@ class PhaseTimers:
             "ks": self.ks,
             "incentives": self.incentives,
         }
+
+    def merge(self, other: Union["PhaseTimers", Dict[str, float]]) -> "PhaseTimers":
+        """Add another timer set (or its snapshot dict) into this one.
+
+        Args:
+            other: a :class:`PhaseTimers` or a :meth:`snapshot`-shaped
+                mapping — the form worker processes return, since the
+                dataclass itself never crosses the pool boundary.
+
+        Returns:
+            ``self``, so per-worker snapshots chain:
+            ``timers.merge(a).merge(b)``.
+
+        Raises:
+            ValueError: if a mapping carries an unknown phase name.
+        """
+        snap = other.snapshot() if isinstance(other, PhaseTimers) else other
+        unknown = set(snap) - {"placement", "ks", "incentives"}
+        if unknown:
+            raise ValueError(f"unknown phase(s) in snapshot: {sorted(unknown)}")
+        self.placement += float(snap.get("placement", 0.0))
+        self.ks += float(snap.get("ks", 0.0))
+        self.incentives += float(snap.get("incentives", 0.0))
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snap: Dict[str, float]) -> "PhaseTimers":
+        """Rebuild timers from a :meth:`snapshot` dict (worker fan-in)."""
+        return cls().merge(snap)
 
 
 @dataclass(frozen=True)

@@ -380,6 +380,20 @@ class SystemSimulator:
                 )
 
     # ------------------------------------------------------------------
+    def merge_worker_timers(self, *snapshots) -> None:
+        """Fold phase timers measured in worker processes into this run.
+
+        A sweep that fans ``run_period`` cells through
+        :class:`repro.parallel.ParallelRunner` accumulates phase time in
+        each worker's own :class:`~repro.sim.metrics.PhaseTimers`; the
+        parent's :meth:`summary` would otherwise report only its local
+        (near-zero) share.  Pass each worker's
+        ``PhaseTimers.snapshot()`` dict here before reading the summary.
+        """
+        for snap in snapshots:
+            self.timers.merge(snap)
+
+    # ------------------------------------------------------------------
     def total_cost(self) -> float:
         """Accumulated Tier-2 cost over all simulated periods."""
         return sum(r.service.total_cost for r in self.reports)

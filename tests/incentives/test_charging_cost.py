@@ -1,5 +1,6 @@
 """Tests for repro.incentives.charging_cost (Eqs. 10-12, Fig. 7)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -7,6 +8,7 @@ from repro.incentives import (
     ChargingCostParams,
     per_bike_cost,
     saving_ratio,
+    saving_ratio_vec,
     tour_charging_cost,
 )
 
@@ -116,3 +118,51 @@ class TestSavingRatio:
     def test_zero_costs_zero_saving(self):
         p = ChargingCostParams(service_cost=0.0, delay_cost=0.0)
         assert saving_ratio(p, 10, 2) == 0.0
+
+
+class TestSavingRatioVec:
+    """The broadcast Eq. 11 must match the scalar formula bit for bit."""
+
+    def test_matches_scalar_elementwise(self):
+        p = ChargingCostParams()
+        n = 20
+        ms = np.arange(1, n + 1)
+        vec = saving_ratio_vec(p, n, ms)
+        for m, r in zip(ms, vec):
+            assert float(r) == saving_ratio(p, n, int(m))
+
+    def test_broadcasts_over_n_and_m(self):
+        p = ChargingCostParams(service_cost=3.0, delay_cost=2.0)
+        ns = np.array([5, 10, 40])
+        ms = np.array([2, 4, 13])
+        vec = saving_ratio_vec(p, ns, ms)
+        for n, m, r in zip(ns, ms, vec):
+            assert float(r) == saving_ratio(p, int(n), int(m))
+
+    def test_scalar_inputs_give_scalar_shape(self):
+        p = ChargingCostParams()
+        assert np.shape(saving_ratio_vec(p, 10, 5)) == ()
+        assert float(saving_ratio_vec(p, 10, 5)) == saving_ratio(p, 10, 5)
+
+    def test_zero_costs_zero_saving(self):
+        p = ChargingCostParams(service_cost=0.0, delay_cost=0.0)
+        assert np.all(saving_ratio_vec(p, 10, np.arange(1, 11)) == 0.0)
+
+    def test_invalid_m_rejected(self):
+        p = ChargingCostParams()
+        with pytest.raises(ValueError):
+            saving_ratio_vec(p, 5, np.array([0, 1]))
+        with pytest.raises(ValueError):
+            saving_ratio_vec(p, 5, np.array([1, 6]))
+
+    @given(
+        st.integers(2, 60),
+        st.floats(0.0, 50.0, allow_nan=False),
+        st.floats(0.0, 50.0, allow_nan=False),
+    )
+    def test_property_parity(self, n, q, d):
+        p = ChargingCostParams(service_cost=q, delay_cost=d)
+        ms = np.arange(1, n + 1)
+        vec = saving_ratio_vec(p, n, ms)
+        for m, r in zip(ms, vec):
+            assert float(r) == saving_ratio(p, n, int(m))

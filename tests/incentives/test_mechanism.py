@@ -205,3 +205,56 @@ class TestOfferRide:
         mech.offer_ride(0, 2, fleet.stations[2])
         mech.offer_ride(0, 2, fleet.stations[2])
         assert fleet.stations_needing_service() == [4]
+
+
+class TestAggregationSiteParity:
+    """The batched candidate scan must equal the scalar reference on
+    every (origin, destination) pair, across randomized fleets."""
+
+    def _assert_parity(self, mech, n_stations):
+        for origin in range(n_stations):
+            for destination in range(n_stations):
+                assert mech.choose_aggregation_site(
+                    origin, destination
+                ) == mech.choose_aggregation_site_reference(origin, destination), (
+                    f"diverged on {origin} -> {destination}"
+                )
+
+    def test_grid_fleet_all_pairs(self, fleet):
+        mech = IncentiveMechanism(fleet, ChargingCostParams())
+        self._assert_parity(mech, len(fleet.stations))
+
+    def test_explicit_targets_all_pairs(self, fleet):
+        mech = IncentiveMechanism(
+            fleet, ChargingCostParams(), aggregation_targets={0: 2, 3: 7, 8: 4}
+        )
+        self._assert_parity(mech, len(fleet.stations))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_fleets_all_pairs(self, seed):
+        rng = np.random.default_rng(seed)
+        stations = [
+            Point(float(x), float(y)) for x, y in rng.uniform(0, 1500, (12, 2))
+        ]
+        f = Fleet(stations, n_bikes=60, rng=np.random.default_rng(seed + 100))
+        for b in f.bikes:
+            b.battery.level = float(rng.uniform(0.05, 1.0))
+        targets = {int(rng.integers(0, 12)): int(rng.integers(0, 12))}
+        mech = IncentiveMechanism(
+            f, ChargingCostParams(), aggregation_targets=targets,
+            config=IncentiveConfig(mileage_slack=float(rng.uniform(0.1, 0.6))),
+        )
+        self._assert_parity(mech, len(stations))
+
+    def test_coincident_stations_tie_break(self):
+        # Duplicate positions force exact distance ties; the id tie-break
+        # must resolve identically in both paths.
+        stations = [Point(0.0, 0.0), Point(400.0, 0.0), Point(400.0, 0.0),
+                    Point(0.0, 400.0), Point(400.0, 400.0)]
+        f = Fleet(stations, n_bikes=10, rng=np.random.default_rng(7))
+        mech = IncentiveMechanism(f, ChargingCostParams())
+        for origin in range(len(stations)):
+            for destination in range(len(stations)):
+                assert mech.choose_aggregation_site(
+                    origin, destination
+                ) == mech.choose_aggregation_site_reference(origin, destination)

@@ -1,0 +1,130 @@
+"""Tests for sharded Mobike CSV ingest (repro.parallel.ingest +
+load_mobike_csv(workers=N)) — the serial loader is the oracle."""
+
+import csv
+
+import pytest
+
+from repro.datasets import (
+    MOBIKE_HEADER,
+    QuarantineReport,
+    SyntheticConfig,
+    load_mobike_csv,
+    mobike_like_dataset,
+    save_mobike_csv,
+)
+from repro.parallel import chunk_byte_ranges
+
+GOOD = [1, 2, 3, 1, "2017-05-10 08:00:00", "wx4g0bm", "wx4g0bn"]
+
+
+def _write(path, rows):
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(MOBIKE_HEADER)
+        writer.writerows(rows)
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    """A few hundred rows with malformed ones scattered across shards."""
+    cfg = SyntheticConfig(trips_per_weekday=150, trips_per_weekend_day=150)
+    dataset = mobike_like_dataset(seed=7, days=2, config=cfg)
+    path = tmp_path / "trips.csv"
+    save_mobike_csv(dataset, path)
+    lines = path.read_text().splitlines(keepends=True)
+    # Damage rows near the start, middle and end so every shard of a
+    # 2- or 4-way split sees at least one quarantine candidate.
+    for row in (3, len(lines) // 3, len(lines) // 2, len(lines) - 2):
+        parts = lines[row].split(",")
+        parts[4] = "not-a-time"
+        lines[row] = ",".join(parts)
+    path.write_text("".join(lines))
+    return path
+
+
+class TestChunkByteRanges:
+    def test_covers_file_exactly(self, csv_path):
+        size = csv_path.stat().st_size
+        header_end = len(csv_path.read_bytes().split(b"\n", 1)[0]) + 1
+        ranges = chunk_byte_ranges(csv_path, 4, data_start=header_end)
+        assert ranges[0][0] == header_end
+        assert ranges[-1][1] == size
+        for (_, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+            assert end_a == start_b
+
+    def test_ranges_are_line_aligned(self, csv_path):
+        data = csv_path.read_bytes()
+        header_end = len(data.split(b"\n", 1)[0]) + 1
+        for start, _ in chunk_byte_ranges(csv_path, 4, data_start=header_end):
+            assert start == header_end or data[start - 1] == ord("\n")
+
+    def test_more_chunks_than_lines(self, tmp_path):
+        path = tmp_path / "tiny.csv"
+        _write(path, [GOOD])
+        header_end = len(path.read_bytes().split(b"\n", 1)[0]) + 1
+        ranges = chunk_byte_ranges(path, 16, data_start=header_end)
+        assert ranges[0][0] == header_end
+        assert ranges[-1][1] == path.stat().st_size
+
+    def test_invalid_chunk_count(self, csv_path):
+        with pytest.raises(ValueError):
+            chunk_byte_ranges(csv_path, 0)
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_records_and_quarantine_identical(self, csv_path, workers):
+        serial_report = QuarantineReport()
+        serial = load_mobike_csv(
+            csv_path, on_error="quarantine", quarantine=serial_report
+        )
+        sharded_report = QuarantineReport()
+        sharded = load_mobike_csv(
+            csv_path, on_error="quarantine", quarantine=sharded_report,
+            workers=workers,
+        )
+        assert list(sharded) == list(serial)
+        assert sharded_report.rows == serial_report.rows
+
+    def test_clean_file_identical(self, tmp_path):
+        cfg = SyntheticConfig(trips_per_weekday=80, trips_per_weekend_day=80)
+        dataset = mobike_like_dataset(seed=9, days=1, config=cfg)
+        path = tmp_path / "clean.csv"
+        save_mobike_csv(dataset, path)
+        assert list(load_mobike_csv(path, workers=3)) == list(load_mobike_csv(path))
+
+    def test_strict_mode_raises_earliest_row(self, csv_path):
+        with pytest.raises(ValueError) as serial_exc:
+            load_mobike_csv(csv_path)
+        with pytest.raises(ValueError) as sharded_exc:
+            load_mobike_csv(csv_path, workers=4)
+        # Same row, same field, same message — even though a later chunk
+        # may hit its own malformed row first in wall-clock time.
+        assert str(sharded_exc.value) == str(serial_exc.value)
+
+    def test_limit_forces_serial_path(self, csv_path):
+        # limit semantics are row-sequential; sharding is bypassed.
+        a = load_mobike_csv(csv_path, on_error="quarantine", limit=20, workers=4)
+        b = load_mobike_csv(csv_path, on_error="quarantine", limit=20)
+        assert list(a) == list(b)
+
+    def test_workers_one_is_serial(self, csv_path):
+        a = load_mobike_csv(csv_path, on_error="quarantine", workers=1)
+        b = load_mobike_csv(csv_path, on_error="quarantine")
+        assert list(a) == list(b)
+
+    def test_missing_column_rejected_before_forking(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["orderid", "userid"])
+            writer.writerow([1, 2])
+        with pytest.raises(ValueError, match="missing required columns"):
+            load_mobike_csv(path, workers=4)
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        with open(path, "w", newline="") as f:
+            csv.writer(f).writerow(MOBIKE_HEADER)
+        assert len(load_mobike_csv(path, workers=4)) == 0

@@ -1,0 +1,148 @@
+"""Tests for repro.parallel.pool — the deterministic fan-out/fan-in."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.parallel import ParallelRunner, TaskSpec, spawn_seeds, usable_cores
+
+
+# Worker callables must live at module level so they pickle by name.
+def _square(x):
+    return x * x
+
+
+def _slow_identity(x, delay):
+    time.sleep(delay)
+    return x
+
+
+def _draw(seed):
+    return float(np.random.default_rng(seed).uniform())
+
+
+def _boom(msg):
+    raise ValueError(msg)
+
+
+def _die():
+    os._exit(13)
+
+
+def _hang():
+    time.sleep(60.0)
+
+
+class TestUsableCores:
+    def test_positive(self):
+        assert usable_cores() >= 1
+
+    def test_bounded_by_cpu_count(self):
+        assert usable_cores() <= (os.cpu_count() or 1)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        a = spawn_seeds(7, 5)
+        b = spawn_seeds(7, 5)
+        assert [s.generate_state(4).tolist() for s in a] == [
+            s.generate_state(4).tolist() for s in b
+        ]
+
+    def test_children_independent(self):
+        draws = [_draw(s) for s in spawn_seeds(0, 8)]
+        assert len(set(draws)) == 8
+
+    def test_prefix_stable(self):
+        """Task i's seed does not depend on how many siblings follow it."""
+        short = spawn_seeds(3, 2)
+        long = spawn_seeds(3, 6)
+        for a, b in zip(short, long):
+            assert a.generate_state(2).tolist() == b.generate_state(2).tolist()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestTaskSpec:
+    def test_run_in_process(self):
+        assert TaskSpec(_square, args=(4,)).run() == 16
+
+    def test_kwargs(self):
+        assert TaskSpec(_slow_identity, kwargs={"x": 3, "delay": 0.0}).run() == 3
+
+    def test_non_taskspec_rejected(self):
+        with pytest.raises(TypeError):
+            ParallelRunner(1).run([_square])
+
+
+class TestCanonicalOrder:
+    def test_serial_matches_pool(self):
+        tasks = [TaskSpec(_square, args=(i,)) for i in range(10)]
+        assert ParallelRunner(1).run(tasks) == ParallelRunner(2).run(tasks)
+
+    def test_results_in_task_order_not_completion_order(self):
+        # The first task sleeps longest: completion order is reversed,
+        # the result list must not be.
+        args = [(i, 0.3 - 0.1 * i) for i in range(3)]
+        out = ParallelRunner(3).map(_slow_identity, args)
+        assert out == [0, 1, 2]
+
+    def test_map_labels_validated(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(1).map(_square, [(1,), (2,)], labels=["only-one"])
+
+    def test_seeded_draws_worker_count_invariant(self):
+        seeds = spawn_seeds(11, 6)
+        reference = [_draw(s) for s in seeds]
+        for workers in (2, 4):
+            assert ParallelRunner(workers).map(_draw, [(s,) for s in seeds]) == reference
+
+    def test_empty_task_list(self):
+        assert ParallelRunner(2).run([]) == []
+
+
+class TestFailures:
+    def test_task_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="bad cell"):
+            ParallelRunner(1).run([TaskSpec(_boom, args=("bad cell",))])
+
+    def test_task_exception_propagates_pooled(self):
+        tasks = [TaskSpec(_square, args=(1,)), TaskSpec(_boom, args=("bad cell",))]
+        with pytest.raises(ValueError, match="bad cell"):
+            ParallelRunner(2).run(tasks)
+
+    def test_earliest_failure_wins(self):
+        # Both tasks raise; the error from the first in task order
+        # surfaces regardless of which worker finishes first.
+        tasks = [
+            TaskSpec(_boom, args=("first",), label="a"),
+            TaskSpec(_boom, args=("second",), label="b"),
+        ]
+        with pytest.raises(ValueError, match="first"):
+            ParallelRunner(2).run(tasks)
+
+    def test_worker_crash_is_typed(self):
+        tasks = [TaskSpec(_die, label="kamikaze")]
+        with pytest.raises(WorkerCrashError, match="kamikaze"):
+            ParallelRunner(2).run(tasks)
+
+    def test_hung_task_times_out(self):
+        runner = ParallelRunner(2, task_timeout=0.5)
+        with pytest.raises(WorkerCrashError, match="exceeded"):
+            runner.run([TaskSpec(_hang, label="wedged")])
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(-1)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(2, task_timeout=0.0)
+
+    def test_workers_none_uses_affinity(self):
+        assert ParallelRunner(None).workers == usable_cores()

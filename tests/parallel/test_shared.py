@@ -1,0 +1,71 @@
+"""Tests for repro.parallel.shared — shared-memory NumPy arrays."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ParallelRunner,
+    SharedNDArray,
+    attach_readonly,
+)
+from repro.parallel.cells import replay_cell
+
+
+def _checksum(handle):
+    return float(attach_readonly(handle).sum())
+
+
+class TestRoundTrip:
+    def test_bytes_survive(self):
+        src = np.random.default_rng(0).uniform(size=(100, 2))
+        with SharedNDArray.create(src) as shared:
+            np.testing.assert_array_equal(shared.array(), src)
+
+    def test_handle_reopens_same_data(self):
+        src = np.arange(12, dtype=np.int64).reshape(3, 4)
+        with SharedNDArray.create(src) as shared:
+            reopened = shared.handle().open()
+            try:
+                np.testing.assert_array_equal(reopened.array(), src)
+            finally:
+                reopened.close()
+
+    def test_view_is_readonly(self):
+        with SharedNDArray.create(np.zeros(4)) as shared:
+            view = shared.array()
+            with pytest.raises(ValueError):
+                view[0] = 1.0
+
+    def test_attach_readonly_is_a_copy(self):
+        src = np.ones(8)
+        shared = SharedNDArray.create(src)
+        copy = attach_readonly(shared.handle())
+        shared.unlink()
+        # The copy outlives the shared block.
+        np.testing.assert_array_equal(copy, src)
+
+    def test_handle_preserves_dtype_and_shape(self):
+        src = np.zeros((2, 3), dtype=np.float32)
+        with SharedNDArray.create(src) as shared:
+            h = shared.handle()
+            assert h.shape == (2, 3)
+            assert np.dtype(h.dtype) == np.float32
+
+
+class TestAcrossProcesses:
+    def test_workers_read_shared_block(self):
+        src = np.random.default_rng(1).uniform(size=(500, 2))
+        with SharedNDArray.create(src) as shared:
+            sums = ParallelRunner(2).map(_checksum, [(shared.handle(),)] * 3)
+        assert sums == [pytest.approx(src.sum())] * 3
+
+    def test_replay_cell_shared_equals_local(self):
+        """A cell fed the historical sample via shared memory is
+        bit-identical to one drawing the same sample locally."""
+        anchor_rng = np.random.default_rng(0)
+        anchor_rng.uniform(0, 8_000.0, size=(30, 2))  # skip the anchor draw
+        hist = anchor_rng.uniform(0, 8_000.0, size=(5_000, 2))
+        local = replay_cell(5, 400, n_anchors=30)
+        with SharedNDArray.create(hist) as shared:
+            via_shared = replay_cell(5, 400, n_anchors=30, historical=shared.handle())
+        assert via_shared["digest"] == local["digest"]

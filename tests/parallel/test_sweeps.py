@@ -1,0 +1,123 @@
+"""Fan-out parity for sweep cells: serial == 2 workers == 4 workers."""
+
+import pytest
+
+from repro.experiments import run_pipeline_sweep
+from repro.parallel import ParallelRunner, TaskSpec, spawn_seeds
+from repro.parallel.cells import experiment_cell, offline_cell
+from repro.sim.metrics import PhaseTimers
+
+
+def _offline_tasks(n_cells, n_demands):
+    return [
+        TaskSpec(offline_cell, kwargs={"seed": ss, "n_demands": n_demands})
+        for ss in spawn_seeds(0, n_cells)
+    ]
+
+
+class TestPlacementParity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_digests_match_serial(self, workers):
+        tasks = _offline_tasks(n_cells=4, n_demands=120)
+        serial = ParallelRunner(1).run(tasks)
+        pooled = ParallelRunner(workers).run(tasks)
+        assert [c["digest"] for c in pooled] == [c["digest"] for c in serial]
+
+    def test_summary_scalars_match_serial(self):
+        tasks = _offline_tasks(n_cells=3, n_demands=100)
+        serial = ParallelRunner(1).run(tasks)
+        pooled = ParallelRunner(2).run(tasks)
+        for s, p in zip(serial, pooled):
+            # Everything except the in-worker wall time is bit-identical.
+            assert {k: v for k, v in s.items() if k != "seconds"} == {
+                k: v for k, v in p.items() if k != "seconds"
+            }
+
+
+class TestExperimentCell:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            experiment_cell("tableXX", seed=0)
+
+    def test_cell_matches_direct_run(self):
+        from repro.experiments import EXPERIMENTS
+
+        cell = experiment_cell("fig7a", seed=1)
+        direct = EXPERIMENTS["fig7a"](seed=1)
+        assert cell["rows"] == [list(r) for r in direct.rows]
+        assert cell["headers"] == list(direct.headers)
+
+
+class TestPipelineSweep:
+    def test_parallel_matches_serial(self):
+        serial = run_pipeline_sweep(seeds=(0, 1), volume=150, workers=1)
+        pooled = run_pipeline_sweep(seeds=(0, 1), volume=150, workers=2)
+        assert pooled.rows == serial.rows
+        assert [c["digest"] for c in pooled.extras["cells"]] == [
+            c["digest"] for c in serial.extras["cells"]
+        ]
+
+    def test_phase_timers_survive_fanout(self):
+        """Worker-side phase time must land in the merged summary, not
+        vanish with the worker process."""
+        result = run_pipeline_sweep(seeds=(0, 1), volume=150, workers=2)
+        merged = result.extras["phase_seconds"]
+        assert set(merged) == {"placement", "ks", "incentives"}
+        assert sum(merged.values()) > 0.0
+        per_cell = [c["phase_seconds"] for c in result.extras["cells"]]
+        for phase in merged:
+            assert merged[phase] == pytest.approx(
+                sum(cell[phase] for cell in per_cell)
+            )
+
+
+class TestPhaseTimersMerge:
+    def test_merge_adds_counters(self):
+        a = PhaseTimers(placement=1.0, ks=0.5, incentives=0.25)
+        a.merge({"placement": 2.0, "ks": 0.5, "incentives": 0.75})
+        assert a.snapshot() == {"placement": 3.0, "ks": 1.0, "incentives": 1.0}
+
+    def test_merge_accepts_timers(self):
+        a = PhaseTimers(placement=1.0)
+        a.merge(PhaseTimers(placement=0.5, ks=0.25))
+        assert a.placement == 1.5
+        assert a.ks == 0.25
+
+    def test_merge_returns_self_for_chaining(self):
+        a = PhaseTimers()
+        assert a.merge({"placement": 1.0}).merge({"ks": 1.0}) is a
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            PhaseTimers().merge({"warp_drive": 1.0})
+
+    def test_from_snapshot_roundtrip(self):
+        a = PhaseTimers(placement=1.0, ks=2.0, incentives=3.0)
+        assert PhaseTimers.from_snapshot(a.snapshot()).snapshot() == a.snapshot()
+
+    def test_simulator_merge_worker_timers(self):
+        import numpy as np
+
+        from repro.core import EsharingConfig, EsharingPlanner, constant_facility_cost
+        from repro.energy import Fleet
+        from repro.geo import Point
+        from repro.sim import SystemSimulator
+
+        rng = np.random.default_rng(0)
+        anchors = [Point(float(x), float(y)) for x, y in rng.uniform(0, 2000, (6, 2))]
+        planner = EsharingPlanner(
+            anchors, constant_facility_cost(5_000.0),
+            rng.uniform(0, 2000, (200, 2)), np.random.default_rng(1),
+            EsharingConfig(),
+        )
+        fleet = Fleet(planner.stations, n_bikes=12, rng=np.random.default_rng(2))
+        sim = SystemSimulator(planner, fleet)
+        before = sim.timers.snapshot()
+        sim.merge_worker_timers(
+            {"placement": 1.0, "ks": 2.0, "incentives": 3.0},
+            {"placement": 0.5, "ks": 0.0, "incentives": 0.5},
+        )
+        after = sim.timers.snapshot()
+        assert after["placement"] == pytest.approx(before["placement"] + 1.5)
+        assert after["ks"] == pytest.approx(before["ks"] + 2.0)
+        assert after["incentives"] == pytest.approx(before["incentives"] + 3.5)

@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.sim",
     "repro.experiments",
     "repro.resilience",
+    "repro.parallel",
 ]
 
 
