@@ -20,6 +20,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 from typing import List, Optional
@@ -93,6 +94,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="crash_at",
         help="stop after this many trips to simulate a crash",
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="serve a demo workload through the live placement service, "
+        "optionally under the guarded runtime",
+    )
+    serve.add_argument(
+        "--dir", required=True, help="checkpoint directory (snapshots + journal)"
+    )
+    serve.add_argument("--trips", type=int, default=400, help="demo workload length")
+    serve.add_argument(
+        "--every", type=int, default=100, help="trips between periodic snapshots"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve.add_argument("--bikes", type=int, default=80, help="fleet size")
+    serve.add_argument(
+        "--guard",
+        action="store_true",
+        help="wrap the service in the guarded runtime (validation, "
+        "watermark reordering, circuit breakers, incident log)",
+    )
+    serve.add_argument(
+        "--lateness",
+        type=float,
+        default=600.0,
+        help="watermark lateness bound in seconds (--guard only)",
+    )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="deliver the workload through a faulty upstream "
+        "(duplicates, drops, reorder, clock skew, garbage fields)",
+    )
+    inc = sub.add_parser(
+        "incidents",
+        help="inspect the incident and dead-letter logs a guarded "
+        "'serve --guard' run wrote",
+    )
+    inc.add_argument(
+        "--dir", required=True, help="checkpoint directory of the guarded run"
+    )
+    inc.add_argument(
+        "--limit", type=int, default=20, help="detail rows to show per log"
     )
     res = sub.add_parser(
         "resume", help="recover a checkpointed run and optionally finish the workload"
@@ -229,7 +273,11 @@ def _demo_trips(seed: int, trips: int):
     return list(dataset)[:trips]
 
 
-def _run_checkpoint(args) -> int:
+_DEMO_COST = 8000.0
+
+
+def _demo_service(records, seed: int, bikes: int):
+    """Build the demo planner+fleet service over a workload's extent."""
     import numpy as np
 
     from .core.costs import constant_facility_cost
@@ -237,9 +285,7 @@ def _run_checkpoint(args) -> int:
     from .core.streaming import PlacementService
     from .energy.fleet import Fleet
     from .geo.points import Point
-    from .resilience import CheckpointingService, constant_cost_spec
 
-    records = _demo_trips(args.seed, args.trips)
     xs = [r.start.x for r in records]
     ys = [r.start.y for r in records]
     anchors = [
@@ -248,22 +294,28 @@ def _run_checkpoint(args) -> int:
         for y in np.linspace(min(ys), max(ys), 3)
     ]
     historical = np.asarray([[r.start.x, r.start.y] for r in records], dtype=float)
-    cost_value = 8000.0
     planner = EsharingPlanner(
         anchors,
-        constant_facility_cost(cost_value),
+        constant_facility_cost(_DEMO_COST),
         historical,
-        np.random.default_rng(args.seed + 1),
+        np.random.default_rng(seed + 1),
         EsharingConfig(),
     )
     fleet = Fleet(
-        planner.stations, n_bikes=args.bikes, rng=np.random.default_rng(args.seed + 2)
+        planner.stations, n_bikes=bikes, rng=np.random.default_rng(seed + 2)
     )
+    return PlacementService(planner, fleet)
+
+
+def _run_checkpoint(args) -> int:
+    from .resilience import CheckpointingService, constant_cost_spec
+
+    records = _demo_trips(args.seed, args.trips)
     wrapped = CheckpointingService(
-        PlacementService(planner, fleet),
+        _demo_service(records, args.seed, args.bikes),
         args.dir,
         checkpoint_every=args.every,
-        facility_cost_spec=constant_cost_spec(cost_value),
+        facility_cost_spec=constant_cost_spec(_DEMO_COST),
     )
     served = len(records) if args.crash_at is None else min(args.crash_at, len(records))
     for record in records[:served]:
@@ -279,6 +331,103 @@ def _run_checkpoint(args) -> int:
             "stopped early (simulated crash); "
             "run 'esharing resume' to recover and finish"
         )
+    return 0
+
+
+def _run_serve(args) -> int:
+    from pathlib import Path
+
+    from .geo.points import BoundingBox
+    from .guard import GuardConfig, GuardedRuntime, ValidationConfig
+    from .resilience import CheckpointingService, constant_cost_spec
+    from .resilience.chaos import ChaosConfig, FaultInjector
+
+    records = _demo_trips(args.seed, args.trips)
+    if args.chaos:
+        injector = FaultInjector(ChaosConfig(
+            seed=args.seed, p_duplicate=0.03, p_drop=0.03, p_swap=0.05,
+            p_clock_skew=0.02, skew_max_s=900.0, p_garbage=0.02,
+            p_late=0.02, late_max_positions=8,
+        ))
+        records = injector.mutate_trips(records)
+        print(f"chaos upstream: {injector.summary().to_text()}")
+        if not args.guard:
+            print(
+                "warning: --chaos without --guard feeds raw faults to the "
+                "unguarded service", file=sys.stderr,
+            )
+    wrapped = CheckpointingService(
+        _demo_service(records, args.seed, args.bikes),
+        args.dir,
+        checkpoint_every=args.every,
+        facility_cost_spec=constant_cost_spec(_DEMO_COST),
+    )
+    if not args.guard:
+        served = sum(1 for r in records if wrapped.handle_trip(r) is not None)
+        wrapped.checkpoint()
+        wrapped.close()
+        print(f"served {served}/{len(records)} trips; checkpoints in {args.dir}")
+        return 0
+
+    # The city plane: the clean workload's extent plus a margin wide
+    # enough that chaos-skewed-but-sane events still pass the bounds rule.
+    xs = [r.start.x for r in records] + [r.end.x for r in records]
+    ys = [r.start.y for r in records] + [r.end.y for r in records]
+    finite_xs = [x for x in xs if math.isfinite(x) and abs(x) < 1e6]
+    finite_ys = [y for y in ys if math.isfinite(y) and abs(y) < 1e6]
+    box = BoundingBox(
+        min(finite_xs) - 500.0, min(finite_ys) - 500.0,
+        max(finite_xs) + 500.0, max(finite_ys) + 500.0,
+    )
+    runtime = GuardedRuntime(
+        wrapped,
+        GuardConfig(
+            validation=ValidationConfig(bounds=box, max_backwards_s=3600.0),
+            lateness_s=args.lateness,
+        ),
+    )
+    runtime.serve(records)
+    runtime.consistency_check()
+    logs = Path(args.dir) / "guard-logs"
+    runtime.flush_logs(logs)
+    runtime.inner.checkpoint()
+    runtime.close()
+    print(
+        f"guarded run: {runtime.validator.offered} offered, "
+        f"{runtime.served} served, {runtime.duplicates} duplicates screened, "
+        f"{runtime.sink.total} dead-lettered, "
+        f"{len(runtime.degraded_decisions)} degraded, "
+        f"final health {runtime.health}"
+    )
+    print(f"incident and dead-letter logs in {logs}")
+    return 0
+
+
+def _run_incidents(args) -> int:
+    import json
+    from pathlib import Path
+
+    logs = Path(args.dir) / "guard-logs"
+    missing = True
+    for name, fields in (
+        ("incidents.jsonl", ("seq", "kind", "detail")),
+        ("deadletter.jsonl", ("seq", "rule", "reason", "order_id")),
+    ):
+        path = logs / name
+        if not path.exists():
+            continue
+        missing = False
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        print(f"{name}: {len(lines)} row(s)")
+        for line in lines[-args.limit:]:
+            row = json.loads(line)
+            print("  " + "  ".join(f"{f}={row.get(f)}" for f in fields))
+    if missing:
+        print(
+            f"no guard logs under {logs}; run 'esharing serve --guard' first",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -316,6 +465,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "checkpoint":
         return _run_checkpoint(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "incidents":
+        return _run_incidents(args)
     if args.command == "resume":
         return _run_resume(args)
     if args.command == "list":

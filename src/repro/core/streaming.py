@@ -154,6 +154,35 @@ class PlacementService:
         self.responses.append(response)
         return response
 
+    def degraded_assign(self, trip: TripRecord) -> ServiceResponse:
+        """Serve a trip in degraded mode: nearest existing station, no
+        state mutation.
+
+        The graceful-degradation answer when the planner is marked
+        unhealthy: the rider is pointed at the nearest *active* station
+        for both pickup and drop-off, nothing is opened or retired, no
+        bike moves, and the response is **not** recorded in
+        :attr:`responses` — the caller (the guarded runtime) owns the
+        degraded-decision ledger, because these answers are outside the
+        journaled history and must not contaminate bit-identical replay.
+
+        Raises:
+            StateDriftError: when no station is active at all (nothing
+                sane can be served; the supervisor must halt).
+        """
+        store = self.planner.station_set
+        if not store.ids():
+            raise StateDriftError(
+                f"degraded mode has no active station for order {trip.order_id}"
+            )
+        origin = store.nearest(trip.start)
+        dest = store.nearest(trip.end)
+        return ServiceResponse(
+            order_id=trip.order_id, served=True,
+            origin_station=origin[0], destination_station=dest[0],
+            opened_new=False, removed_station=None, walking_m=dest[1],
+        )
+
     def serve(self, trips: Iterable[TripRecord]) -> List[ServiceResponse]:
         """Serve a batch of trips in arrival order.
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass
-from datetime import datetime
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
@@ -132,12 +132,36 @@ class _MalformedRow(ValueError):
 
 
 def _parse_time(text: str) -> datetime:
+    """Parse a ``starttime`` cell into a *naive* UTC-normalised datetime.
+
+    The challenge export uses ``YYYY-MM-DD HH:MM:SS``, but real feeds
+    mix in ISO-8601 variants: ``T`` separators, fractional seconds,
+    trailing ``Z`` and explicit UTC offsets.  Those parse here too —
+    timezone-aware values are converted to UTC and the tzinfo dropped,
+    so every loaded timestamp lives on one naive UTC timeline and
+    comparisons across rows stay meaningful.  Anything else raises (and
+    is quarantined by the loader in ``on_error="quarantine"`` mode)
+    rather than being guessed at.
+
+    Raises:
+        ValueError: on an unparseable cell.
+    """
     for fmt in _TIME_FORMATS:
         try:
             return datetime.strptime(text, fmt)
         except ValueError:
             continue
-    raise ValueError(f"unparseable starttime: {text!r}")
+    iso = text.strip()
+    # Pre-3.11 fromisoformat rejects the military-Z suffix; normalise it.
+    if iso.endswith(("Z", "z")):
+        iso = iso[:-1] + "+00:00"
+    try:
+        parsed = datetime.fromisoformat(iso)
+    except ValueError:
+        raise ValueError(f"unparseable starttime: {text!r}") from None
+    if parsed.tzinfo is not None:
+        parsed = parsed.astimezone(timezone.utc).replace(tzinfo=None)
+    return parsed
 
 
 def _parse_row(row: dict) -> Tuple[Tuple[int, int, int, int, datetime], List[float]]:

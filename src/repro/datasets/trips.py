@@ -32,6 +32,13 @@ class TripRecord:
     ``geodesic_m`` is the great-circle trip length when the source
     carried geographic coordinates (the Mobike CSV reader fills it in
     one vectorized pass); ``None`` for synthetic planar-native trips.
+
+    ``battery`` is the bike's self-reported charge fraction at pickup
+    when the feed carries telemetry; ``None`` when absent.  It is
+    advisory (the fleet model owns the authoritative battery state) but
+    validated at the ingest boundary — real feeds occasionally report
+    impossible levels, and :class:`repro.guard.TripValidator` rejects
+    anything outside ``[0, 1]``.
     """
 
     order_id: int
@@ -42,6 +49,7 @@ class TripRecord:
     start: Point
     end: Point
     geodesic_m: Optional[float] = None
+    battery: Optional[float] = None
 
     @property
     def distance(self) -> float:

@@ -17,6 +17,9 @@ __all__ = [
     "JournalCorruptError",
     "InjectedCrash",
     "WorkerCrashError",
+    "BreakerOpenError",
+    "RuntimeHaltedError",
+    "InjectedSubsystemError",
 ]
 
 
@@ -76,4 +79,31 @@ class WorkerCrashError(RuntimeError):
     task are re-raised as themselves; this error means the pool itself
     broke, so the fan-out must be treated as failed rather than silently
     hanging on futures that will never complete.
+    """
+
+
+class BreakerOpenError(RuntimeError):
+    """A circuit breaker refused a call because the subsystem is open.
+
+    Raised by :meth:`repro.guard.CircuitBreaker.call` when no fallback
+    was configured; guarded wrappers that *do* carry a fallback absorb
+    the open state and never surface this error.
+    """
+
+
+class RuntimeHaltedError(RuntimeError):
+    """The guarded runtime gave up and refuses further events.
+
+    Entered only when durability itself fails (checkpoint I/O retries
+    exhausted, journal unusable): serving on would risk unrecoverable
+    state, so the supervisor fails stopped rather than failing open.
+    """
+
+
+class InjectedSubsystemError(RuntimeError):
+    """A simulated subsystem failure raised by the chaos harness.
+
+    Production code never raises this; the fault injector wraps KS /
+    incentive / forecast calls with it so tests can prove the circuit
+    breakers open, fall back, and recover deterministically.
     """

@@ -1,0 +1,65 @@
+"""Guarded online runtime: the robustness layer of the live service.
+
+Everything between the raw event feed and the crash-safe placement
+service lives here:
+
+* :mod:`~repro.guard.validation` — semantic input validation with
+  per-rule counters and a dead-letter sink;
+* :mod:`~repro.guard.reorder` — watermark-based reordering of bounded
+  out-of-order streams;
+* :mod:`~repro.guard.breakers` — deterministic circuit breakers and the
+  per-subsystem degradations (KS test, incentives, forecasting);
+* :mod:`~repro.guard.runtime` — the :class:`GuardedRuntime` supervisor
+  tying it together with a healthy/degraded/halted state machine,
+  self-healing through crash recovery, and a structured incident log.
+
+``python -m repro.guard`` runs the chaos gauntlet: a faulted 5k-trip
+stream through the full guarded stack, with end-to-end accounting and a
+zero-fault bit-identity check against the unguarded service.
+"""
+
+from .breakers import (
+    BreakerConfig,
+    CircuitBreaker,
+    GuardedForecaster,
+    GuardedIncentives,
+    GuardedKS2D,
+)
+from .reorder import WatermarkBuffer
+from .runtime import (
+    DEGRADED,
+    HALTED,
+    HEALTHY,
+    DegradedDecision,
+    GuardConfig,
+    GuardedRuntime,
+    Incident,
+    IncidentLog,
+)
+from .validation import (
+    DeadLetterSink,
+    RejectedTrip,
+    TripValidator,
+    ValidationConfig,
+)
+
+__all__ = [
+    "ValidationConfig",
+    "RejectedTrip",
+    "DeadLetterSink",
+    "TripValidator",
+    "WatermarkBuffer",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "GuardedKS2D",
+    "GuardedIncentives",
+    "GuardedForecaster",
+    "GuardConfig",
+    "GuardedRuntime",
+    "Incident",
+    "IncidentLog",
+    "DegradedDecision",
+    "HEALTHY",
+    "DEGRADED",
+    "HALTED",
+]

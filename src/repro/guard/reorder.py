@@ -1,0 +1,163 @@
+"""Watermark-based reordering of a late/out-of-order event stream.
+
+Real feeds deliver events *approximately* in order: device batching and
+retried uploads displace an event by seconds, not hours.  The chaos
+harness models the benign end of this as adjacent swaps
+(``ChaosConfig.p_swap``); :class:`WatermarkBuffer` generalises the
+tolerance to *arbitrary bounded disorder* — the standard streaming
+watermark construction:
+
+* the **watermark** is ``max(event time seen) - lateness``: the point
+  up to which the stream is declared complete;
+* arriving events are held in a min-heap keyed by
+  ``(start_time, arrival_seq)``; whenever the watermark advances, every
+  buffered event at or below it is released in timestamp order (the
+  arrival sequence breaks timestamp ties, so the emission order is a
+  deterministic function of the input — no wall clock anywhere);
+* an event older than the watermark arrives *too late* to reorder —
+  emitting it would un-sort the output — so it is dead-lettered, never
+  silently dropped;
+* the buffer is bounded: when more than ``max_pending`` events are in
+  flight the admission gate sheds the newest arrival to the dead-letter
+  sink, which keeps memory finite under a stalled watermark (an
+  upstream that stops advancing time).
+
+For an already-sorted stream with ``lateness`` zero or more the buffer
+is an identity (modulo buffering delay): every event is eventually
+emitted exactly once and in input order — the bit-identity anchor the
+guarded runtime's zero-fault parity test relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from datetime import timedelta
+from typing import List, Optional
+
+from ..datasets.trips import TripRecord
+from .validation import DeadLetterSink, RejectedTrip
+
+__all__ = ["WatermarkBuffer"]
+
+
+class WatermarkBuffer:
+    """Bounded-lateness reordering buffer for :class:`TripRecord` streams.
+
+    Args:
+        lateness_s: how far behind the newest event time an arrival may
+            be and still get reordered into place.  ``0`` means only
+            exact in-order streams pass untouched (anything older than
+            the max seen is late).
+        sink: dead-letter sink for too-late and shed events; a private
+            one when omitted.
+        max_pending: cap on buffered (admitted but unreleased) events;
+            arrivals beyond it are shed.
+
+    Raises:
+        ValueError: on a negative lateness or non-positive capacity.
+    """
+
+    def __init__(
+        self,
+        lateness_s: float = 120.0,
+        sink: Optional[DeadLetterSink] = None,
+        max_pending: int = 10_000,
+    ) -> None:
+        if lateness_s < 0:
+            raise ValueError(f"lateness_s must be non-negative, got {lateness_s}")
+        if max_pending <= 0:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        self.lateness = timedelta(seconds=lateness_s)
+        self.sink = sink if sink is not None else DeadLetterSink()
+        self.max_pending = max_pending
+        self._heap: List[tuple] = []
+        self._max_seen = None
+        self._seq = 0
+        self.admitted = 0
+        self.emitted = 0
+        self.too_late = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        """Events currently held (admitted, not yet emitted)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    def _reject(self, trip: TripRecord, rule: str, reason: str) -> None:
+        self.sink.add(
+            RejectedTrip(
+                seq=self._seq - 1,
+                rule=rule,
+                reason=reason,
+                order_id=trip.order_id,
+                start_time=trip.start_time.isoformat(),
+            )
+        )
+
+    def _release(self) -> List[TripRecord]:
+        """Emit every buffered event the watermark has passed."""
+        out: List[TripRecord] = []
+        watermark = self._max_seen - self.lateness
+        while self._heap and self._heap[0][0] <= watermark:
+            _, _, trip = heapq.heappop(self._heap)
+            out.append(trip)
+        self.emitted += len(out)
+        return out
+
+    def push(self, trip: TripRecord) -> List[TripRecord]:
+        """Offer one arrival; returns the events released by it (in
+        timestamp order), possibly empty.
+
+        A too-late arrival (older than the current watermark) and an
+        arrival that overflows ``max_pending`` are dead-lettered and
+        release nothing.
+        """
+        self._seq += 1
+        if self._max_seen is not None:
+            watermark = self._max_seen - self.lateness
+            if trip.start_time < watermark:
+                self.too_late += 1
+                behind = (watermark - trip.start_time).total_seconds()
+                self._reject(
+                    trip, "too_late",
+                    f"arrived {behind:.0f}s behind the watermark "
+                    f"(lateness {self.lateness.total_seconds():.0f}s)",
+                )
+                return []
+        if len(self._heap) >= self.max_pending:
+            self.shed += 1
+            self._reject(
+                trip, "shed",
+                f"reorder buffer full ({self.max_pending} pending)",
+            )
+            return []
+        heapq.heappush(self._heap, (trip.start_time, self._seq, trip))
+        self.admitted += 1
+        if self._max_seen is None or trip.start_time > self._max_seen:
+            self._max_seen = trip.start_time
+        return self._release()
+
+    def flush(self) -> List[TripRecord]:
+        """End of stream: emit everything still buffered, in order."""
+        out: List[TripRecord] = []
+        while self._heap:
+            _, _, trip = heapq.heappop(self._heap)
+            out.append(trip)
+        self.emitted += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    def consistency_check(self) -> None:
+        """Accounting invariant: every offered event is emitted, held,
+        or dead-lettered — never two of those, never none.
+
+        Raises:
+            RuntimeError: on drift.
+        """
+        accounted = self.emitted + len(self._heap) + self.too_late + self.shed
+        if accounted != self._seq or self.admitted != self.emitted + len(self._heap):
+            raise RuntimeError(
+                f"reorder accounting drift: offered={self._seq} "
+                f"emitted={self.emitted} held={len(self._heap)} "
+                f"late={self.too_late} shed={self.shed}"
+            )

@@ -1,0 +1,574 @@
+"""The supervised online runtime: validate, reorder, degrade, survive.
+
+:class:`GuardedRuntime` is the outermost layer of the online tier.  It
+wraps the crash-safe :class:`~repro.resilience.CheckpointingService`
+with the guardrails a live deployment needs between the network and the
+planner::
+
+    arrival ──▶ TripValidator ──▶ WatermarkBuffer ──▶ planner breaker
+                   │ reject            │ late/shed         │ open
+                   ▼                   ▼                   ▼
+               dead-letter sink ◀──────┘            degraded serve
+
+and supervises the whole pipe with a three-state health machine:
+
+* **healthy** — every breaker closed, events flow through the journaled
+  write-ahead path exactly as the unguarded service would serve them
+  (with all fault rates at zero the outputs are bit-identical);
+* **degraded** — a subsystem breaker is open or probing.  KS checks
+  repeat the last accepted result, the incentive tier stops offering,
+  and while the *planner* breaker is open requests are answered from
+  the nearest-existing-station fallback — availability over
+  durability, with every degraded decision recorded;
+* **halted** — durability itself failed (checkpoint I/O retries
+  exhausted, journal unusable, or no station left to serve from).  The
+  runtime refuses further events: serving on without a recoverable
+  journal would silently fork history.
+
+A planner exception mid-trip is treated as in-memory corruption and
+**self-healed** through the existing recovery machinery: the poisoned
+service object is discarded and rebuilt from the latest snapshot plus
+the journal tail — the same code path a process crash takes, minus the
+process death.  The ``post_restore`` hook re-installs the guarded KS
+wrapper before the tail replays, so the healed service continues the
+exact guarded history.
+
+Every noteworthy transition — breaker trips, degraded decisions,
+self-heals, checkpoint retries, halts — lands in a structured
+:class:`IncidentLog`, dumped atomically as JSONL for the
+``esharing incidents`` inspection subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from ..core.costs import FacilityCostFn
+from ..core.streaming import PlacementService
+from ..datasets.trips import TripRecord
+from ..errors import RuntimeHaltedError, SnapshotError, StateDriftError
+from ..forecast.base import Forecaster
+from ..incentives.mechanism import IncentiveMechanism
+from ..ioutil import atomic_write_text
+from ..resilience.service import CheckpointingService
+from .breakers import (
+    CLOSED,
+    BreakerConfig,
+    CircuitBreaker,
+    GuardedForecaster,
+    GuardedIncentives,
+    GuardedKS2D,
+)
+from .reorder import WatermarkBuffer
+from .validation import DeadLetterSink, TripValidator, ValidationConfig
+
+__all__ = [
+    "HEALTHY",
+    "DEGRADED",
+    "HALTED",
+    "GuardConfig",
+    "Incident",
+    "IncidentLog",
+    "DegradedDecision",
+    "GuardedRuntime",
+]
+
+#: Runtime health states (plain strings: serialisable, greppable).
+HEALTHY, DEGRADED, HALTED = "healthy", "degraded", "halted"
+
+#: Breaker names, in the order they are created (seed offsets follow it).
+_BREAKER_NAMES = ("planner", "ks", "incentive", "forecast")
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Policy knobs of a :class:`GuardedRuntime`.
+
+    Attributes:
+        validation: ingest-boundary invariants.
+        lateness_s: watermark lateness bound of the reorder buffer.
+        max_pending: admission-gate cap on buffered events (load
+            shedding beyond it).
+        checkpoint_attempts: tries per checkpoint write before the
+            runtime halts.
+        checkpoint_backoff_s: base sleep between checkpoint retries
+            (doubles per attempt; tests inject a no-op sleeper).
+        breaker: trip/backoff policy shared by the subsystem breakers
+            (each breaker derives its own jitter seed from it, so
+            co-located breakers never retry in lockstep).
+        deadletter_keep: detail rows retained in the dead-letter sink.
+        incident_keep: detail rows retained in the incident log.
+
+    Raises:
+        ValueError: on non-positive retry/rotation limits.
+    """
+
+    validation: ValidationConfig = field(default_factory=ValidationConfig)
+    lateness_s: float = 120.0
+    max_pending: int = 10_000
+    checkpoint_attempts: int = 4
+    checkpoint_backoff_s: float = 0.05
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    deadletter_keep: int = 10_000
+    incident_keep: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_attempts <= 0:
+            raise ValueError(
+                f"checkpoint_attempts must be positive, got {self.checkpoint_attempts}"
+            )
+        if self.checkpoint_backoff_s < 0:
+            raise ValueError(
+                f"checkpoint_backoff_s must be >= 0, got {self.checkpoint_backoff_s}"
+            )
+        if self.deadletter_keep <= 0 or self.incident_keep <= 0:
+            raise ValueError("deadletter_keep and incident_keep must be positive")
+
+    def breaker_for(self, name: str) -> BreakerConfig:
+        """The per-subsystem breaker config (decorrelated jitter seed)."""
+        return replace(self.breaker, seed=self.breaker.seed + _BREAKER_NAMES.index(name))
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One structured incident-log entry.
+
+    ``seq`` is the ingest event counter at the time of the incident, so
+    incidents line up against the offered stream, not wall clock.
+    """
+
+    seq: int
+    kind: str
+    detail: str
+
+
+class IncidentLog:
+    """Bounded structured log of runtime incidents.
+
+    Counters are exact forever; detail rows rotate past ``keep``.  The
+    JSONL dump goes through the atomic writer, so a half-written
+    incident file can never shadow a complete one.
+    """
+
+    def __init__(self, keep: int = 10_000) -> None:
+        if keep <= 0:
+            raise ValueError(f"keep must be positive, got {keep}")
+        self.keep = keep
+        self.rows: List[Incident] = []
+        self.total = 0
+        self.by_kind: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def add(self, seq: int, kind: str, detail: str) -> None:
+        """Record one incident."""
+        self.total += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        self.rows.append(Incident(seq=seq, kind=kind, detail=detail))
+        if len(self.rows) > self.keep:
+            del self.rows[: len(self.rows) - self.keep]
+
+    def to_text(self, limit: int = 20) -> str:
+        """Human-readable summary, at most ``limit`` detail lines."""
+        per_kind = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.by_kind.items())
+        )
+        lines = [f"{self.total} incident(s) ({per_kind or 'none'})"]
+        for entry in self.rows[-limit:]:
+            lines.append(f"  seq {entry.seq}: {entry.kind}: {entry.detail}")
+        return "\n".join(lines)
+
+    def write_jsonl(self, path: Union[str, Path], durable: bool = True) -> Path:
+        """Dump retained incidents atomically as JSON lines."""
+        lines = [
+            json.dumps({"seq": r.seq, "kind": r.kind, "detail": r.detail})
+            for r in self.rows
+        ]
+        return atomic_write_text(path, "\n".join(lines) + "\n", durable=durable)
+
+
+@dataclass(frozen=True)
+class DegradedDecision:
+    """A request answered by the nearest-station fallback.
+
+    These responses are *not* journaled (the planner was unavailable, so
+    they are outside the recoverable history); the runtime keeps them on
+    this dedicated ledger instead, and mirrors each into the incident
+    log.
+    """
+
+    order_id: int
+    origin_station: int
+    destination_station: int
+    walking_m: float
+    reason: str
+
+
+class GuardedRuntime:
+    """Supervised wrapper making the online tier degrade, not corrupt.
+
+    Args:
+        inner: the crash-safe service to supervise.  The runtime takes
+            ownership: it re-points the planner's KS cache at a guarded
+            wrapper and replaces ``inner.checkpoint`` with a
+            retry-with-backoff version.
+        config: guardrail policy.
+        incentives: optional Tier-2 mechanism; it is wrapped behind the
+            incentive breaker and driven once per *served* response.
+            Note that incentive relocations mutate the fleet outside the
+            journal, so attaching a mechanism trades bit-identical
+            recoverability for Tier-2 coverage (exactly as the
+            simulator does).
+        forecaster: optional demand forecaster to guard; exposed as
+            :attr:`forecaster`, not called by the runtime itself.
+        facility_cost: opening-cost callable handed to self-heal
+            recovery when the snapshot carries no declarative spec.
+        sleep: sleeper used by checkpoint-retry backoff (tests inject a
+            no-op; the serving path itself never sleeps).
+    """
+
+    def __init__(
+        self,
+        inner: CheckpointingService,
+        config: Optional[GuardConfig] = None,
+        incentives: Optional[IncentiveMechanism] = None,
+        forecaster: Optional[Forecaster] = None,
+        facility_cost: Optional[FacilityCostFn] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        _preinstalled_ks: Optional[GuardedKS2D] = None,
+    ) -> None:
+        self.config = config or GuardConfig()
+        self.inner = inner
+        self._facility_cost = facility_cost
+        self._sleep = sleep
+        self.incidents = IncidentLog(keep=self.config.incident_keep)
+        self.sink = DeadLetterSink(keep=self.config.deadletter_keep)
+        self.validator = TripValidator(self.config.validation, sink=self.sink)
+        self.buffer = WatermarkBuffer(
+            lateness_s=self.config.lateness_s,
+            sink=self.sink,
+            max_pending=self.config.max_pending,
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        for name in _BREAKER_NAMES:
+            if _preinstalled_ks is not None and name == "ks":
+                breaker = _preinstalled_ks.breaker
+            else:
+                breaker = CircuitBreaker(name, self.config.breaker_for(name))
+            breaker.on_transition = self._on_breaker_transition
+            self.breakers[name] = breaker
+        self.guarded_ks: Optional[GuardedKS2D] = _preinstalled_ks
+        self._install_guards(inner.service)
+        self._wrap_checkpoint(inner)
+        self.incentives: Optional[GuardedIncentives] = None
+        if incentives is not None:
+            self.incentives = GuardedIncentives(incentives, self.breakers["incentive"])
+        self.forecaster: Optional[GuardedForecaster] = None
+        if forecaster is not None:
+            self.forecaster = GuardedForecaster(forecaster, self.breakers["forecast"])
+        self._halted = False
+        self.halt_reason: Optional[str] = None
+        self.degraded_decisions: List[DegradedDecision] = []
+        self.served = 0
+        self.duplicates = 0
+        self.healed = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    def _install_guards(self, service: PlacementService) -> None:
+        """Point the planner's KS cache at the breaker-guarded wrapper.
+
+        Used at construction and re-used as the ``post_restore`` hook of
+        every self-heal, so a restored planner replays its journal tail
+        through the same guarded stack (same breaker, same last-good
+        fallback) the original run used.
+        """
+        planner = service.planner
+        if isinstance(planner._ks_cache, GuardedKS2D):
+            return  # already guarded (recovered via GuardedRuntime.recover)
+        if self.guarded_ks is None:
+            self.guarded_ks = GuardedKS2D(planner._ks_cache, self.breakers["ks"])
+        else:
+            self.guarded_ks.inner = planner._ks_cache
+        planner._ks_cache = self.guarded_ks
+
+    def _wrap_checkpoint(self, inner: CheckpointingService) -> None:
+        """Shadow ``inner.checkpoint`` with a retry-with-backoff version."""
+        original = inner.checkpoint
+        cfg = self.config
+
+        def retrying_checkpoint() -> Path:
+            last: Optional[Exception] = None
+            for attempt in range(cfg.checkpoint_attempts):
+                try:
+                    return original()
+                except (OSError, SnapshotError) as exc:
+                    last = exc
+                    self._incident(
+                        "checkpoint_retry",
+                        f"attempt {attempt + 1}/{cfg.checkpoint_attempts}: {exc!r}",
+                    )
+                    if attempt + 1 < cfg.checkpoint_attempts:
+                        self._sleep(cfg.checkpoint_backoff_s * (2 ** attempt))
+            raise RuntimeHaltedError(
+                f"checkpoint I/O failed {cfg.checkpoint_attempts} times: {last!r}"
+            ) from last
+
+        inner.checkpoint = retrying_checkpoint  # type: ignore[method-assign]
+
+    def _on_breaker_transition(
+        self, name: str, old: str, new: str, calls: int
+    ) -> None:
+        self._incident("breaker", f"{name}: {old} -> {new} at call {calls}")
+
+    def _incident(self, kind: str, detail: str) -> None:
+        self.incidents.add(self.validator.offered, kind, detail)
+
+    # ------------------------------------------------------------------
+    # health
+    @property
+    def health(self) -> str:
+        """``healthy`` / ``degraded`` / ``halted`` (the state machine)."""
+        if self._halted:
+            return HALTED
+        if any(b.state != CLOSED for b in self.breakers.values()):
+            return DEGRADED
+        return HEALTHY
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def _halt(self, reason: str) -> None:
+        if not self._halted:
+            self._halted = True
+            self.halt_reason = reason
+            self._incident("halt", reason)
+
+    def _require_live(self) -> None:
+        if self._halted:
+            raise RuntimeHaltedError(
+                f"guarded runtime is halted: {self.halt_reason}"
+            )
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    def ingest(self, trip: TripRecord):
+        """Offer one arrival to the guarded pipeline.
+
+        Returns the list of *outcomes* this arrival caused — possibly
+        empty (validated away, or parked in the reorder buffer), or
+        several (the watermark advanced and released buffered events).
+        Each outcome is a :class:`ServiceResponse`, ``None`` (screened
+        duplicate), or a :class:`DegradedDecision`.
+
+        Raises:
+            RuntimeHaltedError: the runtime is (or just became) halted.
+        """
+        self._require_live()
+        if not self.validator.admit(trip):
+            return []
+        return [self._apply(t) for t in self.buffer.push(trip)]
+
+    def finish(self):
+        """End of stream: drain the reorder buffer and apply the rest.
+
+        Raises:
+            RuntimeHaltedError: the runtime is (or just became) halted.
+        """
+        self._require_live()
+        return [self._apply(t) for t in self.buffer.flush()]
+
+    def serve(self, trips: Iterable[TripRecord]):
+        """Convenience: ingest a whole stream, then :meth:`finish`."""
+        outcomes = []
+        for trip in trips:
+            outcomes.extend(self.ingest(trip))
+        outcomes.extend(self.finish())
+        return outcomes
+
+    def _apply(self, trip: TripRecord):
+        """Route one validated, ordered event into the planner tier."""
+        breaker = self.breakers["planner"]
+        if not breaker.admit():
+            return self._degraded(trip, "planner breaker open")
+        try:
+            response = self.inner.handle_trip(trip)
+        except RuntimeHaltedError as exc:  # checkpoint retries exhausted
+            self._halt(str(exc))
+            raise
+        except OSError as exc:  # journal/durability I/O is not healable
+            self._halt(f"journal I/O failed: {exc!r}")
+            raise RuntimeHaltedError(self.halt_reason) from exc
+        except Exception as exc:  # noqa: BLE001 — planner-tier corruption
+            breaker.failure()
+            self._incident(
+                "planner_error", f"order {trip.order_id}: {exc!r}"
+            )
+            return self._self_heal(trip, exc)
+        breaker.success()
+        if response is None:
+            self.duplicates += 1
+            return None
+        self.served += 1
+        if self.incentives is not None and response.served:
+            self.incentives.offer_ride(
+                response.origin_station, response.destination_station, trip.end
+            )
+        return response
+
+    def _degraded(self, trip: TripRecord, reason: str):
+        """Answer from the nearest-station fallback, planner untouched."""
+        try:
+            response = self.inner.service.degraded_assign(trip)
+        except StateDriftError as exc:
+            self._halt(f"degraded serve impossible: {exc}")
+            raise RuntimeHaltedError(self.halt_reason) from exc
+        decision = DegradedDecision(
+            order_id=response.order_id,
+            origin_station=response.origin_station,
+            destination_station=response.destination_station,
+            walking_m=response.walking_m,
+            reason=reason,
+        )
+        self.degraded_decisions.append(decision)
+        self._incident(
+            "degraded_decision",
+            f"order {decision.order_id} -> station "
+            f"{decision.destination_station} ({reason})",
+        )
+        return decision
+
+    def _self_heal(self, trip: TripRecord, cause: Exception):
+        """Rebuild the poisoned in-memory service from durable state.
+
+        The failed trip was journaled before the planner raised, so the
+        recovery replay re-applies it through a healthy (re-guarded)
+        planner; its response is the heal's return value.  When the trip
+        never reached the journal (the failure hit earlier), the healed
+        service simply has no response for it and the event is served
+        degraded instead — at-least-once upstream delivery covers it.
+        """
+        before = self.inner.applied_seq
+        try:
+            self.inner.close()
+            healed = CheckpointingService.recover(
+                self.inner.directory,
+                facility_cost=self._facility_cost,
+                checkpoint_every=self.inner.checkpoint_every,
+                keep=self.inner.store.keep,
+                durable=self.inner.store.durable,
+                post_restore=self._install_guards,
+            )
+        except Exception as exc:  # noqa: BLE001 — recovery itself broke
+            self._halt(f"self-heal failed: {exc!r} (after {cause!r})")
+            raise RuntimeHaltedError(self.halt_reason) from exc
+        self._wrap_checkpoint(healed)
+        self.inner = healed
+        self.healed += 1
+        self._incident(
+            "self_heal",
+            f"recovered through seq {healed.applied_seq} "
+            f"(snapshot {healed.last_recovery.snapshot_seq}, "
+            f"replayed {healed.last_recovery.replayed})",
+        )
+        if healed.applied_seq > before and healed.service.responses:
+            self.served += 1
+            return healed.service.responses[-1]
+        return self._degraded(trip, "self-heal lost the event")
+
+    # ------------------------------------------------------------------
+    def flush_logs(self, directory: Union[str, Path], durable: bool = True) -> None:
+        """Write the dead-letter and incident JSONL files atomically."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.sink.write_jsonl(directory / "deadletter.jsonl", durable=durable)
+        self.incidents.write_jsonl(directory / "incidents.jsonl", durable=durable)
+
+    def consistency_check(self) -> None:
+        """Verify the guarded pipeline's end-to-end accounting.
+
+        Raises:
+            StateDriftError / RuntimeError: on drift in the inner
+                service, the validator, the buffer, or the glue between
+                them (every emitted event must be served, screened, or
+                degraded — exactly once).
+        """
+        self.inner.consistency_check()
+        self.validator.consistency_check()
+        self.buffer.consistency_check()
+        if self.validator.accepted != self.buffer.admitted + self.buffer.too_late + self.buffer.shed:
+            raise StateDriftError(
+                f"validator passed {self.validator.accepted} events but the "
+                f"buffer accounts for "
+                f"{self.buffer.admitted + self.buffer.too_late + self.buffer.shed}"
+            )
+        outcomes = self.served + self.duplicates + len(self.degraded_decisions)
+        if self.buffer.emitted != outcomes:
+            raise StateDriftError(
+                f"buffer emitted {self.buffer.emitted} events but "
+                f"{outcomes} outcomes were recorded"
+            )
+
+    def close(self) -> None:
+        """Release the inner service's journal handle."""
+        self.inner.close()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        directory: Union[str, Path],
+        config: Optional[GuardConfig] = None,
+        facility_cost: Optional[FacilityCostFn] = None,
+        checkpoint_every: int = 200,
+        keep: int = 3,
+        durable: bool = True,
+        incentives: Optional[IncentiveMechanism] = None,
+        forecaster: Optional[Forecaster] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> "GuardedRuntime":
+        """Rebuild a guarded runtime from a checkpoint directory.
+
+        The KS guard is installed *before* the journal tail replays
+        (via ``post_restore``), so the tail goes through the guarded
+        stack.  Breaker counters restart closed — a process restart is
+        exactly the "give the subsystem another chance" event — and the
+        validator/buffer restart empty: at-least-once redelivery of the
+        recent stream rebuilds their state, with already-served trips
+        screened by order id as usual.
+        """
+        cfg = config or GuardConfig()
+        ks_breaker = CircuitBreaker("ks", cfg.breaker_for("ks"))
+        installed: List[GuardedKS2D] = []
+
+        def hook(service: PlacementService) -> None:
+            guard = GuardedKS2D(service.planner._ks_cache, ks_breaker)
+            service.planner._ks_cache = guard
+            installed.append(guard)
+
+        inner = CheckpointingService.recover(
+            directory,
+            facility_cost=facility_cost,
+            checkpoint_every=checkpoint_every,
+            keep=keep,
+            durable=durable,
+            post_restore=hook,
+        )
+        return cls(
+            inner,
+            cfg,
+            incentives=incentives,
+            forecaster=forecaster,
+            facility_cost=facility_cost,
+            sleep=sleep,
+            _preinstalled_ks=installed[0],
+        )

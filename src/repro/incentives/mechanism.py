@@ -78,6 +78,17 @@ class OfferOutcome:
     aggregation_station: Optional[int] = None
     reason: str = ""
 
+    @classmethod
+    def no_offer(cls, reason: str) -> "OfferOutcome":
+        """The neutral outcome: nothing offered, fleet untouched.
+
+        The single fallback shape shared by the mechanism's own early
+        exits and by :class:`repro.guard.GuardedIncentives` when its
+        circuit breaker is open — degrading the incentive tier always
+        means "make no offer", never a half-applied relocation.
+        """
+        return cls(offered=False, accepted=False, reason=reason)
+
 
 class IncentiveMechanism:
     """Stateful Algorithm 3 bound to a fleet.
@@ -279,19 +290,19 @@ class IncentiveMechanism:
             (low bike ridden to the aggregation site, incentive paid).
         """
         if self.alpha == 0.0:
-            return OfferOutcome(offered=False, accepted=False, reason="alpha=0")
+            return OfferOutcome.no_offer("alpha=0")
         low = self.fleet.low_energy_map().get(origin, [])
         if not low:
-            return OfferOutcome(offered=False, accepted=False, reason="no low-energy bikes")
+            return OfferOutcome.no_offer("no low-energy bikes")
         k = self.choose_aggregation_site(origin, destination)
         if k is None:
-            return OfferOutcome(offered=False, accepted=False, reason="no mileage-equivalent site")
+            return OfferOutcome.no_offer("no mileage-equivalent site")
         bike = self.fleet.pick_bike(origin, prefer_low=True)
         if bike is None:
-            return OfferOutcome(offered=False, accepted=False, reason="no low-energy bikes")
+            return OfferOutcome.no_offer("no low-energy bikes")
         leg = self.fleet.stations[origin].distance_to(self.fleet.stations[k])
         if not bike.battery.can_ride(leg, margin=self.config.battery_margin):
-            return OfferOutcome(offered=False, accepted=False, reason="battery too low for relocation")
+            return OfferOutcome.no_offer("battery too low for relocation")
         v = self.incentive_for(origin)
         extra_walk = self.fleet.stations[k].distance_to(final_destination)
         prefs = self.population.sample(self._rng)

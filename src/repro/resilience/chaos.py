@@ -19,9 +19,21 @@ scenario (used by CI).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field, replace
+from datetime import timedelta
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -29,12 +41,14 @@ from ..core.esharing import EsharingPlanner
 from ..core.costs import FacilityCostFn
 from ..datasets.trips import TripRecord
 from ..energy.fleet import Fleet
-from ..errors import InjectedCrash
+from ..errors import InjectedCrash, InjectedSubsystemError
+from ..geo.points import Point
 from ..ioutil import atomic_write_bytes
 
 __all__ = [
     "ChaosConfig",
     "FaultInjector",
+    "FaultSummary",
     "crashing_stream",
     "simulate_period_crash",
 ]
@@ -43,6 +57,10 @@ __all__ = [
 @dataclass(frozen=True)
 class ChaosConfig:
     """Fault rates for a :class:`FaultInjector`.
+
+    New fault categories draw from the RNG *only when their rate is
+    non-zero*, so configs that leave them at the default keep the exact
+    fault sequence older seeds produced.
 
     Attributes:
         seed: RNG seed — identical configs inject identical faults.
@@ -53,9 +71,23 @@ class ChaosConfig:
         torn_write_rate: per-snapshot probability the write is torn
             (a truncated file appears under the final name, as if power
             failed mid-write on a non-atomic writer).
+        p_clock_skew: per-trip probability the device clock skews the
+            ``start_time`` by up to ``skew_max_s`` seconds either way.
+        skew_max_s: bound of the injected clock skew.
+        p_garbage: per-trip probability one field is garbage — a NaN
+            coordinate, a far-out-of-plane endpoint, or a 470% battery
+            reading (rotating deterministically).
+        p_late: per-trip probability the trip is delivered *late*:
+            displaced up to ``late_max_positions`` positions toward the
+            end of the stream (bounded disorder beyond adjacent swaps).
+        late_max_positions: bound of the late displacement.
+        p_subsystem_error: per-call probability a wrapped subsystem call
+            (see :meth:`FaultInjector.failing`) raises
+            :class:`~repro.errors.InjectedSubsystemError`.
 
     Raises:
-        ValueError: if any probability is outside [0, 1].
+        ValueError: if any probability is outside [0, 1], the skew bound
+            is negative, or the displacement bound is non-positive.
     """
 
     seed: int = 0
@@ -63,12 +95,66 @@ class ChaosConfig:
     p_drop: float = 0.0
     p_swap: float = 0.0
     torn_write_rate: float = 0.0
+    p_clock_skew: float = 0.0
+    skew_max_s: float = 600.0
+    p_garbage: float = 0.0
+    p_late: float = 0.0
+    late_max_positions: int = 5
+    p_subsystem_error: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("p_duplicate", "p_drop", "p_swap", "torn_write_rate"):
+        for name in (
+            "p_duplicate", "p_drop", "p_swap", "torn_write_rate",
+            "p_clock_skew", "p_garbage", "p_late", "p_subsystem_error",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.skew_max_s < 0:
+            raise ValueError(f"skew_max_s must be >= 0, got {self.skew_max_s}")
+        if self.late_max_positions <= 0:
+            raise ValueError(
+                f"late_max_positions must be positive, got {self.late_max_positions}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Exact per-category counts of the faults an injector produced.
+
+    The chaos smoke and the guard gauntlet assert against these, so an
+    injected fault that silently stops firing (or fires twice) fails CI
+    instead of quietly weakening the test.
+    """
+
+    duplicates: int = 0
+    drops: int = 0
+    swaps: int = 0
+    clock_skews: int = 0
+    garbage_fields: int = 0
+    late_deliveries: int = 0
+    torn_writes: int = 0
+    subsystem_errors: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """All injected faults, across every category."""
+        return (
+            self.duplicates + self.drops + self.swaps + self.clock_skews
+            + self.garbage_fields + self.late_deliveries + self.torn_writes
+            + sum(self.subsystem_errors.values())
+        )
+
+    def to_text(self) -> str:
+        """One-line human-readable summary."""
+        parts = [
+            f"dup={self.duplicates}", f"drop={self.drops}", f"swap={self.swaps}",
+            f"skew={self.clock_skews}", f"garbage={self.garbage_fields}",
+            f"late={self.late_deliveries}", f"torn={self.torn_writes}",
+        ]
+        for label, count in sorted(self.subsystem_errors.items()):
+            parts.append(f"{label}!={count}")
+        return f"{self.total} fault(s): " + " ".join(parts)
 
 
 def crashing_stream(
@@ -105,31 +191,124 @@ class FaultInjector:
         self.config = config or ChaosConfig()
         self._rng = np.random.default_rng(self.config.seed)
         self.torn_writes = 0
+        self.counts: Dict[str, int] = {
+            "duplicates": 0, "drops": 0, "swaps": 0, "clock_skews": 0,
+            "garbage_fields": 0, "late_deliveries": 0,
+        }
+        self._subsystem_errors: Dict[str, int] = {}
+        self._garbage_kind = 0  # rotates through the garbage variants
+
+    def summary(self) -> FaultSummary:
+        """Exact counts of every fault injected so far."""
+        return FaultSummary(
+            duplicates=self.counts["duplicates"],
+            drops=self.counts["drops"],
+            swaps=self.counts["swaps"],
+            clock_skews=self.counts["clock_skews"],
+            garbage_fields=self.counts["garbage_fields"],
+            late_deliveries=self.counts["late_deliveries"],
+            torn_writes=self.torn_writes,
+            subsystem_errors=dict(self._subsystem_errors),
+        )
 
     # ------------------------------------------------------------------
+    def _garbage(self, trip: TripRecord) -> TripRecord:
+        """Corrupt exactly one field, rotating through the variants."""
+        kind = self._garbage_kind % 3
+        self._garbage_kind += 1
+        if kind == 0:
+            return trip.with_end(Point(float("nan"), trip.end.y))
+        if kind == 1:
+            return replace(trip, start=Point(trip.start.x + 1e9, trip.start.y))
+        return replace(trip, battery=4.7)
+
     def mutate_trips(self, trips: Sequence[TripRecord]) -> List[TripRecord]:
         """An unreliable upstream's view of ``trips``.
 
-        Applies drops, immediate redeliveries (exact duplicates) and
+        Applies drops, garbage fields, clock skew, immediate
+        redeliveries (exact duplicates), bounded late deliveries and
         adjacent reorderings at the configured rates, deterministically
-        for a given seed.
+        for a given seed.  Every fault increments :attr:`counts`;
+        categories with a zero rate consume no RNG draws, so legacy
+        configs reproduce their historical fault sequences exactly.
         """
         cfg = self.config
         out: List[TripRecord] = []
         for trip in trips:
             if self._rng.uniform() < cfg.p_drop:
+                self.counts["drops"] += 1
                 continue
+            if cfg.p_garbage > 0 and self._rng.uniform() < cfg.p_garbage:
+                self.counts["garbage_fields"] += 1
+                trip = self._garbage(trip)
+            if cfg.p_clock_skew > 0 and self._rng.uniform() < cfg.p_clock_skew:
+                self.counts["clock_skews"] += 1
+                skew = float(self._rng.uniform(-cfg.skew_max_s, cfg.skew_max_s))
+                trip = replace(
+                    trip, start_time=trip.start_time + timedelta(seconds=skew)
+                )
             out.append(trip)
             if self._rng.uniform() < cfg.p_duplicate:
+                self.counts["duplicates"] += 1
                 out.append(trip)
+        if cfg.p_late > 0:
+            i = 0
+            while i < len(out):
+                if self._rng.uniform() < cfg.p_late:
+                    self.counts["late_deliveries"] += 1
+                    hop = int(self._rng.integers(1, cfg.late_max_positions + 1))
+                    target = min(i + hop, len(out) - 1)
+                    out.insert(target, out.pop(i))
+                i += 1
         i = 0
         while i + 1 < len(out):
             if self._rng.uniform() < cfg.p_swap:
+                self.counts["swaps"] += 1
                 out[i], out[i + 1] = out[i + 1], out[i]
                 i += 2
             else:
                 i += 1
         return out
+
+    # ------------------------------------------------------------------
+    def failing(
+        self,
+        fn: Callable,
+        label: str,
+        rate: Optional[float] = None,
+    ) -> Callable:
+        """Wrap a subsystem call so it sometimes raises (deterministic).
+
+        Each label gets its own RNG substream (seeded from the injector
+        seed plus a stable hash of the label), so wrapping one more
+        subsystem never shifts another's fault positions, and the stream
+        RNG stays untouched.
+
+        Args:
+            fn: the callable to sabotage.
+            label: subsystem name for the error counter and message.
+            rate: per-call failure probability; defaults to the config's
+                ``p_subsystem_error``.
+
+        Raises:
+            ValueError: on a rate outside [0, 1].
+        """
+        p = self.config.p_subsystem_error if rate is None else rate
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {p}")
+        rng = np.random.default_rng(
+            [self.config.seed, zlib.crc32(label.encode("utf-8"))]
+        )
+
+        def sabotaged(*args, **kwargs):
+            if p > 0 and rng.uniform() < p:
+                self._subsystem_errors[label] = (
+                    self._subsystem_errors.get(label, 0) + 1
+                )
+                raise InjectedSubsystemError(f"injected {label} failure")
+            return fn(*args, **kwargs)
+
+        return sabotaged
 
     # ------------------------------------------------------------------
     def write_bytes(self, path: Union[str, Path], data: bytes) -> Path:
@@ -306,6 +485,16 @@ def _smoke(trips: int, crash_at: int, seed: int) -> int:
             seed=seed, p_duplicate=0.05, p_drop=0.05, p_swap=0.05,
         ))
         unreliable = injector.mutate_trips(records)
+        summary = injector.summary()
+        if len(unreliable) != len(records) - summary.drops + summary.duplicates:
+            print(
+                "FAIL: fault accounting drift: "
+                f"{len(records)} in, {len(unreliable)} out, {summary.to_text()}"
+            )
+            failures += 1
+        if summary.total == 0:
+            print("FAIL: injector reported zero faults at non-zero rates")
+            failures += 1
         planner = EsharingPlanner(
             anchors, cost, historical, np.random.default_rng(seed + 3),
             EsharingConfig(beta=1.0),

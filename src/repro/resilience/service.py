@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from ..core.costs import FacilityCostFn, constant_facility_cost
 from ..core.streaming import PlacementService, ServiceResponse
@@ -216,6 +216,7 @@ class CheckpointingService:
         keep: int = 3,
         durable: bool = True,
         write_bytes: Optional[WriteBytes] = None,
+        post_restore: Optional[Callable[[PlacementService], None]] = None,
     ) -> "CheckpointingService":
         """Rebuild the service from a checkpoint directory after a crash.
 
@@ -234,6 +235,14 @@ class CheckpointingService:
             keep: snapshot generations to retain going forward.
             durable: fsync policy going forward.
             write_bytes: snapshot writer override for fault injection.
+            post_restore: hook invoked with the restored
+                :class:`PlacementService` *before* the journal tail is
+                replayed.  The guarded runtime uses it to re-install its
+                subsystem wrappers (e.g. the breaker-guarded KS test) so
+                the tail replays through exactly the stack the original
+                run used — without it, a run that degraded mid-stream
+                would replay its tail through the unguarded subsystems
+                and diverge.
 
         Raises:
             SnapshotError: when no usable snapshot exists.
@@ -252,6 +261,8 @@ class CheckpointingService:
         if facility_cost is None:
             facility_cost = facility_cost_from_spec(spec)
         service = PlacementService.from_state(payload["service"], facility_cost)
+        if post_restore is not None:
+            post_restore(service)
 
         wrapper = cls.__new__(cls)
         wrapper.service = service

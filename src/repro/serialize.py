@@ -94,6 +94,7 @@ def trip_to_state(trip: TripRecord) -> Dict[str, Any]:
         "start": [trip.start.x, trip.start.y],
         "end": [trip.end.x, trip.end.y],
         "geodesic_m": trip.geodesic_m,
+        "battery": trip.battery,
     }
 
 
@@ -104,6 +105,7 @@ def trip_from_state(state: Dict[str, Any]) -> TripRecord:
         KeyError: if a required field is missing.
     """
     geodesic: Optional[float] = state.get("geodesic_m")
+    battery: Optional[float] = state.get("battery")
     return TripRecord(
         order_id=int(state["order_id"]),
         user_id=int(state["user_id"]),
@@ -113,4 +115,5 @@ def trip_from_state(state: Dict[str, Any]) -> TripRecord:
         start=Point(float(state["start"][0]), float(state["start"][1])),
         end=Point(float(state["end"][0]), float(state["end"][1])),
         geodesic_m=None if geodesic is None else float(geodesic),
+        battery=None if battery is None else float(battery),
     )

@@ -1,6 +1,7 @@
 """Tests for repro.datasets.mobike (CSV round-trip)."""
 
 import csv
+from datetime import datetime
 
 import pytest
 
@@ -107,6 +108,80 @@ class TestSaveLoad:
             writer.writerow([1, 2, 3, 1, "10/05/17", "wx4g0bm", "wx4g0bn"])
         with pytest.raises(ValueError, match="starttime"):
             load_mobike_csv(path)
+
+
+class TestTimeParsing:
+    """ISO-8601 hardening of ``_parse_time``: real feeds mix the
+    challenge export's space-separated format with T separators,
+    fractional seconds, and explicit timezones."""
+
+    def test_challenge_format_unchanged(self):
+        from repro.datasets.mobike import _parse_time
+
+        assert _parse_time("2017-05-10 08:30:15") == datetime(2017, 5, 10, 8, 30, 15)
+
+    def test_iso_t_separator(self):
+        from repro.datasets.mobike import _parse_time
+
+        assert _parse_time("2017-05-10T08:30:15") == datetime(2017, 5, 10, 8, 30, 15)
+
+    def test_fractional_seconds(self):
+        from repro.datasets.mobike import _parse_time
+
+        assert _parse_time("2017-05-10T08:30:15.250000") == datetime(
+            2017, 5, 10, 8, 30, 15, 250000
+        )
+
+    def test_trailing_z_is_utc(self):
+        from repro.datasets.mobike import _parse_time
+
+        parsed = _parse_time("2017-05-10T08:30:15Z")
+        assert parsed == datetime(2017, 5, 10, 8, 30, 15)
+        assert parsed.tzinfo is None  # normalised onto the naive timeline
+
+    def test_explicit_offset_converted_to_utc(self):
+        from repro.datasets.mobike import _parse_time
+
+        # Beijing local time: 8 hours ahead of UTC
+        parsed = _parse_time("2017-05-10T08:30:15+08:00")
+        assert parsed == datetime(2017, 5, 10, 0, 30, 15)
+        assert parsed.tzinfo is None
+
+    def test_unparseable_raises_with_the_cell_text(self):
+        from repro.datasets.mobike import _parse_time
+
+        with pytest.raises(ValueError, match="unparseable starttime"):
+            _parse_time("10/05/17")
+
+    def test_iso_rows_load_through_the_csv_path(self, tmp_path):
+        path = tmp_path / "iso.csv"
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(MOBIKE_HEADER)
+            writer.writerow(
+                [1, 2, 3, 1, "2017-05-10T08:30:15+08:00", "wx4g0bm", "wx4g0bn"]
+            )
+            writer.writerow(
+                [2, 2, 4, 1, "2017-05-10T01:00:00Z", "wx4g0bm", "wx4g0bn"]
+            )
+        loaded = load_mobike_csv(path)
+        assert loaded[0].start_time == datetime(2017, 5, 10, 0, 30, 15)
+        assert loaded[1].start_time == datetime(2017, 5, 10, 1, 0, 0)
+
+    def test_iso_garbage_quarantined_not_fatal(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(MOBIKE_HEADER)
+            writer.writerow([1, 2, 3, 1, "2017-05-10T08:30:15", "wx4g0bm", "wx4g0bn"])
+            writer.writerow([2, 2, 4, 1, "not-a-time", "wx4g0bm", "wx4g0bn"])
+        from repro.datasets import QuarantineReport
+
+        report = QuarantineReport()
+        loaded = load_mobike_csv(path, on_error="quarantine", quarantine=report)
+        assert len(loaded) == 1
+        assert len(report) == 1
+        assert report.rows[0].field == "starttime"
 
 
 class TestVectorizedIngestion:
