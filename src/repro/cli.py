@@ -127,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="deliver the workload through a faulty upstream "
         "(duplicates, drops, reorder, clock skew, garbage fields)",
     )
+    serve.add_argument(
+        "--block-size",
+        type=int,
+        default=256,
+        help="trips per columnar block on the stream hot path "
+        "(1 = the scalar per-trip pipeline)",
+    )
     inc = sub.add_parser(
         "incidents",
         help="inspect the incident and dead-letter logs a guarded "
@@ -362,8 +369,19 @@ def _run_serve(args) -> int:
         checkpoint_every=args.every,
         facility_cost_spec=constant_cost_spec(_DEMO_COST),
     )
+    if args.block_size < 1:
+        print(f"--block-size must be >= 1, got {args.block_size}", file=sys.stderr)
+        return 2
     if not args.guard:
-        served = sum(1 for r in records if wrapped.handle_trip(r) is not None)
+        if args.block_size == 1:
+            served = sum(1 for r in records if wrapped.handle_trip(r) is not None)
+        else:
+            served = 0
+            for lo in range(0, len(records), args.block_size):
+                chunk = records[lo : lo + args.block_size]
+                served += sum(
+                    1 for r in wrapped.handle_block(chunk) if r is not None
+                )
         wrapped.checkpoint()
         wrapped.close()
         print(f"served {served}/{len(records)} trips; checkpoints in {args.dir}")
@@ -386,7 +404,7 @@ def _run_serve(args) -> int:
             lateness_s=args.lateness,
         ),
     )
-    runtime.serve(records)
+    runtime.serve(records, block_size=args.block_size)
     runtime.consistency_check()
     logs = Path(args.dir) / "guard-logs"
     runtime.flush_logs(logs)

@@ -27,6 +27,7 @@ from .penalty import (
 )
 from .esharing import EsharingConfig, EsharingDecision, EsharingPlanner, esharing_placement
 from .replay import NearestCache, UniformStream, checkpoint_schedule
+from .tripblock import TripBlock, datetime_to_us, us_to_datetime
 from .local_search import local_search, refine_placement
 from .capacity import CapacitatedAssignment, assign_with_capacity
 from .streaming import PlacementService, ServiceResponse
@@ -71,6 +72,9 @@ __all__ = [
     "NearestCache",
     "UniformStream",
     "checkpoint_schedule",
+    "TripBlock",
+    "datetime_to_us",
+    "us_to_datetime",
     "local_search",
     "refine_placement",
     "CapacitatedAssignment",

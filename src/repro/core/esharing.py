@@ -41,6 +41,7 @@ from .penalty import (
 from .replay import NearestCache, UniformStream, checkpoint_schedule
 from .result import PlacementResult
 from .station_set import BACKENDS, StationSet
+from .tripblock import TripBlock
 
 __all__ = ["EsharingConfig", "EsharingDecision", "esharing_placement", "EsharingPlanner"]
 
@@ -282,26 +283,54 @@ class EsharingPlanner:
         arrival.  Decision distances are recomputed with the scalar
         ``Point.distance_to`` so probabilities and walking sums match the
         per-call path bit for bit (see ``core/replay.py``).
+
+        ``stream`` may also be a :class:`~repro.core.tripblock.TripBlock`
+        — its trip *end* coordinates are the request destinations, and
+        the cache is seeded straight from the columnar arrays without
+        materialising per-point objects.
         """
-        stream = list(stream)
-        n = len(stream)
-        if n == 0:
-            return []
-        store = self.station_set
-        cache = NearestCache(stream, store.ids(), store.locations())
+        if isinstance(stream, TripBlock):
+            n = len(stream)
+            if n == 0:
+                return []
+            store = self.station_set
+            cache = NearestCache(
+                (stream.end_x, stream.end_y), store.ids(), store.locations()
+            )
+            ex = stream.end_x.tolist()
+            ey = stream.end_y.tolist()
+            destinations = [Point(ex[t], ey[t]) for t in range(n)]
+        else:
+            destinations = list(stream)
+            n = len(destinations)
+            if n == 0:
+                return []
+            store = self.station_set
+            cache = NearestCache(destinations, store.ids(), store.locations())
         uniforms = UniformStream(self._rng, n)
         fires = checkpoint_schedule(self._arrivals_since_check, n, self._check_period)
         fire_iter = iter(fires)
         next_fire = next(fire_iter, -1)
         facility_cost = self._facility_cost
         out: List[EsharingDecision] = []
-        for t, dest in enumerate(stream):
+        # Hot-loop locals.  cost_scale and the penalty only change inside
+        # _periodic_check, so they are re-read right after each fire; the
+        # rest are invariant method/bound lookups hoisted out of the loop.
+        cost_scale = self._cost_scale
+        penalty_value = self.penalty.value
+        penalty_name = self.penalty.name
+        live_push = self._live.push
+        rng_next = uniforms.next
+        store_location = store.location
+        trace = self.decisions.append
+        emit = out.append
+        for t, dest in enumerate(destinations):
             sid = int(cache.best_id[t])
-            c_ij = dest.distance_to(store.location(sid))
-            scaled_f = facility_cost(dest) * self._cost_scale
-            g = self.penalty.value(c_ij)
+            c_ij = dest.distance_to(store_location(sid))
+            scaled_f = facility_cost(dest) * cost_scale
+            g = penalty_value(c_ij)
             prob = 1.0 if scaled_f <= 0 else min(g * c_ij / scaled_f, 1.0)
-            opened = bool(uniforms.next() < prob) and c_ij > 0
+            opened = bool(rng_next() < prob) and c_ij > 0
             if opened:
                 station_index = store.add(dest)
                 self.online_opened.append(station_index)
@@ -312,20 +341,23 @@ class EsharingPlanner:
                 station_index = sid
                 walking_cost = c_ij
                 self.walking += c_ij
-            self._live.push(dest.x, dest.y)
+            live_push(dest.x, dest.y)
             if t == next_fire:
                 self._periodic_check()
                 next_fire = next(fire_iter, -1)
+                cost_scale = self._cost_scale
+                penalty_value = self.penalty.value
+                penalty_name = self.penalty.name
             decision = EsharingDecision(
                 destination=dest,
                 station_index=station_index,
                 opened=opened,
                 walking_cost=walking_cost,
                 open_probability=prob,
-                penalty_name=self.penalty.name,
+                penalty_name=penalty_name,
             )
-            self.decisions.append(decision)
-            out.append(decision)
+            trace(decision)
+            emit(decision)
         # Restore the per-call counter contract for any later offer().
         if fires:
             self._arrivals_since_check = n - 1 - fires[-1]

@@ -48,7 +48,10 @@ class NearestCache:
     lowest-id tie-break is preserved.
 
     Args:
-        arrivals: the remaining request destinations, in arrival order.
+        arrivals: the remaining request destinations, in arrival order —
+            either a sequence of :class:`Point` or an ``(xs, ys)`` tuple
+            of 1-D coordinate arrays (the columnar fast path: no
+            per-point Python objects are materialised).
         station_ids: stable ids of the currently active stations,
             ascending (the tie-break order).
         station_points: locations matching ``station_ids``.
@@ -62,14 +65,20 @@ class NearestCache:
 
     def __init__(
         self,
-        arrivals: Sequence[Point],
+        arrivals,
         station_ids: Sequence[int],
         station_points: Sequence[Point],
         block_elems: int = DEFAULT_BLOCK_ELEMS,
     ) -> None:
-        n = len(arrivals)
-        self._x = np.asarray([p.x for p in arrivals], dtype=float)
-        self._y = np.asarray([p.y for p in arrivals], dtype=float)
+        if isinstance(arrivals, tuple):
+            xs, ys = arrivals
+            self._x = np.asarray(xs, dtype=float)
+            self._y = np.asarray(ys, dtype=float)
+            n = int(self._x.size)
+        else:
+            n = len(arrivals)
+            self._x = np.asarray([p.x for p in arrivals], dtype=float)
+            self._y = np.asarray([p.y for p in arrivals], dtype=float)
         self.best_id = np.full(n, -1, dtype=np.int64)
         self.best_d2 = np.full(n, np.inf, dtype=float)
         k = len(station_points)

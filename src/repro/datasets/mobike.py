@@ -268,6 +268,7 @@ def load_mobike_csv(
     on_error: str = "raise",
     quarantine: Optional[QuarantineReport] = None,
     workers: int = 1,
+    as_block: bool = False,
 ) -> TripDataset:
     """Load a Mobike-schema CSV into a :class:`TripDataset`.
 
@@ -291,6 +292,15 @@ def load_mobike_csv(
             identical to the serial load (see the module docstring).
             Ignored when ``limit`` is set — a row cap is inherently
             sequential I/O.
+        as_block: return a columnar
+            :class:`~repro.core.tripblock.TripBlock` instead of a
+            :class:`TripDataset`.  The vectorized projection / haversine
+            outputs feed the block's arrays directly — no per-row
+            :class:`TripRecord` objects are built — and the block is
+            sorted by ``start_time`` with the same stable order the
+            dataset constructor uses, so
+            ``load_mobike_csv(p, as_block=True).to_trips()`` equals
+            ``load_mobike_csv(p).records``.
 
     Raises:
         ValueError: on a missing required column, an unknown ``on_error``
@@ -329,7 +339,13 @@ def load_mobike_csv(
                     continue
                 fields.append(parsed)
                 coords.append(row_coords)
-    if not fields:
+    if as_block:
+        # Deferred: repro.core pulls in repro.datasets at package level.
+        from ..core.tripblock import TripBlock, datetime_to_us
+
+        if not fields:
+            return TripBlock.empty()
+    elif not fields:
         return TripDataset([])
     # The coordinate math runs once over the whole file: projection and
     # great-circle length per row both come from single vectorized
@@ -338,6 +354,23 @@ def load_mobike_csv(
     start_xy = proj.to_plane_vec(arr[:, 0], arr[:, 1])
     end_xy = proj.to_plane_vec(arr[:, 2], arr[:, 3])
     geodesic = haversine_m_vec(arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+    if as_block:
+        block = TripBlock(
+            order_id=np.asarray([f[0] for f in fields], dtype=np.int64),
+            user_id=np.asarray([f[1] for f in fields], dtype=np.int64),
+            bike_id=np.asarray([f[2] for f in fields], dtype=np.int64),
+            bike_type=np.asarray([f[3] for f in fields], dtype=np.int64),
+            start_us=np.asarray(
+                [datetime_to_us(f[4]) for f in fields], dtype=np.int64
+            ),
+            start_x=start_xy[:, 0],
+            start_y=start_xy[:, 1],
+            end_x=end_xy[:, 0],
+            end_y=end_xy[:, 1],
+            geodesic_m=np.asarray(geodesic, dtype=np.float64),
+            has_geodesic=np.ones(len(fields), dtype=bool),
+        )
+        return block.sorted_by_time()
     records = [
         TripRecord(
             order_id=order_id,

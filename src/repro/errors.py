@@ -20,6 +20,7 @@ __all__ = [
     "BreakerOpenError",
     "RuntimeHaltedError",
     "InjectedSubsystemError",
+    "BlockApplyError",
 ]
 
 
@@ -107,3 +108,32 @@ class InjectedSubsystemError(RuntimeError):
     incentive / forecast calls with it so tests can prove the circuit
     breakers open, fall back, and recover deterministically.
     """
+
+
+class BlockApplyError(RuntimeError):
+    """A group-committed block failed partway through its apply loop.
+
+    Raised by :meth:`repro.resilience.CheckpointingService.handle_block`
+    when applying trip ``index`` of the block raised ``cause``.  Every
+    trip of the block was already durably journaled (group commit writes
+    the WAL *before* any apply), so the supervisor can recover: the
+    journal replay re-applies the failing trip and the rest of the block
+    through a healed service.
+
+    Attributes:
+        index: 0-based position in the block where the apply failed.
+        outcomes: per-position outcomes for positions ``< index``
+            (``None`` for screened duplicates, otherwise the response).
+        remaining_fresh: for positions ``index ..`` in order, ``True``
+            when the position was journaled (fresh) and ``False`` when
+            it was screened as a duplicate.  ``remaining_fresh[0]`` is
+            always ``True`` — the failing trip was being applied.
+        cause: the exception the apply raised.
+    """
+
+    def __init__(self, index, outcomes, remaining_fresh, cause) -> None:
+        super().__init__(f"block apply failed at position {index}: {cause!r}")
+        self.index = index
+        self.outcomes = outcomes
+        self.remaining_fresh = remaining_fresh
+        self.cause = cause

@@ -93,7 +93,7 @@ def _guard_config() -> GuardConfig:
     )
 
 
-def _gauntlet(n_trips: int, seed: int) -> int:
+def _gauntlet(n_trips: int, seed: int, block_size: int = None) -> int:
     failures = 0
     records = _make_trips(n_trips, seed)
     workdir = Path(tempfile.mkdtemp(prefix="esharing-guard-"))
@@ -110,7 +110,7 @@ def _gauntlet(n_trips: int, seed: int) -> int:
             durable=False, facility_cost_spec=constant_cost_spec(COST_VALUE),
         )
         runtime = GuardedRuntime(guarded_inner, _guard_config())
-        runtime.serve(records)
+        runtime.serve(records, block_size=block_size)
         runtime.consistency_check()
         if runtime.sink.total != 0 or runtime.incidents.total != 0:
             print(
@@ -165,7 +165,7 @@ def _gauntlet(n_trips: int, seed: int) -> int:
         ks_inner = runtime.guarded_ks.inner
         ks_inner.test = injector.failing(ks_inner.test, "ks")  # type: ignore[method-assign]
         try:
-            runtime.serve(hostile)
+            runtime.serve(hostile, block_size=block_size)
         except Exception as exc:  # noqa: BLE001 — the gauntlet's whole point
             print(f"FAIL: guarded runtime raised on the hostile stream: {exc!r}")
             failures += 1
@@ -237,8 +237,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--trips", type=int, default=5000, help="stream length")
     parser.add_argument("--seed", type=int, default=0, help="chaos + workload seed")
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="trips per columnar block on the guarded stream path "
+        "(default: the GuardConfig default; 1 = the scalar oracle)",
+    )
     args = parser.parse_args(argv)
-    return _gauntlet(args.trips, args.seed)
+    return _gauntlet(args.trips, args.seed, block_size=args.block_size)
 
 
 if __name__ == "__main__":

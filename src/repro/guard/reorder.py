@@ -34,6 +34,9 @@ import heapq
 from datetime import timedelta
 from typing import List, Optional
 
+import numpy as np
+
+from ..core.tripblock import TripBlock, datetime_to_us, us_to_datetime
 from ..datasets.trips import TripRecord
 from .validation import DeadLetterSink, RejectedTrip
 
@@ -71,6 +74,16 @@ class WatermarkBuffer:
         self.sink = sink if sink is not None else DeadLetterSink()
         self.max_pending = max_pending
         self._heap: List[tuple] = []
+        # Columnar pending tail: on the sorted-stream fast path the
+        # within-lateness suffix of each block is held as a TripBlock
+        # (plus its arrival seqs) instead of heap entries — zero heap
+        # churn in the steady state.  Invariants: the tail is sorted,
+        # every heap timestamp <= every tail timestamp, and every heap
+        # seq < every tail seq, so "heap first, then tail" is the exact
+        # pending order and :meth:`_detach_tail` can always fall back to
+        # the heap representation.
+        self._tail: Optional[TripBlock] = None
+        self._tail_seqs: Optional[np.ndarray] = None
         self._max_seen = None
         self._seq = 0
         self.admitted = 0
@@ -80,7 +93,25 @@ class WatermarkBuffer:
 
     def __len__(self) -> int:
         """Events currently held (admitted, not yet emitted)."""
-        return len(self._heap)
+        n = len(self._heap)
+        if self._tail is not None:
+            n += len(self._tail)
+        return n
+
+    def _detach_tail(self) -> None:
+        """Spill the columnar pending tail into the heap (leaving the
+        sorted fast path); a no-op when no tail is held."""
+        if self._tail is None:
+            return
+        tail, seqs = self._tail, self._tail_seqs
+        self._tail = None
+        self._tail_seqs = None
+        S = tail.start_us
+        for i in range(len(tail)):
+            heapq.heappush(
+                self._heap,
+                (us_to_datetime(S[i]), int(seqs[i]), tail.trip(i)),
+            )
 
     # ------------------------------------------------------------------
     def _reject(self, trip: TripRecord, rule: str, reason: str) -> None:
@@ -124,18 +155,208 @@ class WatermarkBuffer:
                     f"(lateness {self.lateness.total_seconds():.0f}s)",
                 )
                 return []
-        if len(self._heap) >= self.max_pending:
+        if len(self) >= self.max_pending:
             self.shed += 1
             self._reject(
                 trip, "shed",
                 f"reorder buffer full ({self.max_pending} pending)",
             )
             return []
+        self._detach_tail()
         heapq.heappush(self._heap, (trip.start_time, self._seq, trip))
         self.admitted += 1
         if self._max_seen is None or trip.start_time > self._max_seen:
             self._max_seen = trip.start_time
         return self._release()
+
+    def push_block(self, block: TripBlock) -> TripBlock:
+        """Offer a whole block of arrivals; returns the released trips.
+
+        Bit-identical to calling :meth:`push` once per trip in order and
+        concatenating the returned lists: same emission sequence, same
+        dead-letter rows, same counters, same pending set.  The fast
+        paths:
+
+        * **sorted streams** (the overwhelmingly common case: the loader
+          sorts by ``start_time``): when the heap is empty, the block is
+          non-decreasing and nothing can be late, the release is a
+          single ``searchsorted`` cut and the released run is a
+          zero-copy slice of the block — no heap churn at all;
+        * **general case**: late arrivals fall out of one vectorized
+          comparison against the running-maximum watermark, and the
+          released set/order is reconstructed with ``searchsorted`` over
+          the per-arrival watermark plus one ``lexsort`` — provably the
+          per-push heap-pop interleaving, because within a release step
+          the heap pops by ``(start_time, seq)`` and steps are ordered.
+
+        A block that could overflow ``max_pending`` routes through the
+        scalar :meth:`push` loop (shedding decisions are inherently
+        sequential).
+        """
+        n = len(block)
+        if n == 0:
+            return TripBlock.empty()
+        if len(self) + n > self.max_pending:
+            released: List[TripRecord] = []
+            for trip in block.to_trips():
+                released.extend(self.push(trip))
+            return TripBlock.from_trips(released)
+
+        S = block.start_us
+        lat_us = self.lateness // timedelta(microseconds=1)
+        max0_us = None if self._max_seen is None else datetime_to_us(self._max_seen)
+        base = self._seq
+
+        # Fast path: sorted block, nothing late, and every pending event
+        # predates the block (the steady state of an ordered stream: the
+        # pending set is at most the previous blocks' within-lateness
+        # tail).  Then all pending events emit before any block row — a
+        # pending timestamp <= S[0] never release-steps after a block
+        # row — so the release is (pending prefix + block prefix), both
+        # found with one ``searchsorted``, and the withheld suffix is
+        # carried as a columnar tail: no heap entry, no per-trip record
+        # is ever materialised while the stream stays sorted.  On the
+        # pure identity case (nothing pending, nothing withheld) the
+        # released run is a zero-copy slice of the block.
+        first_us = int(S[0])
+        tail = self._tail
+        if tail is not None:
+            pend_max_us = int(tail.start_us[-1])
+        elif self._heap:
+            pend_max_us = max(datetime_to_us(e[0]) for e in self._heap)
+        else:
+            pend_max_us = None
+        if (
+            (n == 1 or bool(np.all(S[1:] >= S[:-1])))
+            and (max0_us is None or first_us >= max0_us - lat_us)
+            and (pend_max_us is None or pend_max_us <= first_us)
+        ):
+            self._seq += n
+            self.admitted += n
+            last_max = int(S[-1]) if max0_us is None else max(max0_us, int(S[-1]))
+            watermark_us = last_max - lat_us
+            watermark = us_to_datetime(watermark_us)
+            parts: List[TripBlock] = []
+            drained: List[TripRecord] = []
+            while self._heap and self._heap[0][0] <= watermark:
+                drained.append(heapq.heappop(self._heap)[2])
+            if drained:
+                parts.append(TripBlock.from_trips(drained))
+            tcut = 0
+            if tail is not None:
+                tcut = int(
+                    np.searchsorted(tail.start_us, watermark_us, side="right")
+                )
+                if tcut:
+                    parts.append(tail[:tcut])
+            cut = int(np.searchsorted(S, watermark_us, side="right"))
+            if cut:
+                parts.append(block[:cut])
+
+            new_tail: List[TripBlock] = []
+            new_seqs: List[np.ndarray] = []
+            if tail is not None and tcut < len(tail):
+                new_tail.append(tail[tcut:])
+                new_seqs.append(self._tail_seqs[tcut:])
+            if cut < n:
+                new_tail.append(block[cut:])
+                new_seqs.append(
+                    np.arange(base + 1 + cut, base + 1 + n, dtype=np.int64)
+                )
+            if new_tail:
+                self._tail = (
+                    new_tail[0] if len(new_tail) == 1 else TripBlock.concat(new_tail)
+                )
+                self._tail_seqs = (
+                    new_seqs[0] if len(new_seqs) == 1 else np.concatenate(new_seqs)
+                )
+            else:
+                self._tail = None
+                self._tail_seqs = None
+
+            self._max_seen = us_to_datetime(last_max)
+            if len(parts) == 1:
+                released_fast = parts[0]
+            elif parts:
+                released_fast = TripBlock.concat(parts)
+            else:
+                released_fast = TripBlock.empty()
+            self.emitted += len(released_fast)
+            return released_fast
+
+        # General case (pending tail, if any, spills back to the heap).
+        # M[i] = max event time after arrival i; late arrivals never
+        # advance it (their time is below the watermark, hence below the
+        # maximum), so one cumulative max serves both.
+        self._detach_tail()
+        self._seq += n
+        cum = np.maximum.accumulate(S)
+        M = cum if max0_us is None else np.maximum(cum, max0_us)
+        late = np.zeros(n, dtype=bool)
+        late[1:] = S[1:] < (M[:-1] - lat_us)
+        if max0_us is not None:
+            late[0] = int(S[0]) < max0_us - lat_us
+        W = M - lat_us  # watermark after each arrival (non-decreasing)
+        if np.any(late):
+            m_before = np.empty(n, dtype=np.int64)
+            m_before[0] = 0 if max0_us is None else max0_us
+            m_before[1:] = M[:-1]
+            lateness_s = self.lateness.total_seconds()
+            for i in np.flatnonzero(late):
+                self.too_late += 1
+                behind = float(m_before[i] - lat_us - S[i]) / 1e6
+                self.sink.add(
+                    RejectedTrip(
+                        seq=base + int(i),
+                        rule="too_late",
+                        reason=(
+                            f"arrived {behind:.0f}s behind the watermark "
+                            f"(lateness {lateness_s:.0f}s)"
+                        ),
+                        order_id=int(block.order_id[i]),
+                        start_time=us_to_datetime(block.start_us[i]).isoformat(),
+                    )
+                )
+        adm_idx = np.flatnonzero(~late)
+        self.admitted += int(adm_idx.size)
+
+        # Release step of every candidate: the first arrival whose
+        # watermark reaches its timestamp (and, for new arrivals, no
+        # earlier than their own arrival).  step < n means released
+        # within this block; the emission order is (step, time, seq) —
+        # exactly the per-push pop interleaving.
+        old = self._heap
+        old_ts = np.asarray(
+            [datetime_to_us(entry[0]) for entry in old], dtype=np.int64
+        )
+        old_seq = np.asarray([entry[1] for entry in old], dtype=np.int64)
+        old_step = np.searchsorted(W, old_ts, side="left")
+        adm_ts = S[adm_idx]
+        adm_seq = base + 1 + adm_idx
+        adm_step = np.maximum(adm_idx, np.searchsorted(W, adm_ts, side="left"))
+
+        old_rel = old_step < n
+        new_rel = adm_step < n
+        rel_old_pos = np.flatnonzero(old_rel)
+        rel_new_rows = adm_idx[new_rel]
+        old_block = TripBlock.from_trips([old[i][2] for i in rel_old_pos])
+        new_block = block.take(rel_new_rows)
+        rel_ts = np.concatenate([old_ts[old_rel], adm_ts[new_rel]])
+        rel_seq = np.concatenate([old_seq[old_rel], adm_seq[new_rel]])
+        rel_step = np.concatenate([old_step[old_rel], adm_step[new_rel]])
+        order = np.lexsort((rel_seq, rel_ts, rel_step))
+        released_block = TripBlock.concat([old_block, new_block]).take(order)
+
+        pending = [old[i] for i in np.flatnonzero(~old_rel)]
+        for i in adm_idx[~new_rel]:
+            pending.append(
+                (us_to_datetime(S[i]), base + 1 + int(i), block.trip(int(i)))
+            )
+        heapq.heapify(pending)
+        self._heap = pending
+        self._max_seen = us_to_datetime(M[-1])
+        self.emitted += len(released_block)
+        return released_block
 
     def flush(self) -> List[TripRecord]:
         """End of stream: emit everything still buffered, in order."""
@@ -143,6 +364,12 @@ class WatermarkBuffer:
         while self._heap:
             _, _, trip = heapq.heappop(self._heap)
             out.append(trip)
+        if self._tail is not None:
+            # Tail rows sort after every heap entry (see the invariants
+            # on the fast path) and are already in (time, seq) order.
+            out.extend(self._tail.to_trips())
+            self._tail = None
+            self._tail_seqs = None
         self.emitted += len(out)
         return out
 
@@ -154,10 +381,11 @@ class WatermarkBuffer:
         Raises:
             RuntimeError: on drift.
         """
-        accounted = self.emitted + len(self._heap) + self.too_late + self.shed
-        if accounted != self._seq or self.admitted != self.emitted + len(self._heap):
+        held = len(self)
+        accounted = self.emitted + held + self.too_late + self.shed
+        if accounted != self._seq or self.admitted != self.emitted + held:
             raise RuntimeError(
                 f"reorder accounting drift: offered={self._seq} "
-                f"emitted={self.emitted} held={len(self._heap)} "
+                f"emitted={self.emitted} held={held} "
                 f"late={self.too_late} shed={self.shed}"
             )

@@ -47,10 +47,18 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
+import numpy as np
+
 from ..core.costs import FacilityCostFn
 from ..core.streaming import PlacementService
+from ..core.tripblock import TripBlock
 from ..datasets.trips import TripRecord
-from ..errors import RuntimeHaltedError, SnapshotError, StateDriftError
+from ..errors import (
+    BlockApplyError,
+    RuntimeHaltedError,
+    SnapshotError,
+    StateDriftError,
+)
 from ..forecast.base import Forecaster
 from ..incentives.mechanism import IncentiveMechanism
 from ..ioutil import atomic_write_text
@@ -102,9 +110,13 @@ class GuardConfig:
             co-located breakers never retry in lockstep).
         deadletter_keep: detail rows retained in the dead-letter sink.
         incident_keep: detail rows retained in the incident log.
+        block_size: trips per columnar block on the :meth:`serve` path
+            (validator masks, watermark release and WAL group commit all
+            amortise per block).  ``1`` is the scalar parity oracle —
+            exactly the historical per-trip pipeline.
 
     Raises:
-        ValueError: on non-positive retry/rotation limits.
+        ValueError: on non-positive retry/rotation limits or block size.
     """
 
     validation: ValidationConfig = field(default_factory=ValidationConfig)
@@ -115,8 +127,11 @@ class GuardConfig:
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     deadletter_keep: int = 10_000
     incident_keep: int = 10_000
+    block_size: int = 256
 
     def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {self.block_size}")
         if self.checkpoint_attempts <= 0:
             raise ValueError(
                 f"checkpoint_attempts must be positive, got {self.checkpoint_attempts}"
@@ -378,6 +393,30 @@ class GuardedRuntime:
             return []
         return [self._apply(t) for t in self.buffer.push(trip)]
 
+    def ingest_block(self, block: TripBlock):
+        """Offer a whole columnar block to the guarded pipeline.
+
+        The hot path of :meth:`serve`: the validator evaluates all rules
+        as vectorized masks, the reorder buffer releases sorted runs as
+        block slices, and the released run is applied through one
+        group-commit journal write.  Outcomes are bit-identical to
+        per-trip :meth:`ingest` calls (same responses, same counters,
+        same dead-letter rows) except that within one block the
+        validator's dead-letter rows are recorded before the buffer's
+        (scalar ingestion interleaves them per trip).
+
+        Raises:
+            RuntimeHaltedError: the runtime is (or just became) halted.
+        """
+        self._require_live()
+        mask = self.validator.admit_block(block)
+        if bool(mask.all()):
+            accepted = block
+        else:
+            accepted = block.take(np.flatnonzero(mask))
+        released = self.buffer.push_block(accepted)
+        return self._apply_block(released.to_trips())
+
     def finish(self):
         """End of stream: drain the reorder buffer and apply the rest.
 
@@ -385,13 +424,39 @@ class GuardedRuntime:
             RuntimeHaltedError: the runtime is (or just became) halted.
         """
         self._require_live()
-        return [self._apply(t) for t in self.buffer.flush()]
+        return self._apply_block(self.buffer.flush())
 
-    def serve(self, trips: Iterable[TripRecord]):
-        """Convenience: ingest a whole stream, then :meth:`finish`."""
+    def serve(self, trips: Iterable[TripRecord], block_size: Optional[int] = None):
+        """Convenience: ingest a whole stream, then :meth:`finish`.
+
+        Args:
+            trips: the arrival stream, in arrival order.
+            block_size: trips per columnar block; defaults to
+                ``config.block_size``.  ``1`` forces the scalar per-trip
+                pipeline — the parity oracle the blocked path is tested
+                against.
+        """
+        size = self.config.block_size if block_size is None else block_size
+        if size <= 0:
+            raise ValueError(f"block_size must be positive, got {size}")
         outcomes = []
-        for trip in trips:
-            outcomes.extend(self.ingest(trip))
+        if size == 1:
+            for trip in trips:
+                outcomes.extend(self.ingest(trip))
+        else:
+            trips = trips if isinstance(trips, list) else list(trips)
+            for lo in range(0, len(trips), size):
+                chunk = trips[lo : lo + size]
+                try:
+                    block = TripBlock.from_trips(chunk)
+                except (TypeError, ValueError):
+                    # Un-blockable rows (e.g. non-numeric garbage from the
+                    # chaos harness): the scalar path judges them one by
+                    # one, exactly as before.
+                    for trip in chunk:
+                        outcomes.extend(self.ingest(trip))
+                else:
+                    outcomes.extend(self.ingest_block(block))
         outcomes.extend(self.finish())
         return outcomes
 
@@ -424,6 +489,139 @@ class GuardedRuntime:
                 response.origin_station, response.destination_station, trip.end
             )
         return response
+
+    def _apply_block(self, trips: List[TripRecord]):
+        """Route a released run of events into the planner tier at once.
+
+        Equivalent to ``[self._apply(t) for t in trips]`` — same
+        responses, same breaker event clock (one breaker call per trip),
+        same counters — but the journal write is a single group commit.
+        The batch route needs an exception-free interior, so it is taken
+        only while the planner breaker is closed and no incentive
+        mechanism is attached (incentive offers mutate the fleet between
+        trips, which makes each pickup depend on the previous response);
+        otherwise the scalar path serves trip by trip.
+        """
+        outcomes: List = []
+        n = len(trips)
+        i = 0
+        breaker = self.breakers["planner"]
+        while i < n:
+            if self.incentives is not None or breaker.state != CLOSED:
+                outcomes.append(self._apply(trips[i]))
+                i += 1
+                continue
+            chunk = trips[i:]
+            breaker.admit()  # closed: always granted; counts one event
+            try:
+                responses = self.inner.handle_block(chunk)
+            except RuntimeHaltedError as exc:  # checkpoint retries exhausted
+                self._halt(str(exc))
+                raise
+            except OSError as exc:  # group commit itself failed
+                self._halt(f"journal I/O failed: {exc!r}")
+                raise RuntimeHaltedError(self.halt_reason) from exc
+            except BlockApplyError as exc:
+                # Event clock: the prefix's trips were admitted and
+                # succeeded one by one on the scalar path.
+                breaker.calls += exc.index
+                for response in exc.outcomes:
+                    if response is None:
+                        self.duplicates += 1
+                    else:
+                        self.served += 1
+                    outcomes.append(response)
+                cause = exc.cause
+                if isinstance(cause, RuntimeHaltedError):
+                    self._halt(str(cause))
+                    raise cause
+                if isinstance(cause, OSError):
+                    self._halt(f"journal I/O failed: {cause!r}")
+                    raise RuntimeHaltedError(self.halt_reason) from cause
+                if exc.index > 0:
+                    breaker.success()  # the prefix reset the failure streak
+                breaker.failure()
+                failing = chunk[exc.index]
+                self._incident(
+                    "planner_error", f"order {failing.order_id}: {cause!r}"
+                )
+                outcomes.extend(self._self_heal_block(chunk, exc))
+                i = n
+            else:
+                breaker.calls += len(chunk) - 1
+                breaker.success()
+                for response in responses:
+                    if response is None:
+                        self.duplicates += 1
+                    else:
+                        self.served += 1
+                    outcomes.append(response)
+                i = n
+        return outcomes
+
+    def _self_heal_block(self, chunk: List[TripRecord], exc: BlockApplyError):
+        """Self-heal after a planner failure inside a group commit.
+
+        Same recovery as :meth:`_self_heal` — discard the poisoned
+        service, rebuild from snapshot + journal tail through the
+        re-guarded planner — but the whole chunk was journaled *before*
+        the failure, so the recovery replay applies not just the failing
+        trip but every journaled trip after it too (the write-ahead
+        contract: journaled means applied on recovery).  The replayed
+        responses are matched back to the chunk's tail positions;
+        duplicates screened before the commit stay ``None``; a trip the
+        healed service has no response for (the failure hit before its
+        journal record, which group commit makes impossible for fresh
+        trips, but defensively) is served degraded.
+        """
+        before = self.inner.applied_seq
+        try:
+            self.inner.close()
+            healed = CheckpointingService.recover(
+                self.inner.directory,
+                facility_cost=self._facility_cost,
+                checkpoint_every=self.inner.checkpoint_every,
+                keep=self.inner.store.keep,
+                durable=self.inner.store.durable,
+                post_restore=self._install_guards,
+            )
+        except Exception as recovery_exc:  # noqa: BLE001 — recovery broke
+            self._halt(f"self-heal failed: {recovery_exc!r} (after {exc.cause!r})")
+            raise RuntimeHaltedError(self.halt_reason) from recovery_exc
+        self._wrap_checkpoint(healed)
+        self.inner = healed
+        self.healed += 1
+        self._incident(
+            "self_heal",
+            f"recovered through seq {healed.applied_seq} "
+            f"(snapshot {healed.last_recovery.snapshot_seq}, "
+            f"replayed {healed.last_recovery.replayed})",
+        )
+        gained = healed.applied_seq - before
+        tail = list(healed.service.responses[-gained:]) if gained > 0 else []
+        outcomes: List = []
+        applied = 0
+        next_tail = 0
+        for offset, fresh in enumerate(exc.remaining_fresh):
+            trip = chunk[exc.index + offset]
+            if not fresh:
+                self.duplicates += 1
+                outcomes.append(None)
+            elif next_tail < len(tail):
+                self.served += 1
+                outcomes.append(tail[next_tail])
+                next_tail += 1
+                applied += 1
+            else:
+                outcomes.append(self._degraded(trip, "self-heal lost the event"))
+        if applied:
+            # Event clock: the failing trip's breaker call was already
+            # counted; its replayed application plus the rest of the
+            # journaled tail succeeded through the healed planner.
+            breaker = self.breakers["planner"]
+            breaker.calls += len(exc.remaining_fresh) - 1
+            breaker.success()
+        return outcomes
 
     def _degraded(self, trip: TripRecord, reason: str):
         """Answer from the nearest-station fallback, planner untouched."""

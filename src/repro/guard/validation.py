@@ -29,8 +29,11 @@ from datetime import datetime
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
+from ..core.tripblock import TripBlock, datetime_to_us, us_to_datetime
 from ..datasets.trips import TripRecord
-from ..geo.points import BoundingBox
+from ..geo.points import BoundingBox, Point
 from ..ioutil import atomic_write_text
 
 __all__ = [
@@ -299,6 +302,165 @@ class TripValidator:
             trip.order_id, trip.start_time, trip.end.x, trip.end.y,
         )
         return True
+
+    # ------------------------------------------------------------------
+    def admit_block(self, block: TripBlock) -> np.ndarray:
+        """Validate a whole block; returns the per-trip accept mask.
+
+        Bit-identical to calling :meth:`admit` once per trip in order —
+        same counters, same dead-letter rows (rule, reason string, seq),
+        same ``_latest`` clock — but every rule is evaluated as one
+        vectorized mask over the block's columns.  The first-violation
+        attribution is reproduced by masking each rule with the
+        negations of the rules before it.
+
+        Two scalar escape hatches preserve exactness:
+
+        * the **teleport** rule is inherently sequential per bike, so a
+          config that enables it routes the whole block through the
+          scalar :meth:`admit` loop;
+        * rows whose vectorized trip length lands within a few ulps of
+          ``max_trip_m`` are re-judged with the scalar ``math.hypot``
+          (``np.hypot`` is not bitwise interchangeable with it — see
+          ``core/replay.py``).
+
+        The blocked path does not maintain the per-bike last-position
+        table (``_bike_last``): with the teleport rule disabled — the
+        only configuration that reaches this path — nothing reads it.
+        """
+        cfg = self.config
+        n = len(block)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if cfg.max_bike_speed_mps > 0:
+            return np.asarray([self.admit(t) for t in block.to_trips()], dtype=bool)
+
+        sx, sy = block.start_x, block.start_y
+        ex, ey = block.end_x, block.end_y
+        finite_ok = (
+            np.isfinite(sx) & np.isfinite(sy) & np.isfinite(ex) & np.isfinite(ey)
+        )
+        if cfg.bounds is not None:
+            b = cfg.bounds
+            bounds_ok = (
+                (b.min_x <= sx) & (sx <= b.max_x)
+                & (b.min_y <= sy) & (sy <= b.max_y)
+                & (b.min_x <= ex) & (ex <= b.max_x)
+                & (b.min_y <= ey) & (ey <= b.max_y)
+            )
+        else:
+            bounds_ok = np.ones(n, dtype=bool)
+
+        dist = np.hypot(sx - ex, sy - ey)
+        dist_fail = ~(dist <= cfg.max_trip_m)  # NaN/inf distances fail too
+        # Ulp guard: np.hypot and math.hypot agree to ~1 ulp; only rows
+        # within a few ulps of the limit can flip, re-judge those scalar.
+        tol = 4.0 * np.spacing(np.float64(cfg.max_trip_m))
+        near = np.isfinite(dist) & (np.abs(dist - cfg.max_trip_m) <= tol)
+        for i in np.flatnonzero(near):
+            d = math.hypot(float(sx[i]) - float(ex[i]), float(sy[i]) - float(ey[i]))
+            dist_fail[i] = not d <= cfg.max_trip_m
+
+        lo, hi = cfg.battery_range
+        bat = block.battery
+        bat_fail = block.has_battery & ~(
+            np.isfinite(bat) & (lo <= bat) & (bat <= hi)
+        )
+
+        # Clock rule: the running "latest accepted" is a prefix maximum.
+        # Trips failing only the clock rule have start < running max, so
+        # the prefix max over stateless-passing trips equals the prefix
+        # max over fully-accepted trips — the recurrence vectorizes.
+        stateless_ok = finite_ok & bounds_ok & ~dist_fail & ~bat_fail
+        S = block.start_us
+        int_min = np.iinfo(np.int64).min
+        cum = np.maximum.accumulate(np.where(stateless_ok, S, int_min))
+        prev = np.empty(n, dtype=np.int64)
+        prev[0] = int_min
+        prev[1:] = cum[:-1]
+        latest_us = None if self._latest is None else datetime_to_us(self._latest)
+        if latest_us is not None:
+            np.maximum(prev, latest_us, out=prev)
+        has_prev = prev != int_min
+        back_us = np.subtract(
+            prev, S, out=np.zeros(n, dtype=np.int64), where=has_prev
+        )
+        clock_fail = has_prev & ((back_us / 1e6) > cfg.max_backwards_s)
+
+        fail_finite = ~finite_ok
+        fail_bounds = finite_ok & ~bounds_ok
+        fail_clock = finite_ok & bounds_ok & clock_fail
+        fail_dist = finite_ok & bounds_ok & ~clock_fail & dist_fail
+        fail_bat = finite_ok & bounds_ok & ~clock_fail & ~dist_fail & bat_fail
+        mask = stateless_ok & ~clock_fail
+
+        base = self.offered
+        self.offered += n
+        n_accept = int(np.count_nonzero(mask))
+        self.accepted += n_accept
+        if n_accept:
+            new_latest = int(S[mask].max())
+            if latest_us is None or new_latest > latest_us:
+                self._latest = us_to_datetime(new_latest)
+
+        if n_accept < n:
+            rules = np.zeros(n, dtype=np.int8)
+            for code, rule_mask in enumerate(
+                (fail_finite, fail_bounds, fail_clock, fail_dist, fail_bat),
+                start=1,
+            ):
+                rules[rule_mask] = code
+            back_s = back_us / 1e6
+            for i in np.flatnonzero(~mask):
+                rule, reason = self._block_reason(
+                    block, int(i), int(rules[i]), float(back_s[i])
+                )
+                self.counters[rule] += 1
+                self.sink.add(
+                    RejectedTrip(
+                        seq=base + int(i),
+                        rule=rule,
+                        reason=reason,
+                        order_id=int(block.order_id[i]),
+                        start_time=us_to_datetime(block.start_us[i]).isoformat(),
+                    )
+                )
+        return mask
+
+    def _block_reason(
+        self, block: TripBlock, i: int, code: int, back_s: float
+    ) -> Tuple[str, str]:
+        """Rebuild the scalar rejection (rule, reason) for block row ``i``."""
+        cfg = self.config
+        sx, sy = float(block.start_x[i]), float(block.start_y[i])
+        ex, ey = float(block.end_x[i]), float(block.end_y[i])
+        if code == 1:
+            shown = ", ".join(f"{c:.1f}" for c in (sx, sy, ex, ey))
+            return "finite", f"non-finite coordinate in ({shown})"
+        if code == 2:
+            if not cfg.bounds.contains(Point(sx, sy)):
+                label, px, py = "start", sx, sy
+            else:
+                label, px, py = "end", ex, ey
+            return (
+                "bounds",
+                f"{label} ({px:.1f}, {py:.1f}) outside the city plane",
+            )
+        if code == 3:
+            return (
+                "clock",
+                f"start_time {back_s:.0f}s behind the stream "
+                f"(limit {cfg.max_backwards_s:.0f}s)",
+            )
+        if code == 4:
+            d = math.hypot(sx - ex, sy - ey)
+            return (
+                "distance",
+                f"trip length {d:.0f} m exceeds {cfg.max_trip_m:.0f} m",
+            )
+        battery = float(block.battery[i])
+        lo, hi = cfg.battery_range
+        return "battery", f"battery {battery!r} outside [{lo}, {hi}]"
 
     # ------------------------------------------------------------------
     @property

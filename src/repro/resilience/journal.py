@@ -27,8 +27,11 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, List, Optional, Union
+from typing import IO, List, Optional, Sequence, Union
 
+import numpy as np
+
+from ..core.tripblock import TripBlock, us_to_datetime
 from ..datasets.trips import TripRecord
 from ..errors import JournalCorruptError
 from ..ioutil import checksum_hex
@@ -62,6 +65,74 @@ def _encode_line(seq: int, trip: TripRecord) -> str:
     )
     digest = checksum_hex(body.encode("utf-8"))[:CHECKSUM_PREFIX_LEN]
     return f"{digest} {body}\n"
+
+
+def _encode_block_lines(seqs: Sequence[int], block: TripBlock) -> List[str]:
+    """Journal lines for a whole :class:`TripBlock`, built straight from
+    the columns — byte-identical to :func:`_encode_line` on each
+    materialised trip.
+
+    The hand-assembled body relies on three facts about the scalar
+    encoding: ``json.dumps(sort_keys=True)`` emits the trip keys in the
+    fixed alphabetical order reproduced here; JSON renders Python ints
+    and floats via ``repr`` (the ``tolist()`` columns are native Python
+    scalars, so ``repr`` matches what the per-trip path serialises); and
+    the only string field is an ISO-8601 timestamp, which never needs
+    escaping.  Non-finite floats cannot take this shortcut (the scalar
+    path raises through ``json.dumps(allow_nan=False)``), so those
+    blocks fall back to the per-trip encoder for identical errors.
+    """
+    finite = np.isfinite(block.start_x) & np.isfinite(block.start_y)
+    finite &= np.isfinite(block.end_x) & np.isfinite(block.end_y)
+    finite &= np.isfinite(block.geodesic_m) | ~block.has_geodesic
+    finite &= np.isfinite(block.battery) | ~block.has_battery
+    if not bool(finite.all()):
+        return [_encode_line(s, t) for s, t in zip(seqs, block.to_trips())]
+    if not bool((block.start_us % 1_000_000).any()):
+        # Whole-second timestamps (the normal trip feed): numpy renders
+        # the ISO strings in one vectorized call, character-identical to
+        # ``datetime.isoformat`` at second resolution.
+        iso = np.datetime_as_string(
+            block.start_us.astype("datetime64[us]").astype("datetime64[s]")
+        ).tolist()
+    else:
+        iso = [us_to_datetime(us).isoformat() for us in block.start_us.tolist()]
+    lines = []
+    append = lines.append
+    digest_of = checksum_hex
+    plen = CHECKSUM_PREFIX_LEN
+    for seq, o, u, b, bt, ts, x1, y1, x2, y2, g, hg, ba, hb in zip(
+        seqs,
+        block.order_id.tolist(),
+        block.user_id.tolist(),
+        block.bike_id.tolist(),
+        block.bike_type.tolist(),
+        iso,
+        block.start_x.tolist(),
+        block.start_y.tolist(),
+        block.end_x.tolist(),
+        block.end_y.tolist(),
+        block.geodesic_m.tolist(),
+        block.has_geodesic.tolist(),
+        block.battery.tolist(),
+        block.has_battery.tolist(),
+    ):
+        battery = repr(ba) if hb else "null"
+        geodesic = repr(g) if hg else "null"
+        body = (
+            f'{{"seq":{seq},"trip":{{'
+            f'"battery":{battery},'
+            f'"bike_id":{b},'
+            f'"bike_type":{bt},'
+            f'"end":[{x2!r},{y2!r}],'
+            f'"geodesic_m":{geodesic},'
+            f'"order_id":{o},'
+            f'"start":[{x1!r},{y1!r}],'
+            f'"start_time":"{ts}",'
+            f'"user_id":{u}}}}}'
+        )
+        append(f'{digest_of(body.encode("utf-8"))[:plen]} {body}\n')
+    return lines
 
 
 def _decode_line(line: str) -> Optional[JournalEntry]:
@@ -128,6 +199,47 @@ class TripJournal:
             os.fsync(self._fh.fileno())
         self._next_seq = seq + 1
         return seq
+
+    def append_block(
+        self, trips: Union[Sequence[TripRecord], TripBlock]
+    ) -> List[int]:
+        """Group-commit: durably journal a whole block with **one**
+        write + flush + fsync; returns the assigned sequence numbers.
+
+        The bytes written are identical to per-trip :meth:`append` calls
+        — same records, same order, same sequence numbers — but the
+        fsync cost is amortised over the block, which is where the
+        blocked stream path earns most of its speedup on a durable
+        journal.  A columnar :class:`~repro.core.tripblock.TripBlock` is
+        accepted directly and encoded straight from its arrays
+        (:func:`_encode_block_lines`) — same bytes again, without
+        materialising per-trip records.
+
+        Crash semantics are unchanged: the block goes out as one
+        contiguous write, so a crash mid-commit leaves an intact prefix
+        of the block's records plus at most one torn final line — the
+        exact shape :meth:`scan` already tolerates.  Records of the
+        block *after* the tear are simply absent (never applied either:
+        the caller applies only after this returns), so recovery still
+        sees a journal that is at least as long as any applied state.
+        """
+        if not len(trips):
+            return []
+        first = self._next_seq
+        seqs = list(range(first, first + len(trips)))
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        if isinstance(trips, TripBlock):
+            lines = _encode_block_lines(seqs, trips)
+        else:
+            lines = [_encode_line(s, t) for s, t in zip(seqs, trips)]
+        self._fh.write("".join(lines))
+        self._fh.flush()
+        if self.durable:
+            os.fsync(self._fh.fileno())
+        self._next_seq = seqs[-1] + 1
+        return seqs
 
     def close(self) -> None:
         """Close the underlying file handle (reopened on next append)."""

@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 from ..core.costs import FacilityCostFn, constant_facility_cost
 from ..core.streaming import PlacementService, ServiceResponse
 from ..datasets.trips import TripRecord
-from ..errors import SnapshotError, StateDriftError
+from ..errors import BlockApplyError, SnapshotError, StateDriftError
 from .journal import TripJournal
 from .snapshot import SnapshotStore, WriteBytes
 
@@ -190,6 +190,64 @@ class CheckpointingService:
     def serve(self, trips: Iterable[TripRecord]) -> List[Optional[ServiceResponse]]:
         """Serve a batch in arrival order (one ``None`` per duplicate)."""
         return [self.handle_trip(t) for t in trips]
+
+    def handle_block(self, trips: List[TripRecord]) -> List[Optional[ServiceResponse]]:
+        """Serve a block under the *group-commit* write-ahead protocol.
+
+        Same responses, journal bytes, sequence numbers, dedup decisions
+        and checkpoint cadence as per-trip :meth:`handle_trip` calls —
+        but the block's fresh trips are journaled with a single fsynced
+        write (:meth:`TripJournal.append_block`) before any of them is
+        applied.  The dedup screen runs first (it sees earlier trips of
+        the same block, like the sequential path would), so a duplicate
+        is never journaled twice.
+
+        Group commit shifts one failure boundary: when applying trip
+        ``i`` raises, trips ``> i`` of the block are *already journaled*
+        (the scalar path would not have journaled them yet), so a
+        recovery replay applies them too.  That is surfaced as a
+        :class:`~repro.errors.BlockApplyError` carrying the applied
+        prefix's outcomes and the fresh/duplicate classification of the
+        remainder — everything a supervisor needs to account for a heal.
+
+        Raises:
+            OSError: journal I/O failed; no trip of the block was
+                applied (the WAL write precedes every apply).
+            BlockApplyError: applying one trip failed (including a
+                checkpoint failure directly after it); see above.
+        """
+        responses: List[Optional[ServiceResponse]] = [None] * len(trips)
+        fresh: List[TripRecord] = []
+        fresh_pos: List[int] = []
+        pending: set = set()
+        for i, trip in enumerate(trips):
+            if self.dedup and (trip.order_id in self._seen or trip.order_id in pending):
+                continue
+            fresh.append(trip)
+            fresh_pos.append(i)
+            if self.dedup:
+                pending.add(trip.order_id)
+        seqs = self.journal.append_block(fresh)
+        for j, trip in enumerate(fresh):
+            pos = fresh_pos[j]
+            try:
+                response = self.service.handle_trip(trip)
+                self._seen.add(trip.order_id)
+                self._applied = seqs[j]
+                responses[pos] = response
+                if seqs[j] % self.checkpoint_every == 0:
+                    self.checkpoint()
+            except Exception as exc:  # noqa: BLE001 — classified by caller
+                fresh_set = set(fresh_pos[j:])
+                raise BlockApplyError(
+                    index=pos,
+                    outcomes=responses[:pos],
+                    remaining_fresh=[
+                        p in fresh_set for p in range(pos, len(trips))
+                    ],
+                    cause=exc,
+                ) from exc
+        return responses
 
     def checkpoint(self) -> Path:
         """Write a snapshot of the full service state now.

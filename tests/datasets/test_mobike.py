@@ -341,3 +341,61 @@ class TestAtomicSave:
         first = path.read_text()
         save_mobike_csv(small_dataset, path)
         assert path.read_text() == first
+
+
+class TestColumnarLoad:
+    """``as_block=True`` returns the same trips as the record path,
+    already columnar and time-sorted."""
+
+    def test_block_matches_record_path_exactly(self, small_dataset, tmp_path):
+        import numpy as np
+
+        from repro.core.tripblock import TripBlock
+
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        dataset = load_mobike_csv(path)
+        block = load_mobike_csv(path, as_block=True)
+        assert isinstance(block, TripBlock)
+        assert len(block) == len(dataset)
+        assert block.to_trips() == dataset.records
+        reference = TripBlock.from_trips(dataset.records)
+        for name in TripBlock.__slots__:
+            assert np.array_equal(
+                getattr(block, name), getattr(reference, name), equal_nan=True
+            ), name
+
+    def test_block_is_time_sorted(self, small_dataset, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "trips.csv"
+        save_mobike_csv(small_dataset, path)
+        block = load_mobike_csv(path, as_block=True)
+        assert bool(np.all(block.start_us[1:] >= block.start_us[:-1]))
+
+    def test_empty_csv_loads_empty_block(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        with path.open("w", newline="") as fh:
+            csv.writer(fh).writerow(MOBIKE_HEADER)
+        block = load_mobike_csv(path, as_block=True)
+        assert len(block) == 0
+
+    def test_quarantine_composes_with_as_block(self, tmp_path):
+        from repro.datasets import QuarantineReport
+
+        rows = [
+            ["1", "10", "100", "1", "2017-05-10 00:00", "wx4snhx", "wx4snhp"],
+            ["2", "11", "101", "1", "not a time", "wx4snhx", "wx4snhp"],
+            ["3", "12", "102", "1", "2017-05-10 00:05", "wx4snhp", "wx4snhx"],
+        ]
+        path = tmp_path / "mixed.csv"
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(MOBIKE_HEADER)
+            writer.writerows(rows)
+        report = QuarantineReport()
+        block = load_mobike_csv(
+            path, as_block=True, on_error="quarantine", quarantine=report
+        )
+        assert sorted(block.order_id.tolist()) == [1, 3]
+        assert len(report) == 1

@@ -1,0 +1,30 @@
+"""Property test (hypothesis): blocked accounting == scalar oracle.
+
+The columnar-stream satellite contract: for *every* random block size
+and chaos-grade stream — NaN coordinates, out-of-bounds points, lying
+batteries, timestamps jumping both ways — the blocked validator+buffer
+pipeline produces exactly the accounting the scalar ``block_size=1``
+oracle does: same accept/reject decisions, same per-rule counters,
+same dead-letter rows, same release order.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from .test_blocked_stream import assert_oracle_parity  # noqa: E402
+from .test_properties import streams  # noqa: E402  (the hostile trip mix)
+
+
+class TestBlockedOracleProperty:
+    @given(
+        stream=streams,
+        block_size=st.integers(min_value=1, max_value=64),
+        lateness=st.floats(min_value=0.0, max_value=3600.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_blocked_equals_scalar_oracle(self, stream, block_size, lateness):
+        assert_oracle_parity(
+            stream, block_size, lateness_s=lateness, max_pending=16
+        )
