@@ -1,0 +1,242 @@
+"""Geo-sharded runtime scaling — shards vs throughput (``BENCH_shard.json``).
+
+Serves one demo-city stream through :class:`repro.shard.ShardedRuntime`
+at 1/2/4/8 shards (each sweep point fanning its shards across that many
+workers) and records the wall-clock curve to ``BENCH_shard.json`` at
+the repo root.
+
+Parity is asserted inside every sweep point, before its timing is
+accepted: each shard of the fleet must have produced exactly the
+outcomes and journal bytes of a standalone single-shard runtime built
+from the same :class:`~repro.shard.ShardSpec` and fed that shard's
+sub-stream (the oracles run *outside* the timed region).  A sweep point
+that is fast but wrong fails the benchmark regardless of speed.
+
+The scaling gate (>= 1.6x end-to-end at 4 shards / 4 workers) is
+enforced only when the host exposes >= 4 usable cores; on a
+core-limited CI container the curve is still recorded but the verdict
+says why the gate was skipped — process fan-out on one core measures
+the scheduler, not the partitioner.  ``--smoke`` runs a seconds-scale
+parity-only subset for CI.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from datetime import datetime, timedelta
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.trips import TripRecord
+from repro.geo.points import BoundingBox, Point
+from repro.guard import GuardConfig, ValidationConfig
+from repro.parallel import usable_cores
+from repro.shard import ShardPlan, ShardRouter, ShardedRuntime, build_shard_runtime
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+SHARD_SWEEP = (1, 2, 4, 8)
+GATE_SHARDS = 4
+GATE_SPEEDUP = 1.6  # end-to-end at 4 shards / 4 workers vs 1 shard serial
+MIN_GATE_CORES = 4  # the gate needs hardware that can express a speedup
+PLANE = 2000.0
+T0 = datetime(2017, 5, 10)
+
+
+def make_trips(n, seed=0):
+    """A clean, in-order stream on the demo plane."""
+    rng = np.random.default_rng(seed)
+    return [
+        TripRecord(
+            order_id=i, user_id=i % 40, bike_id=i % 60, bike_type=1,
+            start_time=T0 + timedelta(seconds=30 * i),
+            start=Point(*rng.uniform(0.0, PLANE, 2)),
+            end=Point(*rng.uniform(0.0, PLANE, 2)),
+            battery=float(rng.uniform(0.1, 1.0)),
+        )
+        for i in range(n)
+    ]
+
+
+def build_city(n_shards, directory, seed=0):
+    plan = ShardPlan.from_bounds(
+        BoundingBox(0.0, 0.0, PLANE, PLANE), n_shards
+    )
+    anchors = [
+        Point(float(x), float(y))
+        for x in (0, 667, 1333, 2000)
+        for y in (0, 667, 1333, 2000)
+    ]
+    historical = np.random.default_rng(seed).uniform(0.0, PLANE, size=(300, 2))
+    guard = GuardConfig(
+        validation=ValidationConfig(
+            bounds=BoundingBox(-100.0, -100.0, PLANE + 100.0, PLANE + 100.0),
+            max_backwards_s=3600.0,
+        ),
+        lateness_s=600.0,
+    )
+    return ShardedRuntime(
+        plan, directory, anchors, historical, seed=seed, guard=guard,
+    )
+
+
+def _assert_parity(city, trips, outcome, tmp):
+    """Every fleet shard vs its standalone oracle — outcomes AND journal
+    bytes.  Runs outside the timed region; raises on any divergence."""
+    buckets = ShardRouter(city.plan).split_trips(trips)
+    by_id = {r.shard_id: r for r in outcome.reports}
+    for sid in range(city.plan.n_shards):
+        if not buckets[sid]:
+            continue
+        oracle = build_shard_runtime(city.spec(sid), tmp / f"oracle-{sid}")
+        expected = oracle.serve(buckets[sid])
+        oracle.close()
+        if by_id[sid].outcomes != tuple(expected):
+            raise AssertionError(
+                f"shard {sid} outcomes diverged from its standalone oracle"
+            )
+        fleet = (
+            Path(city.directory) / f"shard-{sid:03d}" / "journal.jsonl"
+        ).read_bytes()
+        want = (tmp / f"oracle-{sid}" / "journal.jsonl").read_bytes()
+        if fleet != want:
+            raise AssertionError(
+                f"shard {sid} journal bytes diverged from its standalone oracle"
+            )
+
+
+def run_shard_scaling(shard_sweep=SHARD_SWEEP, n_trips=6_000, seed=0):
+    """Serve the same stream at every shard count; assert oracle parity
+    at each point before accepting its timing."""
+    trips = make_trips(n_trips, seed=seed)
+    sweep = []
+    baseline_seconds = None
+    for n_shards in shard_sweep:
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            city = build_city(n_shards, tmp / "city", seed=seed)
+            start = time.perf_counter()
+            outcome = city.serve(trips, workers=n_shards)
+            elapsed = time.perf_counter() - start
+            _assert_parity(city, trips, outcome, tmp)
+            if baseline_seconds is None:
+                baseline_seconds = elapsed
+            sweep.append(
+                {
+                    "shards": n_shards,
+                    "workers": n_shards,
+                    "seconds": elapsed,
+                    "speedup": baseline_seconds / elapsed,
+                    "efficiency": baseline_seconds / elapsed / n_shards,
+                    "trips_per_sec": n_trips / elapsed,
+                    "served": outcome.served,
+                    "deadlettered": outcome.deadlettered,
+                    "referrals": len(outcome.referrals),
+                }
+            )
+    return {
+        "benchmark": "geo-sharded fleet serve, shards == workers",
+        "trips": n_trips,
+        "parity": (
+            "per-shard outcomes and journal bytes identical to standalone "
+            "oracles at every sweep point (oracles untimed)"
+        ),
+        "sweep": sweep,
+    }
+
+
+def run_full_report(shard_sweep=SHARD_SWEEP):
+    cores = usable_cores()
+    scaling = run_shard_scaling(shard_sweep)
+    at_gate = next(
+        (row for row in scaling["sweep"] if row["shards"] == GATE_SHARDS), None
+    )
+    gate_enforced = cores >= MIN_GATE_CORES
+    return {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "usable_cores": cores,
+        },
+        "scaling": scaling,
+        "gates": {
+            "parity": "ok (asserted at every sweep point)",
+            "required_speedup_at_4_shards": GATE_SPEEDUP,
+            "measured_speedup_at_4_shards": at_gate["speedup"] if at_gate else None,
+            "enforced": gate_enforced,
+            "verdict": (
+                ("pass" if at_gate and at_gate["speedup"] >= GATE_SPEEDUP else "fail")
+                if gate_enforced
+                else f"skipped: host exposes {cores} usable core(s); the "
+                f"wall-clock gate needs >= {MIN_GATE_CORES} to be measurable"
+            ),
+        },
+    }
+
+
+def write_report(report, path=BENCH_JSON):
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def _print_report(report):
+    scaling = report["scaling"]
+    print(f"{scaling['benchmark']}:")
+    print(f"{'shards':>7} {'seconds':>9} {'speedup':>8} {'trips/s':>10} {'refer':>6}")
+    for row in scaling["sweep"]:
+        print(
+            f"{row['shards']:>7} {row['seconds']:>9.3f} {row['speedup']:>7.2f}x "
+            f"{row['trips_per_sec']:>10,.0f} {row['referrals']:>6}"
+        )
+    gates = report["gates"]
+    print(
+        f"gate: >= {gates['required_speedup_at_4_shards']}x at {GATE_SHARDS} "
+        f"shards -> {gates['verdict']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (pytest benchmarks/) — parity-gated, modest sizes.
+def test_shard_scaling_parity_smoke():
+    """Every fleet shard matches its standalone oracle bit for bit."""
+    report = run_shard_scaling(shard_sweep=(1, 2), n_trips=400)
+    assert all(row["seconds"] > 0 for row in report["sweep"])
+    assert all(row["served"] > 0 for row in report["sweep"])
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset for CI (1/2-shard sweep, parity gates only)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        scaling = run_shard_scaling(shard_sweep=(1, 2), n_trips=600)
+        _print_report({
+            "scaling": scaling,
+            "gates": {
+                "required_speedup_at_4_shards": GATE_SPEEDUP,
+                "verdict": "skipped (smoke: parity only)",
+            },
+        })
+        print("parity OK (every shard bit-identical to its standalone oracle)")
+        return 0
+    report = run_full_report()
+    path = write_report(report)
+    _print_report(report)
+    print(f"wrote {path}")
+    if report["gates"]["verdict"] == "fail":
+        print(
+            f"FAIL: sharded serve only "
+            f"{report['gates']['measured_speedup_at_4_shards']:.2f}x serial "
+            f"at {GATE_SHARDS} shards (gate {GATE_SPEEDUP}x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

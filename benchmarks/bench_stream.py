@@ -10,6 +10,9 @@ oracle, stage by stage and composed:
   of churning the heap;
 * **journal** — ``TripJournal.append_block`` group commit (one durable
   ``write+fsync`` per block) vs one fsync per trip;
+* **wal_checksum** — the per-line WAL checksum in isolation: the
+  batched ``checksum_hex_many`` the group commit stamps lines with vs
+  the scalar per-line ``checksum_hex`` loop it replaced;
 * **replay (the gate)** — the composed guarded hot path: validate →
   reorder → journal (durable) → plan, scalar per-trip vs blocked
   end to end.  The gate demands **>= 10x** trips/sec, and the two runs
@@ -242,6 +245,37 @@ def run_journal(n=8_000, block=BLOCK, seed=5, workdir=None):
     return report
 
 
+def run_checksum(n=40_000, seed=8):
+    """WAL per-line checksum: the scalar ``checksum_hex(body)[:16]``
+    loop ``append_block`` used to run vs the batched
+    ``checksum_hex_many`` it runs now.  Same bodies, and the digests
+    must match character for character."""
+    from repro.ioutil import checksum_hex, checksum_hex_many
+    from repro.resilience.journal import CHECKSUM_PREFIX_LEN, _encode_block_lines
+
+    block = TripBlock.from_trips(make_trips(n, seed=seed))
+    lines = _encode_block_lines(range(1, n + 1), block)
+    blobs = [line.split(" ", 1)[1].rstrip("\n").encode("utf-8") for line in lines]
+
+    start = time.perf_counter()
+    want = [checksum_hex(b)[:CHECKSUM_PREFIX_LEN] for b in blobs]
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    got = checksum_hex_many(blobs, CHECKSUM_PREFIX_LEN)
+    blocked_s = time.perf_counter() - start
+
+    if got != want:
+        raise AssertionError("batched WAL checksums diverged from scalar")
+    report = _rate_row(n, scalar_s, blocked_s)
+    report["benchmark"] = (
+        "WAL line checksum: checksum_hex_many vs per-line checksum_hex"
+    )
+    report["checksum_prefix_len"] = CHECKSUM_PREFIX_LEN
+    report["parity"] = "digests identical"
+    return report
+
+
 def run_replay_gate(n=20_000, block=BLOCK, seed=6, workdir=None):
     """THE GATE: the composed guarded hot path, scalar vs blocked.
 
@@ -378,6 +412,7 @@ def run_full_report(block=BLOCK):
         validator = run_validator(block=block)
         buffer = run_buffer_sorted(block=block)
         journal = run_journal(block=block, workdir=workdir)
+        wal_checksum = run_checksum()
         replay = run_replay_gate(block=block, workdir=workdir)
         serve = run_runtime_serve(block=block, workdir=workdir)
     finally:
@@ -388,6 +423,7 @@ def run_full_report(block=BLOCK):
         "validator": validator,
         "buffer": buffer,
         "journal": journal,
+        "wal_checksum": wal_checksum,
         "replay": replay,
         "serve": serve,
         "gates": {
@@ -407,6 +443,7 @@ def run_smoke(block=BLOCK):
         validator = run_validator(n=4_000, block=block)
         buffer = run_buffer_sorted(n=4_000, block=block)
         journal = run_journal(n=1_500, block=block, workdir=workdir)
+        wal_checksum = run_checksum(n=4_000)
         replay = run_replay_gate(n=4_000, block=block, workdir=workdir)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
@@ -428,6 +465,7 @@ def run_smoke(block=BLOCK):
         "validator": validator,
         "buffer": buffer,
         "journal": journal,
+        "wal_checksum": wal_checksum,
         "replay": replay,
     }, failures
 
@@ -437,7 +475,10 @@ def write_report(report, path=BENCH_JSON):
     return path
 
 
-def _print_report(report, sections=("validator", "buffer", "journal", "replay", "serve")):
+def _print_report(
+    report,
+    sections=("validator", "buffer", "journal", "wal_checksum", "replay", "serve"),
+):
     print(f"{'section':<10} {'scalar/s':>12} {'blocked/s':>12} {'speedup':>8}")
     for name in sections:
         if name not in report:
@@ -458,6 +499,7 @@ def test_stream_parity_smoke():
         run_validator(n=1_200, block=64)
         run_buffer_sorted(n=1_200, block=64)
         run_journal(n=400, block=64, workdir=workdir)
+        run_checksum(n=1_200)
         run_replay_gate(n=1_200, block=64, workdir=workdir)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)

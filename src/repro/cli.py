@@ -134,6 +134,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="trips per columnar block on the stream hot path "
         "(1 = the scalar per-trip pipeline)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the plane by geohash prefix and serve each "
+        "territory as an independently checkpointed guarded shard "
+        "(> 1 enables the geo-sharded runtime with cross-shard "
+        "referrals; resume with ShardedRuntime.recover)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process workers to fan shards across (--shards > 1 only); "
+        "any worker count is bit-identical to serial",
+    )
     inc = sub.add_parser(
         "incidents",
         help="inspect the incident and dead-letter logs a guarded "
@@ -341,6 +357,82 @@ def _run_checkpoint(args) -> int:
     return 0
 
 
+def _run_serve_sharded(args) -> int:
+    """``esharing serve --shards N``: the geo-sharded fleet."""
+    import numpy as np
+
+    from .geo import geohash
+    from .geo.distance import LocalProjection
+    from .geo.points import BoundingBox, Point
+    from .guard import GuardConfig, ValidationConfig
+    from .resilience.chaos import ChaosConfig, FaultInjector
+    from .shard import ShardPlan, ShardedRuntime
+
+    clean = _demo_trips(args.seed, args.trips)
+    records = clean
+    if args.chaos:
+        injector = FaultInjector(ChaosConfig(
+            seed=args.seed, p_duplicate=0.03, p_drop=0.03, p_swap=0.05,
+            p_clock_skew=0.02, skew_max_s=900.0, p_garbage=0.02,
+            p_late=0.02, late_max_positions=8,
+        ))
+        records = injector.mutate_trips(clean)
+        print(f"chaos upstream: {injector.summary().to_text()}")
+
+    xs = [r.start.x for r in clean] + [r.end.x for r in clean]
+    ys = [r.start.y for r in clean] + [r.end.y for r in clean]
+    box = BoundingBox(min(xs), min(ys), max(xs), max(ys))
+    demand = np.asarray([[r.end.x, r.end.y] for r in clean], dtype=float)
+    plan = ShardPlan.from_bounds(box, args.shards, demand=demand)
+
+    # City-wide anchors: a 3x3 grid over the extent, plus each
+    # territory's first-cell centre so every shard owns at least one
+    # anchor (and one historical row) however the split fell.
+    proj = LocalProjection(plan.ref_lat, plan.ref_lon)
+    anchors = [
+        Point(float(x), float(y))
+        for x in np.linspace(box.min_x, box.max_x, 3)
+        for y in np.linspace(box.min_y, box.max_y, 3)
+    ]
+    for sid in range(plan.n_shards):
+        lat, lon = geohash.decode(plan.cells_of_shard(sid)[0])
+        anchors.append(proj.to_plane(lat, lon))
+    historical = np.vstack([demand, [[p.x, p.y] for p in anchors]])
+
+    margin = 500.0
+    guard = GuardConfig(
+        validation=ValidationConfig(
+            bounds=BoundingBox(
+                box.min_x - margin, box.min_y - margin,
+                box.max_x + margin, box.max_y + margin,
+            ),
+            max_backwards_s=3600.0,
+        ),
+        lateness_s=args.lateness,
+    )
+    runtime = ShardedRuntime(
+        plan, args.dir, anchors, historical, seed=args.seed,
+        n_bikes=args.bikes, cost_value=_DEMO_COST, guard=guard,
+        checkpoint_every=args.every,
+    )
+    outcome = runtime.serve(
+        records, workers=args.workers, block_size=args.block_size
+    )
+    for report in outcome.reports:
+        print(
+            f"shard {report.shard_id:03d}: {report.offered} offered, "
+            f"{report.served} served, {report.deadlettered} dead-lettered, "
+            f"{report.degraded} degraded, health {report.health}"
+        )
+    print(
+        f"sharded run ({plan.n_shards} shards, {args.workers} worker(s)): "
+        f"{outcome.served} served, {len(outcome.referrals)} cross-shard "
+        f"referral(s), worst health {outcome.health}"
+    )
+    print(f"per-shard checkpoints in {args.dir}")
+    return 0
+
+
 def _run_serve(args) -> int:
     from pathlib import Path
 
@@ -349,6 +441,11 @@ def _run_serve(args) -> int:
     from .resilience import CheckpointingService, constant_cost_spec
     from .resilience.chaos import ChaosConfig, FaultInjector
 
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        return _run_serve_sharded(args)
     records = _demo_trips(args.seed, args.trips)
     if args.chaos:
         injector = FaultInjector(ChaosConfig(

@@ -137,3 +137,15 @@ class LocalProjection:
         lat = self.ref_lat + math.degrees(point.y / EARTH_RADIUS_M)
         lon = self.ref_lon + math.degrees(point.x / (EARTH_RADIUS_M * self._cos_lat))
         return lat, lon
+
+    def to_geo_vec(self, xs: np.ndarray, ys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`to_geo` over planar coordinate columns.
+
+        The operation order matches the scalar inverse, so the returned
+        ``(lats, lons)`` are bit-identical to unprojecting point by point.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        lats = self.ref_lat + np.degrees(ys / EARTH_RADIUS_M)
+        lons = self.ref_lon + np.degrees(xs / (EARTH_RADIUS_M * self._cos_lat))
+        return lats, lons

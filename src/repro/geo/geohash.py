@@ -10,12 +10,36 @@ pipeline does.  Precision 7 (~76 m cells) roughly matches the paper's
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
-__all__ = ["encode", "decode", "decode_bbox", "neighbors", "GEOHASH_ALPHABET"]
+import numpy as np
+
+__all__ = [
+    "encode",
+    "encode_many",
+    "decode",
+    "decode_bbox",
+    "neighbors",
+    "cell_indices_many",
+    "cell_of",
+    "cell_code",
+    "cell_shape",
+    "GEOHASH_ALPHABET",
+]
 
 GEOHASH_ALPHABET = "0123456789bcdefghjkmnpqrstuvwxyz"
 _DECODE = {ch: i for i, ch in enumerate(GEOHASH_ALPHABET)}
+_ALPHABET_BYTES = np.frombuffer(GEOHASH_ALPHABET.encode("ascii"), dtype=np.uint8)
+
+
+def _axis_bits(precision: int) -> Tuple[int, int]:
+    """``(lat_bits, lon_bits)`` for a geohash of ``precision`` characters.
+
+    Even bits (starting with the most significant) refine longitude, so
+    longitude owns the extra bit at odd precisions.
+    """
+    total = 5 * precision
+    return total // 2, (total + 1) // 2
 
 
 def encode(lat: float, lon: float, precision: int = 7) -> str:
@@ -68,6 +92,162 @@ def encode(lat: float, lon: float, precision: int = 7) -> str:
     return "".join(chars)
 
 
+def _bisect_indices(
+    lats: np.ndarray, lons: np.ndarray, precision: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-axis integer cell indices via the same interval halving as
+    :func:`encode`, vectorized over coordinate arrays.
+
+    No input validation: NaNs compare false at every split and land in
+    index 0; out-of-range values saturate at the edge cells.  Callers own
+    range policy (``encode_many`` validates, ``cell_indices_many`` clips).
+    """
+    n = lats.shape[0]
+    lat_lo = np.full(n, -90.0)
+    lat_hi = np.full(n, 90.0)
+    lon_lo = np.full(n, -180.0)
+    lon_hi = np.full(n, 180.0)
+    lat_idx = np.zeros(n, dtype=np.int64)
+    lon_idx = np.zeros(n, dtype=np.int64)
+    even = True
+    for _ in range(5 * precision):
+        if even:
+            mid = (lon_lo + lon_hi) / 2
+            hi = lons >= mid
+            lon_idx = (lon_idx << 1) | hi
+            lon_lo = np.where(hi, mid, lon_lo)
+            lon_hi = np.where(hi, lon_hi, mid)
+        else:
+            mid = (lat_lo + lat_hi) / 2
+            hi = lats >= mid
+            lat_idx = (lat_idx << 1) | hi
+            lat_lo = np.where(hi, mid, lat_lo)
+            lat_hi = np.where(hi, lat_hi, mid)
+        even = not even
+    return lat_idx, lon_idx
+
+
+def _interleave(lat_idx: np.ndarray, lon_idx: np.ndarray, precision: int) -> np.ndarray:
+    """Morton-interleave per-axis cell indices into 5*precision-bit codes."""
+    lat_bits, lon_bits = _axis_bits(precision)
+    code = np.zeros_like(lon_idx)
+    for i in range(5 * precision):
+        if i % 2 == 0:
+            bit = (lon_idx >> (lon_bits - 1 - i // 2)) & 1
+        else:
+            bit = (lat_idx >> (lat_bits - 1 - i // 2)) & 1
+        code = (code << 1) | bit
+    return code
+
+
+def encode_many(lats, lons, precision: int = 7) -> List[str]:
+    """Vectorized :func:`encode` over coordinate arrays.
+
+    Runs the identical interval-halving float arithmetic as the scalar
+    encoder, so every output — including coordinates sitting exactly on a
+    cell boundary, the antimeridian, or the poles — matches ``encode``
+    character for character.
+
+    Raises:
+        ValueError: on out-of-range coordinates or precision, or if the
+            two arrays differ in shape.
+    """
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    if lats.shape != lons.shape or lats.ndim != 1:
+        raise ValueError(f"expected matching 1-d arrays, got {lats.shape} and {lons.shape}")
+    if not 1 <= precision <= 12:
+        raise ValueError(f"precision out of range: {precision}")
+    bad = ~((lats >= -90.0) & (lats <= 90.0))
+    if bad.any():
+        raise ValueError(f"latitude out of range: {lats[bad][0]}")
+    bad = ~((lons >= -180.0) & (lons <= 180.0))
+    if bad.any():
+        raise ValueError(f"longitude out of range: {lons[bad][0]}")
+
+    lat_idx, lon_idx = _bisect_indices(lats, lons, precision)
+    code = _interleave(lat_idx, lon_idx, precision)
+    chars = np.empty((lats.shape[0], precision), dtype=np.uint8)
+    for k in range(precision):
+        chars[:, k] = _ALPHABET_BYTES[(code >> (5 * (precision - 1 - k))) & 31]
+    flat = chars.tobytes().decode("ascii")
+    return [flat[i * precision : (i + 1) * precision] for i in range(lats.shape[0])]
+
+
+def cell_indices_many(lats, lons, precision: int = 7) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-axis integer cell indices for coordinate arrays, with clamping.
+
+    Returns ``(lat_idx, lon_idx)`` where index 0 is the southernmost /
+    westernmost cell row and the grid has :func:`cell_shape` cells.  Unlike
+    :func:`encode_many` this never raises on bad coordinates: out-of-range
+    values clamp to the edge cells and non-finite values land in cell
+    ``(0, 0)`` — routers dispatch garbage deterministically and let the
+    per-shard validator reject it.
+    """
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    if not 1 <= precision <= 12:
+        raise ValueError(f"precision out of range: {precision}")
+    return _bisect_indices(lats, lons, precision)
+
+
+def cell_shape(precision: int) -> Tuple[int, int]:
+    """``(n_lat, n_lon)`` — grid dimensions at ``precision`` characters."""
+    if not 1 <= precision <= 12:
+        raise ValueError(f"precision out of range: {precision}")
+    lat_bits, lon_bits = _axis_bits(precision)
+    return 1 << lat_bits, 1 << lon_bits
+
+
+def cell_of(geohash: str) -> Tuple[int, int]:
+    """De-interleave a geohash into its ``(lat_idx, lon_idx)`` cell indices.
+
+    Raises:
+        ValueError: if the string is empty or has invalid characters.
+    """
+    if not geohash:
+        raise ValueError("empty geohash")
+    lat_idx = 0
+    lon_idx = 0
+    even = True
+    for ch in geohash.lower():
+        if ch not in _DECODE:
+            raise ValueError(f"invalid geohash character: {ch!r}")
+        val = _DECODE[ch]
+        for shift in range(4, -1, -1):
+            bit = (val >> shift) & 1
+            if even:
+                lon_idx = (lon_idx << 1) | bit
+            else:
+                lat_idx = (lat_idx << 1) | bit
+            even = not even
+    return lat_idx, lon_idx
+
+
+def cell_code(lat_idx: int, lon_idx: int, precision: int) -> str:
+    """Inverse of :func:`cell_of`: geohash string for a cell index pair.
+
+    Raises:
+        ValueError: if either index falls outside :func:`cell_shape`.
+    """
+    n_lat, n_lon = cell_shape(precision)
+    if not 0 <= lat_idx < n_lat:
+        raise ValueError(f"lat index out of range: {lat_idx}")
+    if not 0 <= lon_idx < n_lon:
+        raise ValueError(f"lon index out of range: {lon_idx}")
+    lat_bits, lon_bits = _axis_bits(precision)
+    code = 0
+    for i in range(5 * precision):
+        if i % 2 == 0:
+            bit = (lon_idx >> (lon_bits - 1 - i // 2)) & 1
+        else:
+            bit = (lat_idx >> (lat_bits - 1 - i // 2)) & 1
+        code = (code << 1) | bit
+    return "".join(
+        GEOHASH_ALPHABET[(code >> (5 * (precision - 1 - k))) & 31] for k in range(precision)
+    )
+
+
 def decode_bbox(geohash: str) -> Tuple[float, float, float, float]:
     """Decode a geohash to its cell ``(lat_lo, lat_hi, lon_lo, lon_hi)``.
 
@@ -110,22 +290,23 @@ def decode(geohash: str) -> Tuple[float, float]:
 def neighbors(geohash: str) -> list:
     """The up-to-8 geohashes adjacent to ``geohash`` at the same precision.
 
-    Computed by nudging the decoded centre by one cell width/height in each
-    direction and re-encoding; cells that would leave the valid coordinate
-    range are dropped.
+    Computed with exact integer cell-index arithmetic rather than float
+    centre-nudging.  Longitude wraps across the antimeridian (the east
+    neighbor of the easternmost column is the westernmost column), while
+    latitude rows beyond the poles do not exist: cells touching the ±90°
+    border return 5 neighbors (their polar row is dropped, never an
+    out-of-range or duplicate cell).
     """
-    lat_lo, lat_hi, lon_lo, lon_hi = decode_bbox(geohash)
-    lat_c = (lat_lo + lat_hi) / 2
-    lon_c = (lon_lo + lon_hi) / 2
-    dlat = lat_hi - lat_lo
-    dlon = lon_hi - lon_lo
+    precision = len(geohash)
+    lat_idx, lon_idx = cell_of(geohash)
+    n_lat, n_lon = cell_shape(precision)
     out = []
     for dr in (-1, 0, 1):
+        r = lat_idx + dr
+        if r < 0 or r >= n_lat:
+            continue
         for dc in (-1, 0, 1):
             if dr == 0 and dc == 0:
                 continue
-            lat = lat_c + dr * dlat
-            lon = lon_c + dc * dlon
-            if -90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0:
-                out.append(encode(lat, lon, precision=len(geohash)))
+            out.append(cell_code(r, (lon_idx + dc) % n_lon, precision))
     return out

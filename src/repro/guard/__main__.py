@@ -16,6 +16,14 @@ injected KS/incentive exceptions — and verifies that
   the same seed — responses and full checkpoint state (modulo the KS
   wall-clock timing, which is not part of logical state).
 
+``--shards N`` (N > 1) runs the geo-sharded variant instead: the same
+clean stream served through :class:`repro.shard.ShardedRuntime` must be
+bit-identical, shard by shard, to standalone single-shard oracles built
+from the same specs (outcomes *and* journal bytes), and the hostile
+stream must stay fully accounted for across the fleet
+(``served + degraded + duplicates + dead-lettered == offered`` on every
+shard, summing to the stream length).
+
 Exit status 0 on success, 1 with a FAIL line per violation — same
 contract as ``python -m repro.resilience.chaos``, so CI can run both.
 """
@@ -230,6 +238,135 @@ def _gauntlet(n_trips: int, seed: int, block_size: int = None) -> int:
     return 0
 
 
+def _build_city(n_shards: int, directory: Path, seed: int):
+    """The gauntlet's demo city as a geo-sharded fleet."""
+    from ..shard import ShardPlan, ShardedRuntime
+
+    plan = ShardPlan.from_bounds(BoundingBox(0.0, 0.0, PLANE, PLANE), n_shards)
+    anchors = [
+        Point(float(x), float(y))
+        for x in (0, 667, 1333, 2000)
+        for y in (0, 667, 1333, 2000)
+    ]
+    historical = np.random.default_rng(seed).uniform(0.0, PLANE, size=(300, 2))
+    return ShardedRuntime(
+        plan, directory, anchors, historical, seed=seed,
+        guard=_guard_config(), durable=False,
+    )
+
+
+def _sharded_gauntlet(
+    n_trips: int, seed: int, n_shards: int, block_size: int = None
+) -> int:
+    from ..shard import ShardRouter, build_shard_runtime
+
+    failures = 0
+    records = _make_trips(n_trips, seed)
+    workdir = Path(tempfile.mkdtemp(prefix="esharing-guard-shard-"))
+    try:
+        # ------------------------------------------------------------------
+        # 1. Clean-stream parity: every fleet shard == its standalone
+        #    oracle, outcomes and journal bytes.
+        city = _build_city(n_shards, workdir / "clean", seed)
+        outcome = city.serve(records, block_size=block_size)
+        if outcome.deadlettered or any(r.incidents for r in outcome.reports):
+            print(
+                f"FAIL: clean stream triggered guards: {outcome.deadlettered} "
+                f"dead-lettered, "
+                f"{sum(r.incidents for r in outcome.reports)} incident(s)"
+            )
+            failures += 1
+        buckets = ShardRouter(city.plan).split_trips(records)
+        by_id = {r.shard_id: r for r in outcome.reports}
+        for sid in range(n_shards):
+            if not buckets[sid]:
+                continue
+            oracle = build_shard_runtime(city.spec(sid), workdir / f"oracle-{sid}")
+            expected = oracle.serve(buckets[sid], block_size=block_size)
+            oracle.close()
+            if by_id[sid].outcomes != tuple(expected):
+                print(
+                    f"FAIL: shard {sid} outcomes diverged from its "
+                    "standalone oracle"
+                )
+                failures += 1
+            fleet_journal = (
+                workdir / "clean" / f"shard-{sid:03d}" / "journal.jsonl"
+            ).read_bytes()
+            oracle_journal = (
+                workdir / f"oracle-{sid}" / "journal.jsonl"
+            ).read_bytes()
+            if fleet_journal != oracle_journal:
+                print(
+                    f"FAIL: shard {sid} journal bytes diverged from its "
+                    "standalone oracle"
+                )
+                failures += 1
+
+        # ------------------------------------------------------------------
+        # 2. Hostile-stream accounting across the fleet.
+        injector = FaultInjector(ChaosConfig(
+            seed=seed,
+            p_duplicate=0.03, p_drop=0.03, p_swap=0.05,
+            p_clock_skew=0.02, skew_max_s=900.0,
+            p_garbage=0.02,
+            p_late=0.02, late_max_positions=8,
+        ))
+        hostile = injector.mutate_trips(records)
+        summary = injector.summary()
+        hostile_city = _build_city(n_shards, workdir / "hostile", seed)
+        try:
+            hostile_outcome = hostile_city.serve(hostile, block_size=block_size)
+        except Exception as exc:  # noqa: BLE001 — the gauntlet's whole point
+            print(f"FAIL: sharded runtime raised on the hostile stream: {exc!r}")
+            failures += 1
+        else:
+            if hostile_outcome.health == HALTED:
+                print("FAIL: sharded fleet halted on the hostile stream")
+                failures += 1
+            offered = sum(r.offered for r in hostile_outcome.reports)
+            if offered != len(hostile):
+                print(
+                    f"FAIL: {len(hostile)} hostile events offered but the "
+                    f"fleet's validators saw {offered}"
+                )
+                failures += 1
+            for report in hostile_outcome.reports:
+                accounted = (
+                    report.served + report.degraded
+                    + report.duplicates + report.deadlettered
+                )
+                if accounted != report.offered:
+                    print(
+                        f"FAIL: shard {report.shard_id} accounting drift: "
+                        f"{report.offered} offered vs {accounted} accounted"
+                    )
+                    failures += 1
+            if summary.garbage_fields and not hostile_outcome.deadlettered:
+                print("FAIL: garbage fields never reached a shard validator")
+                failures += 1
+            print(
+                f"sharded gauntlet: {len(hostile)} hostile events "
+                f"({summary.to_text()}) across {n_shards} shards; "
+                f"{hostile_outcome.served} served, "
+                f"{hostile_outcome.deadlettered} dead-lettered, "
+                f"{len(hostile_outcome.referrals)} cross-shard referral(s); "
+                f"worst health {hostile_outcome.health}"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    if failures:
+        print(f"sharded guard gauntlet: {failures} failure(s)")
+        return 1
+    print(
+        f"sharded guard gauntlet OK: per-shard oracle bit-identity and "
+        f"hostile-stream accounting verified over {n_trips} trips on "
+        f"{n_shards} shards"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.guard",
@@ -244,7 +381,20 @@ def main(argv=None) -> int:
         help="trips per columnar block on the guarded stream path "
         "(default: the GuardConfig default; 1 = the scalar oracle)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run the geo-sharded gauntlet on this many shards "
+        "(1 = the classic single-runtime gauntlet)",
+    )
     args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1:
+        return _sharded_gauntlet(
+            args.trips, args.seed, args.shards, block_size=args.block_size
+        )
     return _gauntlet(args.trips, args.seed, block_size=args.block_size)
 
 

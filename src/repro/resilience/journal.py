@@ -34,7 +34,7 @@ import numpy as np
 from ..core.tripblock import TripBlock, us_to_datetime
 from ..datasets.trips import TripRecord
 from ..errors import JournalCorruptError
-from ..ioutil import checksum_hex
+from ..ioutil import checksum_hex, checksum_hex_many
 from ..serialize import trip_from_state, trip_to_state
 
 __all__ = ["JournalEntry", "TripJournal", "CHECKSUM_PREFIX_LEN"]
@@ -97,10 +97,8 @@ def _encode_block_lines(seqs: Sequence[int], block: TripBlock) -> List[str]:
         ).tolist()
     else:
         iso = [us_to_datetime(us).isoformat() for us in block.start_us.tolist()]
-    lines = []
-    append = lines.append
-    digest_of = checksum_hex
-    plen = CHECKSUM_PREFIX_LEN
+    bodies = []
+    append = bodies.append
     for seq, o, u, b, bt, ts, x1, y1, x2, y2, g, hg, ba, hb in zip(
         seqs,
         block.order_id.tolist(),
@@ -131,8 +129,13 @@ def _encode_block_lines(seqs: Sequence[int], block: TripBlock) -> List[str]:
             f'"start_time":"{ts}",'
             f'"user_id":{u}}}}}'
         )
-        append(f'{digest_of(body.encode("utf-8"))[:plen]} {body}\n')
-    return lines
+        append(body)
+    # Checksums for the whole group commit in one batched pass rather
+    # than a fresh hashlib round-trip per line.
+    digests = checksum_hex_many(
+        (body.encode("utf-8") for body in bodies), CHECKSUM_PREFIX_LEN
+    )
+    return [f"{d} {body}\n" for d, body in zip(digests, bodies)]
 
 
 def _decode_line(line: str) -> Optional[JournalEntry]:

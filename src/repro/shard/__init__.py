@@ -1,0 +1,41 @@
+"""Geo-sharded multi-city runtime: partition, route, fan out, recover.
+
+The horizontal-scale layer over the guarded online tier.  A
+:class:`ShardPlan` carves the plane into geohash-prefix territories, a
+:class:`ShardRouter` splits trip streams by destination cell with the
+within-shard order preserved, and a :class:`ShardedRuntime` runs one
+independently checkpointed guarded runtime per territory — own WAL, own
+snapshots, own breakers — fanning epochs out over the deterministic
+process pool and replaying each shard's journal independently on
+recovery.  Serving a territory inside an N-shard fleet is bit-identical
+to serving it standalone; boundary trips additionally carry advisory
+cross-shard referrals computed against a read-only halo of neighbouring
+edge stations.
+"""
+
+from .plan import DEFAULT_REFERENCE, ShardPlan
+from .router import ShardRouter
+from .runtime import (
+    HALO_FILE,
+    PLAN_FILE,
+    CrossShardReferral,
+    ShardReport,
+    ShardSpec,
+    ShardedRuntime,
+    ShardedServeOutcome,
+    build_shard_runtime,
+)
+
+__all__ = [
+    "DEFAULT_REFERENCE",
+    "ShardPlan",
+    "ShardRouter",
+    "PLAN_FILE",
+    "HALO_FILE",
+    "ShardSpec",
+    "ShardReport",
+    "CrossShardReferral",
+    "ShardedServeOutcome",
+    "ShardedRuntime",
+    "build_shard_runtime",
+]

@@ -147,3 +147,23 @@ class TestVectorizedGeo:
         for i in range(200):
             p = proj.to_plane(lats[i], lons[i])
             assert (float(xy[i, 0]), float(xy[i, 1])) == (p.x, p.y)
+
+    def test_to_geo_vec_bit_identical_to_scalar(self):
+        rng = np.random.default_rng(2)
+        proj = LocalProjection(39.9042, 116.4074)
+        xs = rng.uniform(-5e4, 5e4, 200)
+        ys = rng.uniform(-5e4, 5e4, 200)
+        lats, lons = proj.to_geo_vec(xs, ys)
+        for i in range(200):
+            la, lo = proj.to_geo(Point(float(xs[i]), float(ys[i])))
+            assert (float(lats[i]), float(lons[i])) == (la, lo)
+
+    def test_to_geo_vec_inverts_to_plane_vec(self):
+        rng = np.random.default_rng(3)
+        proj = LocalProjection(39.9042, 116.4074)
+        lats = rng.uniform(39.5, 40.3, 100)
+        lons = rng.uniform(116.0, 116.9, 100)
+        xy = proj.to_plane_vec(lats, lons)
+        la2, lo2 = proj.to_geo_vec(xy[:, 0], xy[:, 1])
+        assert np.allclose(la2, lats, atol=1e-12)
+        assert np.allclose(lo2, lons, atol=1e-12)

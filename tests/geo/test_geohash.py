@@ -1,5 +1,6 @@
 """Tests for repro.geo.geohash."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -69,6 +70,93 @@ class TestDecode:
         assert lon_lo <= lo <= lon_hi
 
 
+class TestEncodeMany:
+    """The vectorized encoder must match the scalar bisection exactly."""
+
+    # Cell-boundary, antimeridian and pole cases the float kernel must
+    # settle identically to the scalar comparisons.
+    EDGES_LAT = [-90.0, 90.0, 0.0, 45.0, -45.0, 22.5, -22.5, 90.0, -90.0]
+    EDGES_LON = [-180.0, 180.0, 0.0, 90.0, -90.0, 180.0, -180.0, 180.0, -180.0]
+
+    @pytest.mark.parametrize("precision", [1, 2, 5, 7, 12])
+    def test_parity_with_scalar(self, precision):
+        rng = np.random.default_rng(7)
+        lats = np.concatenate(
+            [rng.uniform(-90, 90, 2000), np.array(self.EDGES_LAT)]
+        )
+        lons = np.concatenate(
+            [rng.uniform(-180, 180, 2000), np.array(self.EDGES_LON)]
+        )
+        vec = geohash.encode_many(lats, lons, precision)
+        ref = [geohash.encode(a, b, precision) for a, b in zip(lats, lons)]
+        assert vec == ref
+
+    def test_cell_boundary_parity(self):
+        # Points exactly on split lines: the bisection midpoints are
+        # dyadic fractions, representable exactly in float64, so >= must
+        # agree between scalar and vector paths.
+        lats, lons = [], []
+        for k in range(1, 64):
+            lats.append(-90.0 + 180.0 * k / 64.0)
+            lons.append(-180.0 + 360.0 * k / 64.0)
+        vec = geohash.encode_many(np.array(lats), np.array(lons), 6)
+        ref = [geohash.encode(a, b, 6) for a, b in zip(lats, lons)]
+        assert vec == ref
+
+    def test_empty_input(self):
+        assert geohash.encode_many(np.array([]), np.array([]), 5) == []
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            geohash.encode_many(np.array([91.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            geohash.encode_many(np.array([0.0]), np.array([181.0]))
+        with pytest.raises(ValueError):
+            geohash.encode_many(np.array([np.nan]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            geohash.encode_many(np.array([0.0]), np.array([0.0]), precision=0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            geohash.encode_many(np.array([0.0, 1.0]), np.array([0.0]))
+
+
+class TestCellIndices:
+    def test_roundtrip_through_cell_code(self):
+        rng = np.random.default_rng(3)
+        lats = rng.uniform(-90, 90, 300)
+        lons = rng.uniform(-180, 180, 300)
+        for precision in (1, 3, 7):
+            lat_idx, lon_idx = geohash.cell_indices_many(lats, lons, precision)
+            codes = geohash.encode_many(lats, lons, precision)
+            for r, c, code in zip(lat_idx.tolist(), lon_idx.tolist(), codes):
+                assert geohash.cell_code(r, c, precision) == code
+                assert geohash.cell_of(code) == (r, c)
+
+    def test_garbage_coordinates_never_raise(self):
+        lat_idx, lon_idx = geohash.cell_indices_many(
+            np.array([np.nan, 95.0, -95.0, np.inf, -np.inf]),
+            np.array([np.nan, 200.0, -200.0, np.inf, -np.inf]),
+            3,
+        )
+        n_lat, n_lon = geohash.cell_shape(3)
+        assert lat_idx.tolist() == [0, n_lat - 1, 0, n_lat - 1, 0]
+        assert lon_idx.tolist() == [0, n_lon - 1, 0, n_lon - 1, 0]
+
+    def test_cell_shape(self):
+        assert geohash.cell_shape(1) == (4, 8)
+        assert geohash.cell_shape(2) == (32, 32)
+        assert geohash.cell_shape(3) == (128, 256)
+
+    def test_cell_code_range_checks(self):
+        with pytest.raises(ValueError):
+            geohash.cell_code(4, 0, 1)
+        with pytest.raises(ValueError):
+            geohash.cell_code(0, 8, 1)
+        with pytest.raises(ValueError):
+            geohash.cell_code(-1, 0, 1)
+
+
 class TestNeighbors:
     def test_interior_has_eight(self):
         n = geohash.neighbors("wx4g0")
@@ -90,3 +178,60 @@ class TestNeighbors:
             # Precision-5 cells are ~0.044 deg tall x 0.044 deg wide.
             assert abs(la - lat_c) <= 0.05
             assert abs(lo - lon_c) <= 0.05
+
+
+class TestNeighborsMapEdges:
+    """Regression pins for the ±90° borders and the antimeridian."""
+
+    def test_north_pole_corner_pinned(self):
+        # 'b' is the north-west precision-1 cell: the polar row is
+        # dropped and the west neighbor wraps to 'z' (antimeridian).
+        assert sorted(geohash.neighbors("b")) == ["8", "9", "c", "x", "z"]
+
+    def test_south_pole_corner_pinned(self):
+        # '0' is the south-west cell: south row dropped, west wraps to 'p'.
+        assert sorted(geohash.neighbors("0")) == ["1", "2", "3", "p", "r"]
+
+    def test_north_east_corner_pinned(self):
+        # 'z' is the north-east cell: east wraps back to 'b'.
+        assert sorted(geohash.neighbors("z")) == ["8", "b", "w", "x", "y"]
+
+    def test_antimeridian_east_neighbors_wrap(self):
+        # 'xbp' hugs lon=180 away from the poles: all 8 neighbors exist,
+        # and the three eastern ones live on the lon=-180 side.
+        n = geohash.neighbors("xbp")
+        assert len(n) == 8
+        assert {"800", "802", "2pb"} <= set(n)
+
+    @pytest.mark.parametrize("precision", [1, 2, 3, 5])
+    def test_edge_invariants(self, precision):
+        n_lat, n_lon = geohash.cell_shape(precision)
+        probes = [
+            (0, 0), (0, n_lon - 1), (n_lat - 1, 0), (n_lat - 1, n_lon - 1),
+            (0, n_lon // 2), (n_lat - 1, n_lon // 2),
+            (n_lat // 2, 0), (n_lat // 2, n_lon - 1),
+        ]
+        for r, c in probes:
+            code = geohash.cell_code(r, c, precision)
+            ns = geohash.neighbors(code)
+            polar = r in (0, n_lat - 1)
+            assert len(ns) == (5 if polar else 8)
+            assert len(set(ns)) == len(ns)
+            assert code not in ns
+            for other in ns:
+                rr, cc = geohash.cell_of(other)
+                assert 0 <= rr < n_lat
+                assert abs(rr - r) <= 1
+                dc = abs(cc - c)
+                assert min(dc, n_lon - dc) <= 1
+
+    def test_pole_rows_never_out_of_range(self):
+        # Every cell of the top and bottom rows at precision 2: no
+        # neighbor may decode outside the valid coordinate ranges.
+        n_lat, n_lon = geohash.cell_shape(2)
+        for c in range(n_lon):
+            for r in (0, n_lat - 1):
+                for other in geohash.neighbors(geohash.cell_code(r, c, 2)):
+                    lat_lo, lat_hi, lon_lo, lon_hi = geohash.decode_bbox(other)
+                    assert -90.0 <= lat_lo < lat_hi <= 90.0
+                    assert -180.0 <= lon_lo < lon_hi <= 180.0

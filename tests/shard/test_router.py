@@ -1,0 +1,109 @@
+"""ShardRouter: exact partition, stable order, columnar == scalar."""
+
+import numpy as np
+
+from repro.core.tripblock import TripBlock
+from repro.shard import ShardRouter
+
+from .conftest import make_plan, make_trips
+
+
+class TestSplitTrips:
+    def test_partition_is_exact(self):
+        router = ShardRouter(make_plan(4))
+        trips = make_trips(500, seed=1)
+        buckets = router.split_trips(trips)
+        assert len(buckets) == 4
+        assert sum(len(b) for b in buckets) == len(trips)
+        seen = {t.order_id for b in buckets for t in b}
+        assert seen == {t.order_id for t in trips}
+
+    def test_within_shard_order_preserved(self):
+        router = ShardRouter(make_plan(3))
+        trips = make_trips(400, seed=2)
+        positions = {t.order_id: i for i, t in enumerate(trips)}
+        for bucket in router.split_trips(trips):
+            idx = [positions[t.order_id] for t in bucket]
+            assert idx == sorted(idx)
+
+    def test_matches_scalar_route(self):
+        router = ShardRouter(make_plan(5))
+        trips = make_trips(300, seed=3)
+        buckets = router.split_trips(trips)
+        for sid, bucket in enumerate(buckets):
+            for t in bucket:
+                assert router.route(t) == sid
+
+    def test_chunking_does_not_change_routing(self):
+        import repro.shard.router as router_mod
+
+        router = ShardRouter(make_plan(3))
+        trips = make_trips(300, seed=4)
+        whole = router.split_trips(trips)
+        original = router_mod._CHUNK
+        try:
+            router_mod._CHUNK = 7
+            chunked = router.split_trips(trips)
+        finally:
+            router_mod._CHUNK = original
+        assert [[t.order_id for t in b] for b in whole] == [
+            [t.order_id for t in b] for b in chunked
+        ]
+
+
+class TestSplitBlock:
+    def test_block_and_list_paths_agree(self):
+        router = ShardRouter(make_plan(4))
+        trips = make_trips(600, seed=5)
+        block = TripBlock.from_trips(trips)
+        by_block = {sid: sub.order_id.tolist() for sid, sub in router.split_block(block)}
+        by_list = {
+            sid: [t.order_id for t in bucket]
+            for sid, bucket in enumerate(router.split_trips(trips))
+            if bucket
+        }
+        assert by_block == by_list
+
+    def test_subblocks_reassemble_bit_identically(self):
+        router = ShardRouter(make_plan(3))
+        trips = make_trips(400, seed=6)
+        block = TripBlock.from_trips(trips)
+        pieces = router.split_block(block)
+        sids = router.plan.shard_of_many(block.end_x, block.end_y)
+        for sid, sub in pieces:
+            rows = np.flatnonzero(sids == sid)
+            for col in (
+                "order_id", "user_id", "bike_id", "bike_type", "start_us",
+                "start_x", "start_y", "end_x", "end_y",
+                "geodesic_m", "has_geodesic", "battery", "has_battery",
+            ):
+                got = getattr(sub, col)
+                want = getattr(block, col)[rows]
+                if got.dtype.kind == "f":
+                    assert np.array_equal(got, want, equal_nan=True)
+                else:
+                    assert np.array_equal(got, want)
+
+    def test_shard_ids_ascending_and_nonempty(self):
+        router = ShardRouter(make_plan(6))
+        block = TripBlock.from_trips(make_trips(300, seed=7))
+        pieces = router.split_block(block)
+        sids = [sid for sid, _ in pieces]
+        assert sids == sorted(sids)
+        assert all(len(sub) > 0 for _, sub in pieces)
+
+    def test_nan_destination_routes_like_list_path(self):
+        router = ShardRouter(make_plan(3))
+        trips = make_trips(50, seed=8)
+        from dataclasses import replace
+        from repro.geo.points import Point
+
+        trips[10] = replace(trips[10], end=Point(float("nan"), trips[10].end.y))
+        block = TripBlock.from_trips(trips)
+        by_block = {sid: sub.order_id.tolist() for sid, sub in router.split_block(block)}
+        by_list = {
+            sid: [t.order_id for t in bucket]
+            for sid, bucket in enumerate(router.split_trips(trips))
+            if bucket
+        }
+        assert by_block == by_list

@@ -24,6 +24,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.resilience",
     "repro.parallel",
+    "repro.shard",
 ]
 
 
