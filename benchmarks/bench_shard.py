@@ -35,7 +35,14 @@ from repro.datasets.trips import TripRecord
 from repro.geo.points import BoundingBox, Point
 from repro.guard import GuardConfig, ValidationConfig
 from repro.parallel import usable_cores
-from repro.shard import ShardPlan, ShardRouter, ShardedRuntime, build_shard_runtime
+from repro.shard import (
+    FleetSupervisor,
+    ShardPlan,
+    ShardRouter,
+    ShardedRuntime,
+    SupervisorConfig,
+    build_shard_runtime,
+)
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
 SHARD_SWEEP = (1, 2, 4, 8)
@@ -148,9 +155,47 @@ def run_shard_scaling(shard_sweep=SHARD_SWEEP, n_trips=6_000, seed=0):
     }
 
 
+def run_supervision_overhead(n_trips=2_000, n_shards=2, seed=0):
+    """Fault-free supervised serve vs the plain fleet: the watchdog and
+    post-epoch scrub must cost little and change nothing (journal bytes
+    identical shard by shard)."""
+    trips = make_trips(n_trips, seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        plain = build_city(n_shards, tmp / "plain", seed=seed)
+        start = time.perf_counter()
+        plain.serve(trips)
+        plain_seconds = time.perf_counter() - start
+
+        supervised = build_city(n_shards, tmp / "supervised", seed=seed)
+        supervisor = FleetSupervisor(supervised, config=SupervisorConfig())
+        start = time.perf_counter()
+        outcome = supervisor.serve(trips)
+        supervised_seconds = time.perf_counter() - start
+
+        if outcome.restarts or outcome.quarantined:
+            raise AssertionError("fault-free supervised run restarted")
+        for sid in range(n_shards):
+            name = f"shard-{sid:03d}/journal.jsonl"
+            if (tmp / "supervised" / name).read_bytes() != (
+                tmp / "plain" / name
+            ).read_bytes():
+                raise AssertionError(f"supervised journal diverged: {name}")
+    return {
+        "benchmark": "fault-free supervised serve vs plain fleet",
+        "trips": n_trips,
+        "shards": n_shards,
+        "plain_seconds": plain_seconds,
+        "supervised_seconds": supervised_seconds,
+        "overhead": supervised_seconds / plain_seconds - 1.0,
+        "parity": "journal bytes identical shard by shard",
+    }
+
+
 def run_full_report(shard_sweep=SHARD_SWEEP):
     cores = usable_cores()
     scaling = run_shard_scaling(shard_sweep)
+    supervision = run_supervision_overhead()
     at_gate = next(
         (row for row in scaling["sweep"] if row["shards"] == GATE_SHARDS), None
     )
@@ -161,6 +206,7 @@ def run_full_report(shard_sweep=SHARD_SWEEP):
             "usable_cores": cores,
         },
         "scaling": scaling,
+        "supervision": supervision,
         "gates": {
             "parity": "ok (asserted at every sweep point)",
             "required_speedup_at_4_shards": GATE_SPEEDUP,
@@ -190,6 +236,14 @@ def _print_report(report):
             f"{row['shards']:>7} {row['seconds']:>9.3f} {row['speedup']:>7.2f}x "
             f"{row['trips_per_sec']:>10,.0f} {row['referrals']:>6}"
         )
+    supervision = report.get("supervision")
+    if supervision:
+        print(
+            f"supervision overhead (fault-free, {supervision['shards']} shards): "
+            f"{supervision['overhead']:+.1%} "
+            f"({supervision['supervised_seconds']:.3f}s vs "
+            f"{supervision['plain_seconds']:.3f}s)"
+        )
     gates = report["gates"]
     print(
         f"gate: >= {gates['required_speedup_at_4_shards']}x at {GATE_SHARDS} "
@@ -206,6 +260,13 @@ def test_shard_scaling_parity_smoke():
     assert all(row["served"] > 0 for row in report["sweep"])
 
 
+def test_supervision_overhead_smoke():
+    """A fault-free supervised run changes nothing (parity asserted
+    inside the helper)."""
+    report = run_supervision_overhead(n_trips=300)
+    assert report["supervised_seconds"] > 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -217,6 +278,7 @@ def main(argv=None):
         scaling = run_shard_scaling(shard_sweep=(1, 2), n_trips=600)
         _print_report({
             "scaling": scaling,
+            "supervision": run_supervision_overhead(n_trips=400),
             "gates": {
                 "required_speedup_at_4_shards": GATE_SPEEDUP,
                 "verdict": "skipped (smoke: parity only)",

@@ -13,8 +13,16 @@ Usage::
     esharing stats --mobike trips.csv --workers 4       # sharded ingest
     esharing checkpoint --dir ckpt --trips 400 --crash-at 150
     esharing resume --dir ckpt --trips 400   # recover + finish the workload
+    esharing serve --dir city --shards 4 --supervise   # self-healing fleet
+    esharing scrub --dir city                # repair snapshots/WAL in place
+    esharing scrub --dir city --check        # verify only; exit 4 on damage
 
 (or ``python -m repro.cli ...``)
+
+Exit codes: 0 success; 2 usage error; 3 a serve run ended halted (its
+durable state is intact — inspect with ``esharing incidents`` and
+``esharing scrub --check``); 4 ``scrub`` found damage (``--check``) or
+damage it could not repair.
 """
 
 from __future__ import annotations
@@ -149,6 +157,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="process workers to fan shards across (--shards > 1 only); "
         "any worker count is bit-identical to serial",
+    )
+    serve.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the sharded fleet under the self-healing supervisor "
+        "(--shards > 1 only): crashed shards restart from their own "
+        "durable state, poison blocks are quarantined with provenance, "
+        "and the storage scrubber runs after the epoch",
+    )
+    scrub = sub.add_parser(
+        "scrub",
+        help="verify and repair the durable state of a checkpoint "
+        "directory or sharded fleet root (snapshot checksums, WAL "
+        "tails, orphan tmp files, advisory logs)",
+    )
+    scrub.add_argument(
+        "--dir", required=True,
+        help="checkpoint directory or fleet root to scrub",
+    )
+    scrub.add_argument(
+        "--check",
+        action="store_true",
+        help="report damage without touching any file; exit 4 if "
+        "anything is found",
     )
     inc = sub.add_parser(
         "incidents",
@@ -415,6 +447,51 @@ def _run_serve_sharded(args) -> int:
         n_bikes=args.bikes, cost_value=_DEMO_COST, guard=guard,
         checkpoint_every=args.every,
     )
+    if args.supervise:
+        from .guard.runtime import HALTED
+        from .shard import FleetSupervisor
+
+        supervisor = FleetSupervisor(runtime)
+        outcome = supervisor.serve(
+            records, workers=args.workers, block_size=args.block_size
+        )
+        for report in outcome.reports:
+            extra = ""
+            if report.restarts:
+                extra = f", {report.restarts} restart(s)"
+            if report.quarantined:
+                extra += f", {len(report.quarantined)} quarantined block(s)"
+            inner = report.report
+            counts = (
+                f"{inner.offered} offered, {inner.served} served, "
+                f"{inner.deadlettered} dead-lettered"
+                if inner is not None else f"halted: {report.error}"
+            )
+            print(
+                f"shard {report.shard_id:03d}: {counts}, "
+                f"health {report.state}{extra}"
+            )
+        scrub_note = ""
+        if outcome.scrub is not None and not outcome.scrub.clean:
+            scrub_note = (
+                f"; scrub repaired {outcome.scrub.repaired} finding(s)"
+            )
+        print(
+            f"supervised run ({plan.n_shards} shards, {args.workers} "
+            f"worker(s)): {outcome.served} served, {outcome.restarts} "
+            f"restart(s), {len(outcome.quarantined)} quarantined block(s), "
+            f"fleet health {outcome.health}{scrub_note}"
+        )
+        print(f"per-shard checkpoints in {args.dir}")
+        if outcome.health == HALTED:
+            print(
+                "fleet ended halted; durable state kept for inspection",
+                file=sys.stderr,
+            )
+            return 3
+        return 0
+    from .guard.runtime import HALTED
+
     outcome = runtime.serve(
         records, workers=args.workers, block_size=args.block_size
     )
@@ -430,6 +507,13 @@ def _run_serve_sharded(args) -> int:
         f"referral(s), worst health {outcome.health}"
     )
     print(f"per-shard checkpoints in {args.dir}")
+    if outcome.health == HALTED:
+        print(
+            "fleet ended halted; durable state kept for inspection "
+            "(consider 'esharing scrub' and '--supervise')",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -494,6 +578,8 @@ def _run_serve(args) -> int:
         min(finite_xs) - 500.0, min(finite_ys) - 500.0,
         max(finite_xs) + 500.0, max(finite_ys) + 500.0,
     )
+    from .errors import RuntimeHaltedError
+
     runtime = GuardedRuntime(
         wrapped,
         GuardConfig(
@@ -501,9 +587,22 @@ def _run_serve(args) -> int:
             lateness_s=args.lateness,
         ),
     )
-    runtime.serve(records, block_size=args.block_size)
-    runtime.consistency_check()
     logs = Path(args.dir) / "guard-logs"
+    try:
+        runtime.serve(records, block_size=args.block_size)
+    except RuntimeHaltedError:
+        # Durability was lost mid-stream; keep the logs and journal for
+        # the operator and report the halt through the exit code.
+        runtime.flush_logs(logs)
+        runtime.close()
+        print(
+            f"guarded run HALTED: {runtime.halt_reason} "
+            f"({runtime.served} served before the halt)",
+            file=sys.stderr,
+        )
+        print(f"incident and dead-letter logs in {logs}")
+        return 3
+    runtime.consistency_check()
     runtime.flush_logs(logs)
     runtime.inner.checkpoint()
     runtime.close()
@@ -528,14 +627,36 @@ def _run_incidents(args) -> int:
         ("incidents.jsonl", ("seq", "kind", "detail")),
         ("deadletter.jsonl", ("seq", "rule", "reason", "order_id")),
     ):
-        path = logs / name
-        if not path.exists():
+        current = logs / name
+        # Size-capped rotation keeps at most one predecessor file
+        # (incidents.jsonl -> incidents.1.jsonl); read oldest first.
+        rotated = current.with_name(f"{current.stem}.1{current.suffix}")
+        paths = [p for p in (rotated, current) if p.exists()]
+        if not paths:
             continue
         missing = False
-        lines = [l for l in path.read_text().splitlines() if l.strip()]
-        print(f"{name}: {len(lines)} row(s)")
-        for line in lines[-args.limit:]:
-            row = json.loads(line)
+        rows = []
+        torn = 0
+        for path in paths:
+            for line in path.read_text().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except ValueError:
+                    # A torn trailing line is the normal signature of a
+                    # crash mid-flush — skip it rather than refusing the
+                    # whole log.
+                    torn += 1
+        suffix = " (+ rotated)" if len(paths) > 1 else ""
+        print(f"{name}: {len(rows)} row(s){suffix}")
+        if torn:
+            print(
+                f"warning: {name}: skipped {torn} torn line(s); "
+                "run 'esharing scrub' to clean the log in place",
+                file=sys.stderr,
+            )
+        for row in rows[-args.limit:]:
             print("  " + "  ".join(f"{f}={row.get(f)}" for f in fields))
     if missing:
         print(
@@ -544,6 +665,23 @@ def _run_incidents(args) -> int:
         )
         return 2
     return 0
+
+
+def _run_scrub(args) -> int:
+    from pathlib import Path
+
+    from .resilience import scrub_tree
+
+    root = Path(args.dir)
+    if not root.exists():
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 2
+    repair = not args.check
+    report = scrub_tree(root, repair=repair, record=repair)
+    print(report.to_text())
+    if args.check:
+        return 4 if report.findings else 0
+    return 4 if report.refused else 0
 
 
 def _run_resume(args) -> int:
@@ -584,6 +722,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "incidents":
         return _run_incidents(args)
+    if args.command == "scrub":
+        return _run_scrub(args)
     if args.command == "resume":
         return _run_resume(args)
     if args.command == "list":

@@ -323,6 +323,12 @@ def _sharded_gauntlet(
         else:
             if hostile_outcome.health == HALTED:
                 print("FAIL: sharded fleet halted on the hostile stream")
+                for report in hostile_outcome.reports:
+                    print(
+                        f"  shard {report.shard_id:03d}: health "
+                        f"{report.health}, {report.served} served, "
+                        f"{report.incidents} incident(s)"
+                    )
                 failures += 1
             offered = sum(r.offered for r in hostile_outcome.reports)
             if offered != len(hostile):

@@ -61,7 +61,7 @@ from ..errors import (
 )
 from ..forecast.base import Forecaster
 from ..incentives.mechanism import IncentiveMechanism
-from ..ioutil import atomic_write_text
+from ..ioutil import atomic_write_text, fs_fsync, fs_write, rotate_file
 from ..resilience.service import CheckpointingService
 from .breakers import (
     CLOSED,
@@ -110,6 +110,9 @@ class GuardConfig:
             co-located breakers never retry in lockstep).
         deadletter_keep: detail rows retained in the dead-letter sink.
         incident_keep: detail rows retained in the incident log.
+        incident_log_max_bytes: on-disk size cap of ``incidents.jsonl``;
+            past it the file rotates to ``incidents.1.jsonl`` (atomic
+            rename) before the next flush appends.
         block_size: trips per columnar block on the :meth:`serve` path
             (validator masks, watermark release and WAL group commit all
             amortise per block).  ``1`` is the scalar parity oracle —
@@ -127,6 +130,7 @@ class GuardConfig:
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     deadletter_keep: int = 10_000
     incident_keep: int = 10_000
+    incident_log_max_bytes: int = 1_000_000
     block_size: int = 256
 
     def __post_init__(self) -> None:
@@ -142,6 +146,11 @@ class GuardConfig:
             )
         if self.deadletter_keep <= 0 or self.incident_keep <= 0:
             raise ValueError("deadletter_keep and incident_keep must be positive")
+        if self.incident_log_max_bytes <= 0:
+            raise ValueError(
+                f"incident_log_max_bytes must be positive, got "
+                f"{self.incident_log_max_bytes}"
+            )
 
     def breaker_for(self, name: str) -> BreakerConfig:
         """The per-subsystem breaker config (decorrelated jitter seed)."""
@@ -164,9 +173,12 @@ class Incident:
 class IncidentLog:
     """Bounded structured log of runtime incidents.
 
-    Counters are exact forever; detail rows rotate past ``keep``.  The
-    JSONL dump goes through the atomic writer, so a half-written
-    incident file can never shadow a complete one.
+    Counters are exact forever; detail rows rotate past ``keep``.  Two
+    disk forms exist: :meth:`write_jsonl` atomically rewrites a full
+    dump of the retained rows, and :meth:`append_jsonl` appends only the
+    rows not yet flushed, rotating the file to its ``.1`` sibling past a
+    size cap — the long-running form, where history accumulates across
+    flushes instead of being rewritten away.
     """
 
     def __init__(self, keep: int = 10_000) -> None:
@@ -176,6 +188,7 @@ class IncidentLog:
         self.rows: List[Incident] = []
         self.total = 0
         self.by_kind: Dict[str, int] = {}
+        self._flushed_total = 0
 
     def __len__(self) -> int:
         return self.total
@@ -208,6 +221,47 @@ class IncidentLog:
             for r in self.rows
         ]
         return atomic_write_text(path, "\n".join(lines) + "\n", durable=durable)
+
+    def append_jsonl(
+        self,
+        path: Union[str, Path],
+        durable: bool = True,
+        max_bytes: int = 1_000_000,
+    ) -> Path:
+        """Append the rows not yet flushed; rotate past ``max_bytes``.
+
+        Each call flushes only incidents recorded since the previous
+        call, so repeated flushes (one per epoch, one per supervised
+        restart generation) grow one continuous history instead of
+        rewriting it.  When the file plus the pending append would
+        exceed ``max_bytes`` it is first renamed to ``<stem>.1<suffix>``
+        (atomic ``os.replace``), replacing the previous rotated
+        generation — on-disk history is bounded by roughly two caps.
+        Rows that rotated out of memory before ever being flushed are
+        skipped (the counters in :attr:`by_kind` remain exact).
+        """
+        path = Path(path)
+        start = max(self._flushed_total, self.total - len(self.rows))
+        fresh = self.rows[len(self.rows) - (self.total - start):] if self.total > start else []
+        self._flushed_total = self.total
+        if not fresh:
+            # Nothing new, but the file must exist after a flush: an
+            # operator greps an empty log, not a missing one.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.touch()
+            return path
+        payload = "".join(
+            json.dumps({"seq": r.seq, "kind": r.kind, "detail": r.detail}) + "\n"
+            for r in fresh
+        )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rotate_file(path, max_bytes, len(payload), durable=durable)
+        with open(path, "a", encoding="utf-8") as f:
+            fs_write(f, payload, path)
+            f.flush()
+            if durable:
+                fs_fsync(f.fileno(), path)
+        return path
 
 
 @dataclass(frozen=True)
@@ -426,6 +480,42 @@ class GuardedRuntime:
         self._require_live()
         return self._apply_block(self.buffer.flush())
 
+    def ingest_many(
+        self, trips: Iterable[TripRecord], block_size: Optional[int] = None
+    ):
+        """Ingest a stream *without* the end-of-stream flush.
+
+        Exactly :meth:`serve` minus :meth:`finish` — the fleet
+        supervisor re-serves a shard's bucket chunk by chunk through
+        this, so only the final generation drains the reorder buffer.
+
+        Raises:
+            ValueError: on a non-positive block size.
+            RuntimeHaltedError: the runtime is (or just became) halted.
+        """
+        size = self.config.block_size if block_size is None else block_size
+        if size <= 0:
+            raise ValueError(f"block_size must be positive, got {size}")
+        outcomes = []
+        if size == 1:
+            for trip in trips:
+                outcomes.extend(self.ingest(trip))
+            return outcomes
+        trips = trips if isinstance(trips, list) else list(trips)
+        for lo in range(0, len(trips), size):
+            chunk = trips[lo : lo + size]
+            try:
+                block = TripBlock.from_trips(chunk)
+            except (TypeError, ValueError):
+                # Un-blockable rows (e.g. non-numeric garbage from the
+                # chaos harness): the scalar path judges them one by
+                # one, exactly as before.
+                for trip in chunk:
+                    outcomes.extend(self.ingest(trip))
+            else:
+                outcomes.extend(self.ingest_block(block))
+        return outcomes
+
     def serve(self, trips: Iterable[TripRecord], block_size: Optional[int] = None):
         """Convenience: ingest a whole stream, then :meth:`finish`.
 
@@ -436,27 +526,7 @@ class GuardedRuntime:
                 pipeline — the parity oracle the blocked path is tested
                 against.
         """
-        size = self.config.block_size if block_size is None else block_size
-        if size <= 0:
-            raise ValueError(f"block_size must be positive, got {size}")
-        outcomes = []
-        if size == 1:
-            for trip in trips:
-                outcomes.extend(self.ingest(trip))
-        else:
-            trips = trips if isinstance(trips, list) else list(trips)
-            for lo in range(0, len(trips), size):
-                chunk = trips[lo : lo + size]
-                try:
-                    block = TripBlock.from_trips(chunk)
-                except (TypeError, ValueError):
-                    # Un-blockable rows (e.g. non-numeric garbage from the
-                    # chaos harness): the scalar path judges them one by
-                    # one, exactly as before.
-                    for trip in chunk:
-                        outcomes.extend(self.ingest(trip))
-                else:
-                    outcomes.extend(self.ingest_block(block))
+        outcomes = self.ingest_many(trips, block_size=block_size)
         outcomes.extend(self.finish())
         return outcomes
 
@@ -685,11 +755,22 @@ class GuardedRuntime:
 
     # ------------------------------------------------------------------
     def flush_logs(self, directory: Union[str, Path], durable: bool = True) -> None:
-        """Write the dead-letter and incident JSONL files atomically."""
+        """Flush the dead-letter and incident JSONL logs.
+
+        The dead-letter dump is an atomic rewrite of the retained rows;
+        the incident log *appends* its fresh rows instead, rotating to
+        ``incidents.1.jsonl`` past the configured size cap — so a
+        long-running shard's incident history survives epoch after
+        epoch instead of being rewritten away.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         self.sink.write_jsonl(directory / "deadletter.jsonl", durable=durable)
-        self.incidents.write_jsonl(directory / "incidents.jsonl", durable=durable)
+        self.incidents.append_jsonl(
+            directory / "incidents.jsonl",
+            durable=durable,
+            max_bytes=self.config.incident_log_max_bytes,
+        )
 
     def consistency_check(self) -> None:
         """Verify the guarded pipeline's end-to-end accounting.

@@ -10,6 +10,14 @@ only a ``*.tmp-*`` sibling that the next writer ignores.
 
 Checksums use SHA-256; :func:`checksum_hex` is the single definition the
 snapshot and journal formats both embed.
+
+Every durable write and fsync funnels through a module-level **fault
+seam** (:func:`fs_write` / :func:`fs_fsync`): a passthrough by default,
+but :func:`install_fs_seam` lets the storage fault injector
+(:class:`repro.resilience.faultfs.FaultFS`) interpose deterministic
+``ENOSPC``, torn writes and fsync failures without monkey-patching the
+callers.  Production code never installs a seam; the passthrough adds
+one function call per write.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ import hashlib
 import os
 import uuid
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import IO, Iterable, List, Union
 
 __all__ = [
     "atomic_write_bytes",
@@ -26,7 +34,50 @@ __all__ = [
     "checksum_hex",
     "checksum_hex_many",
     "fsync_dir",
+    "fs_write",
+    "fs_fsync",
+    "install_fs_seam",
+    "rotate_file",
 ]
+
+
+class _PassthroughFS:
+    """Default seam: real writes, real fsyncs, no bookkeeping."""
+
+    def write(self, fh: IO, data, path: Path) -> None:
+        fh.write(data)
+
+    def fsync(self, fileno: int, path: Path) -> None:
+        os.fsync(fileno)
+
+
+_FS = _PassthroughFS()
+
+
+def install_fs_seam(seam) -> object:
+    """Install a write/fsync interposer; returns the previous seam.
+
+    The seam object must expose ``write(fh, data, path)`` and
+    ``fsync(fileno, path)``.  Passing ``None`` restores the passthrough.
+    Callers are expected to restore the previous seam when done (the
+    fault injector's context manager does this), because the seam is
+    process-global: every durable write in the process flows through it.
+    """
+    global _FS
+    previous = _FS
+    _FS = seam if seam is not None else _PassthroughFS()
+    return previous
+
+
+def fs_write(fh: IO, data, path: Union[str, Path]) -> None:
+    """Write ``data`` (bytes or str, matching the handle's mode) to an
+    open handle through the installed fault seam."""
+    _FS.write(fh, data, Path(path))
+
+
+def fs_fsync(fileno: int, path: Union[str, Path]) -> None:
+    """``os.fsync`` through the installed fault seam."""
+    _FS.fsync(fileno, Path(path))
 
 
 def checksum_hex(data: bytes) -> str:
@@ -95,10 +146,10 @@ def atomic_write_bytes(
     tmp = path.with_name(f"{path.name}.tmp-{uuid.uuid4().hex[:8]}")
     try:
         with open(tmp, "wb") as f:
-            f.write(data)
+            fs_write(f, data, tmp)
             f.flush()
             if durable:
-                os.fsync(f.fileno())
+                fs_fsync(f.fileno(), tmp)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -119,3 +170,37 @@ def atomic_write_text(
 ) -> Path:
     """Text-mode convenience wrapper over :func:`atomic_write_bytes`."""
     return atomic_write_bytes(path, text.encode(encoding), durable=durable)
+
+
+def rotate_file(
+    path: Union[str, Path],
+    max_bytes: int,
+    pending_bytes: int = 0,
+    durable: bool = True,
+) -> bool:
+    """Size-capped log rotation: ``foo.jsonl`` → ``foo.1.jsonl``.
+
+    When ``path`` exists and its size plus ``pending_bytes`` (the append
+    about to happen) would exceed ``max_bytes``, the file is atomically
+    renamed to its ``.1`` sibling — replacing any previous generation —
+    so the caller can start a fresh file.  Returns whether a rotation
+    happened.  A missing or empty file never rotates (a single oversized
+    record still lands somewhere).
+
+    Raises:
+        ValueError: if ``max_bytes`` is not positive.
+    """
+    if max_bytes <= 0:
+        raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return False
+    if size == 0 or size + pending_bytes <= max_bytes:
+        return False
+    rotated = path.with_name(f"{path.stem}.1{path.suffix}")
+    os.replace(path, rotated)
+    if durable:
+        fsync_dir(path.parent)
+    return True

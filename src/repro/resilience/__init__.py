@@ -15,7 +15,14 @@ crashes with **bit-identical recovery**:
   around a :class:`~repro.core.streaming.PlacementService`;
 * :class:`FaultInjector` — chaos tooling that injects crashes,
   duplicated/reordered/dropped trips and torn checkpoint writes, for the
-  recovery tests and the CI fault-injection smoke job.
+  recovery tests and the CI fault-injection smoke job;
+* :class:`FaultFS` — deterministic *storage*-level fault injection on
+  the :mod:`repro.ioutil` write/fsync seam (ENOSPC, torn writes, fsync
+  failure, payload-keyed poison markers, at-rest bit-rot);
+* :func:`scrub_tree` — the background integrity scrubber: verifies
+  every snapshot and WAL checksum, demotes corrupt snapshots to the
+  previous good version, rebuilds torn journal tails and sweeps orphan
+  tmp files, over one checkpoint directory or a whole sharded fleet.
 """
 
 from ..errors import (
@@ -27,7 +34,17 @@ from ..errors import (
     StateDriftError,
 )
 from .chaos import ChaosConfig, FaultInjector, simulate_period_crash
+from .faultfs import FaultFS, FaultFSConfig
 from .journal import JournalEntry, TripJournal
+from .scrub import (
+    ScrubFinding,
+    ScrubReport,
+    repair_journal_tail,
+    scrub_checkpoint_dir,
+    scrub_journal,
+    scrub_snapshots,
+    scrub_tree,
+)
 from .service import (
     CheckpointingService,
     RecoveryInfo,
@@ -46,7 +63,16 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "ChaosConfig",
     "CheckpointingService",
+    "FaultFS",
+    "FaultFSConfig",
     "FaultInjector",
+    "ScrubFinding",
+    "ScrubReport",
+    "repair_journal_tail",
+    "scrub_checkpoint_dir",
+    "scrub_journal",
+    "scrub_snapshots",
+    "scrub_tree",
     "InjectedCrash",
     "JournalCorruptError",
     "JournalEntry",

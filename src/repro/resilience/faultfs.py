@@ -1,0 +1,239 @@
+"""Deterministic filesystem fault injection for the durable tier.
+
+:class:`FaultFS` plugs into the :mod:`repro.ioutil` fault seam
+(:func:`~repro.ioutil.install_fs_seam`) and interposes every durable
+write and fsync in the process — snapshot tmp files, the write-ahead
+journal, incident logs — simulating the disk failures a long-running
+deployment actually meets:
+
+* **ENOSPC** — the write fails before a single byte lands;
+* **torn write** — a seeded prefix of the payload lands, then the write
+  raises ``EIO`` (a short write surfaced as the error it is: the journal
+  gains a repairable torn tail, an atomic write loses only its tmp);
+* **fsync failure** — the data is in the page cache but durability
+  cannot be promised, so the fsync raises ``EIO``;
+* **poison markers** — any write whose payload contains a marker
+  substring always fails (a bad sector keyed to specific records: the
+  deterministic mechanism behind poison-block quarantine);
+* **bit-rot** (:meth:`FaultFS.bitrot`) — flip one seeded byte of a file
+  at rest, the damage the integrity scrubber exists to catch.
+
+All randomness comes from one seeded generator drawn in write order, and
+a category with rate zero consumes **no** draws — the same decoupling
+rule the trip-level chaos harness follows, so enabling one fault class
+never shifts another's schedule.
+
+The invariant the injector exists to prove: **no injected write or
+fsync failure may leave an orphan ``*.tmp-*`` file or a corrupted
+current file** — an atomic destination holds the old bytes or the new
+bytes, never a prefix, and journal damage is confined to a repairable
+torn tail.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..ioutil import install_fs_seam
+
+__all__ = ["FaultFSConfig", "FaultFS"]
+
+
+@dataclass(frozen=True)
+class FaultFSConfig:
+    """Schedule of one deterministic disk-fault campaign.
+
+    Attributes:
+        seed: root seed of the write-ordered fault draws.
+        p_enospc: per-write probability the write fails with ``ENOSPC``
+            before any byte lands.
+        p_torn: per-write probability a strict prefix of the payload
+            lands and the write raises ``EIO``.
+        p_fsync: per-fsync probability the fsync raises ``EIO`` (the
+            data was written; durability was not promised).
+        match: substring filter on the target path; empty matches every
+            path.  Lets a schedule aim at one shard directory or one
+            file class (``"journal.jsonl"``).
+        max_faults: optional cap on faults injected across all
+            categories; afterwards the seam is a passthrough (models a
+            transient outage that clears).
+        poison_markers: payload substrings whose presence always fails
+            the write with ``EIO`` — deterministic, draw-free, keyed to
+            record content rather than write order.
+
+    Raises:
+        ValueError: on rates outside ``[0, 1]`` or a non-positive cap.
+    """
+
+    seed: int = 0
+    p_enospc: float = 0.0
+    p_torn: float = 0.0
+    p_fsync: float = 0.0
+    match: str = ""
+    max_faults: Optional[int] = None
+    poison_markers: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("p_enospc", "p_torn", "p_fsync"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.max_faults is not None and self.max_faults <= 0:
+            raise ValueError(f"max_faults must be positive, got {self.max_faults}")
+
+
+class _Injection:
+    """Context manager installing/restoring a FaultFS on the ioutil seam."""
+
+    def __init__(self, fs: "FaultFS") -> None:
+        self._fs = fs
+        self._previous: Optional[object] = None
+
+    def __enter__(self) -> "FaultFS":
+        self._previous = install_fs_seam(self._fs)
+        return self._fs
+
+    def __exit__(self, *exc_info) -> None:
+        install_fs_seam(self._previous)
+
+
+@dataclass
+class _Counters:
+    enospc: int = 0
+    torn: int = 0
+    fsync: int = 0
+    poisoned: int = 0
+    writes: int = 0
+    fsyncs: int = 0
+
+    @property
+    def faults(self) -> int:
+        return self.enospc + self.torn + self.fsync + self.poisoned
+
+
+class FaultFS:
+    """The seam object: seeded disk faults with exact accounting.
+
+    Use :meth:`inject` to scope the installation::
+
+        fs = FaultFS(FaultFSConfig(seed=7, p_torn=0.05, match=str(root)))
+        with fs.inject():
+            fleet.serve(trips)
+        assert fs.counters.torn > 0
+
+    Attributes:
+        config: the fault schedule.
+        counters: per-category fault and traffic counts.
+        faults_by_path: injected-fault count per target path (string
+            keys) — the gauntlet uses it to attribute damage to shards.
+    """
+
+    def __init__(self, config: Optional[FaultFSConfig] = None) -> None:
+        self.config = config or FaultFSConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.counters = _Counters()
+        self.faults_by_path: Dict[str, int] = {}
+
+    def inject(self) -> _Injection:
+        """Install on the ioutil seam for a ``with`` block; always
+        restores the previous seam on exit, even when the block raises."""
+        return _Injection(self)
+
+    # ------------------------------------------------------------------
+    def _eligible(self, path: Path) -> bool:
+        return self.config.match in str(path)
+
+    def _budget_left(self) -> bool:
+        cap = self.config.max_faults
+        return cap is None or self.counters.faults < cap
+
+    def _record(self, path: Path) -> None:
+        key = str(path)
+        self.faults_by_path[key] = self.faults_by_path.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # the seam protocol
+    def write(self, fh: IO, data, path: Path) -> None:
+        """Seam hook for every journal/snapshot write: check poison
+        markers, then draw ENOSPC / torn-write faults in write order
+        before (possibly partially) writing ``data`` to ``fh``."""
+        self.counters.writes += 1
+        if not self._eligible(path):
+            fh.write(data)
+            return
+        text = data if isinstance(data, str) else data.decode("utf-8", "replace")
+        for marker in self.config.poison_markers:
+            if marker in text:
+                # Draw-free and budget-exempt: a bad sector does not heal
+                # because other faults happened first.
+                self.counters.poisoned += 1
+                self._record(path)
+                raise OSError(errno.EIO, f"injected poisoned write: {path}")
+        cfg = self.config
+        if cfg.p_enospc > 0 and self._budget_left():
+            if self._rng.uniform() < cfg.p_enospc:
+                self.counters.enospc += 1
+                self._record(path)
+                raise OSError(errno.ENOSPC, f"injected ENOSPC: {path}")
+        if cfg.p_torn > 0 and self._budget_left():
+            if self._rng.uniform() < cfg.p_torn and len(data) > 1:
+                cut = int(self._rng.integers(1, len(data)))
+                fh.write(data[:cut])
+                self.counters.torn += 1
+                self._record(path)
+                raise OSError(
+                    errno.EIO, f"injected torn write ({cut}/{len(data)}): {path}"
+                )
+        fh.write(data)
+
+    def fsync(self, fileno: int, path: Path) -> None:
+        """Seam hook for every fsync: draw a failure (raised *before*
+        the real fsync, so the data may still be in the page cache) or
+        pass through to ``os.fsync``."""
+        self.counters.fsyncs += 1
+        cfg = self.config
+        if cfg.p_fsync > 0 and self._eligible(path) and self._budget_left():
+            if self._rng.uniform() < cfg.p_fsync:
+                self.counters.fsync += 1
+                self._record(path)
+                raise OSError(errno.EIO, f"injected fsync failure: {path}")
+        os.fsync(fileno)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def bitrot(path: Union[str, Path], seed: int = 0) -> int:
+        """Flip one seeded bit of ``path`` in place; returns the byte
+        offset flipped.
+
+        Models silent at-rest corruption (cosmic ray, failing sector):
+        the file keeps its length and structure but one byte lies.  The
+        checksum layers — snapshot header, per-line journal digests —
+        are what must catch it.
+
+        Raises:
+            ValueError: if the file is empty (nothing to rot).
+        """
+        path = Path(path)
+        raw = bytearray(path.read_bytes())
+        if not raw:
+            raise ValueError(f"cannot bit-rot empty file: {path}")
+        rng = np.random.default_rng(seed)
+        offset = int(rng.integers(0, len(raw)))
+        raw[offset] ^= 1 << int(rng.integers(0, 8))
+        path.write_bytes(bytes(raw))
+        return offset
+
+    def to_text(self) -> str:
+        """One-line human summary of the campaign so far."""
+        c = self.counters
+        return (
+            f"faultfs: {c.faults} fault(s) over {c.writes} write(s) / "
+            f"{c.fsyncs} fsync(s) — enospc={c.enospc} torn={c.torn} "
+            f"fsync={c.fsync} poisoned={c.poisoned}"
+        )

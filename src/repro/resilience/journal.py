@@ -24,7 +24,6 @@ anywhere earlier means the file cannot be trusted and raises
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, List, Optional, Sequence, Union
@@ -34,7 +33,7 @@ import numpy as np
 from ..core.tripblock import TripBlock, us_to_datetime
 from ..datasets.trips import TripRecord
 from ..errors import JournalCorruptError
-from ..ioutil import checksum_hex, checksum_hex_many
+from ..ioutil import checksum_hex, checksum_hex_many, fs_fsync, fs_write
 from ..serialize import trip_from_state, trip_to_state
 
 __all__ = ["JournalEntry", "TripJournal", "CHECKSUM_PREFIX_LEN"]
@@ -196,10 +195,10 @@ class TripJournal:
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(_encode_line(seq, trip))
+        fs_write(self._fh, _encode_line(seq, trip), self.path)
         self._fh.flush()
         if self.durable:
-            os.fsync(self._fh.fileno())
+            fs_fsync(self._fh.fileno(), self.path)
         self._next_seq = seq + 1
         return seq
 
@@ -237,10 +236,10 @@ class TripJournal:
             lines = _encode_block_lines(seqs, trips)
         else:
             lines = [_encode_line(s, t) for s, t in zip(seqs, trips)]
-        self._fh.write("".join(lines))
+        fs_write(self._fh, "".join(lines), self.path)
         self._fh.flush()
         if self.durable:
-            os.fsync(self._fh.fileno())
+            fs_fsync(self._fh.fileno(), self.path)
         self._next_seq = seqs[-1] + 1
         return seqs
 

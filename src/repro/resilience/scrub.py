@@ -1,0 +1,509 @@
+"""Background integrity scrubbing of checkpoint storage.
+
+Recovery trusts the disk at the worst possible moment — after a crash.
+The scrubber moves that trust check to a quiet moment instead: it walks
+a checkpoint directory (or a whole sharded fleet root) verifying every
+checksum the formats embed, and repairs what the formats were designed
+to survive:
+
+* a **corrupt snapshot** (torn write that raced a crash, or bit-rot at
+  rest) is *demoted* — renamed to ``*.corrupt`` so
+  :class:`~repro.resilience.SnapshotStore` falls back to the previous
+  good generation without having to re-discover the damage at recovery
+  time;
+* a **torn journal tail** (the expected signature of a crash or injected
+  fault mid-append) is *rebuilt* — the file is truncated at the last
+  intact record boundary, exactly the prefix replay would use;
+* **orphan ``*.tmp-*`` files** (a process killed between the tmp write
+  and the rename) are removed;
+* **damaged log lines** in the advisory JSONL logs (incidents,
+  dead-letters, scrub history) are dropped, keeping every intact row.
+
+What it refuses to touch, it reports loudly: mid-file journal damage or
+a sequence jump (the WAL cannot be trusted), a snapshot from an
+incompatible format version, a directory with *no* usable snapshot left,
+an unreadable shard manifest.  Those need an operator, not a script.
+
+Every run emits its findings into the directory's own log stream
+(``logs/scrub.jsonl``, size-capped like the incident log), so scrub
+history travels with the data it describes.  ``esharing scrub`` is the
+operator entry point; the fleet supervisor also runs a scrub after each
+epoch's checkpoints and a journal-tail repair before every shard
+restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..errors import SnapshotCorruptError, SnapshotVersionError
+from ..ioutil import atomic_write_bytes, fsync_dir, rotate_file
+from .journal import _decode_line
+from .snapshot import decode_snapshot
+
+__all__ = [
+    "ScrubFinding",
+    "ScrubReport",
+    "repair_journal_tail",
+    "scrub_journal",
+    "scrub_snapshots",
+    "scrub_checkpoint_dir",
+    "scrub_tree",
+]
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{10})\.json$")
+_SHARD_DIR_RE = re.compile(r"^shard-(\d{3,})$")
+
+#: Root-level files of a sharded fleet (kept as literals: resilience
+#: must not import repro.shard, which sits above it).
+_PLAN_FILE = "shardplan.json"
+_HALO_FILE = "halo.json"
+
+_SCRUB_LOG_MAX_BYTES = 1_000_000
+
+
+@dataclass(frozen=True)
+class ScrubFinding:
+    """One damaged (or cleaned-up) artefact the scrubber met.
+
+    Attributes:
+        path: the file, relative to the scrub root when possible.
+        kind: damage class (``snapshot_corrupt``, ``journal_torn_tail``,
+            ``journal_midfile``, ``journal_seq_jump``, ``orphan_tmp``,
+            ``log_damaged_lines``, ``no_usable_snapshot``,
+            ``snapshot_version``, ``manifest_unreadable``,
+            ``halo_unreadable``).
+        action: what happened — ``repaired`` / ``demoted`` / ``removed``
+            (fixed), ``found`` (check-only run, repairable), or
+            ``refused`` (unrepairable without an operator).
+        detail: human-readable specifics.
+    """
+
+    path: str
+    kind: str
+    action: str
+    detail: str
+
+
+@dataclass
+class ScrubReport:
+    """Everything one scrub pass saw, plus exact traffic counts."""
+
+    root: str
+    findings: List[ScrubFinding] = field(default_factory=list)
+    snapshots_checked: int = 0
+    journals_checked: int = 0
+    logs_checked: int = 0
+
+    @property
+    def repaired(self) -> int:
+        return sum(1 for f in self.findings if f.action in ("repaired", "demoted", "removed"))
+
+    @property
+    def found(self) -> int:
+        return sum(1 for f in self.findings if f.action == "found")
+
+    @property
+    def refused(self) -> int:
+        return sum(1 for f in self.findings if f.action == "refused")
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def extend(self, other: "ScrubReport") -> None:
+        """Fold another report's findings and counters into this one
+        (used when a fleet scrub merges per-shard reports)."""
+        self.findings.extend(other.findings)
+        self.snapshots_checked += other.snapshots_checked
+        self.journals_checked += other.journals_checked
+        self.logs_checked += other.logs_checked
+
+    def to_text(self) -> str:
+        """Human-readable summary: one header line plus one line per
+        finding, the format ``esharing scrub`` prints."""
+        head = (
+            f"scrub {self.root}: {self.snapshots_checked} snapshot(s), "
+            f"{self.journals_checked} journal(s), {self.logs_checked} log(s) "
+            f"checked — {self.repaired} repaired, {self.found} found, "
+            f"{self.refused} refused"
+        )
+        lines = [head]
+        for f in self.findings:
+            lines.append(f"  [{f.action}] {f.kind}: {f.path} — {f.detail}")
+        return "\n".join(lines)
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return str(path.relative_to(root))
+    except ValueError:
+        return str(path)
+
+
+# ----------------------------------------------------------------------
+# journal
+def _classify_journal(raw: bytes):
+    """Walk a journal's bytes; returns ``(good_end, last_seq, problem)``.
+
+    ``good_end`` is the byte offset just past the last intact record
+    reachable from the start; ``problem`` is ``None`` (clean),
+    ``"torn_tail"`` (trailing damage only), ``"midfile"`` (damage
+    followed by an intact record) or ``"seq_jump"``.
+    """
+    good_end = 0
+    last_seq: Optional[int] = None
+    damaged = False
+    offset = 0
+    for lb in raw.splitlines(keepends=True):
+        line_len = len(lb)
+        try:
+            line = lb.decode("utf-8")
+        except UnicodeDecodeError:
+            line = None
+        if line is not None and line.strip() == "":
+            if not damaged:
+                good_end = offset + line_len
+            offset += line_len
+            continue
+        entry = _decode_line(line) if line is not None else None
+        complete = lb.endswith(b"\n")
+        if entry is None or not complete:
+            damaged = True
+        else:
+            if damaged:
+                return good_end, last_seq, "midfile"
+            if last_seq is not None and entry.seq != last_seq + 1:
+                return good_end, last_seq, "seq_jump"
+            last_seq = entry.seq
+            good_end = offset + line_len
+        offset += line_len
+    return good_end, last_seq, ("torn_tail" if damaged else None)
+
+
+def scrub_journal(
+    path: Union[str, Path],
+    repair: bool = True,
+    durable: bool = True,
+    root: Optional[Path] = None,
+) -> List[ScrubFinding]:
+    """Verify one write-ahead journal; truncate a torn tail when asked.
+
+    A torn tail — one or more damaged lines with nothing intact after
+    them — is the normal crash signature and is repairable: the file is
+    truncated at the last intact record boundary, the exact prefix
+    :meth:`~repro.resilience.TripJournal.scan` would replay anyway.
+    Damage *followed by* intact records, or a sequence jump between
+    intact records, means the log cannot be trusted and is refused.
+    """
+    path = Path(path)
+    rel = _rel(path, root or path.parent)
+    if not path.exists():
+        return []
+    raw = path.read_bytes()
+    good_end, _last_seq, problem = _classify_journal(raw)
+    if problem is None:
+        return []
+    if problem == "midfile":
+        return [ScrubFinding(
+            rel, "journal_midfile", "refused",
+            f"damaged record before byte {good_end} is followed by intact "
+            "records — the WAL cannot be trusted; restore from a replica",
+        )]
+    if problem == "seq_jump":
+        return [ScrubFinding(
+            rel, "journal_seq_jump", "refused",
+            f"sequence jump after byte {good_end} — records are missing "
+            "mid-file; restore from a replica",
+        )]
+    torn = len(raw) - good_end
+    if not repair:
+        return [ScrubFinding(
+            rel, "journal_torn_tail", "found",
+            f"{torn} damaged trailing byte(s) after the last intact record",
+        )]
+    with open(path, "r+b") as f:
+        f.truncate(good_end)
+        f.flush()
+        if durable:
+            os.fsync(f.fileno())
+    return [ScrubFinding(
+        rel, "journal_torn_tail", "repaired",
+        f"truncated {torn} damaged trailing byte(s) at offset {good_end}",
+    )]
+
+
+def repair_journal_tail(
+    path: Union[str, Path], durable: bool = True
+) -> List[ScrubFinding]:
+    """Convenience used before every supervised shard restart: rebuild a
+    torn journal tail in place (mid-file damage still refuses)."""
+    return scrub_journal(path, repair=True, durable=durable)
+
+
+# ----------------------------------------------------------------------
+# snapshots
+def scrub_snapshots(
+    directory: Union[str, Path],
+    repair: bool = True,
+    durable: bool = True,
+    root: Optional[Path] = None,
+) -> List[ScrubFinding]:
+    """Verify every ``snapshot-*.json``; demote the corrupt ones.
+
+    Demotion renames a corrupt file to ``<name>.corrupt`` so it drops
+    out of the store's listing and recovery falls straight back to the
+    previous good generation.  A version-mismatched snapshot is intact —
+    just not ours to read — and is refused, as is a directory whose
+    every snapshot is gone: nothing good to fall back to.
+    """
+    directory = Path(directory)
+    rroot = root or directory
+    findings: List[ScrubFinding] = []
+    entries = sorted(
+        (int(m.group(1)), p)
+        for p in directory.iterdir()
+        if (m := _SNAPSHOT_RE.match(p.name))
+    )
+    good = 0
+    for _seq, path in entries:
+        try:
+            decode_snapshot(path.read_bytes())
+        except SnapshotCorruptError as exc:
+            if repair:
+                demoted = path.with_name(path.name + ".corrupt")
+                os.replace(path, demoted)
+                if durable:
+                    fsync_dir(directory)
+                findings.append(ScrubFinding(
+                    _rel(path, rroot), "snapshot_corrupt", "demoted",
+                    f"{exc}; demoted to {demoted.name}",
+                ))
+            else:
+                findings.append(ScrubFinding(
+                    _rel(path, rroot), "snapshot_corrupt", "found", str(exc)
+                ))
+        except SnapshotVersionError as exc:
+            findings.append(ScrubFinding(
+                _rel(path, rroot), "snapshot_version", "refused", str(exc)
+            ))
+        else:
+            good += 1
+    if entries and good == 0:
+        findings.append(ScrubFinding(
+            _rel(directory, rroot) or ".", "no_usable_snapshot", "refused",
+            f"all {len(entries)} snapshot(s) are corrupt or unreadable — "
+            "recovery has nothing to restore; restore from a replica",
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# orphan tmp files and advisory logs
+def _scrub_orphans(
+    directory: Path, repair: bool, durable: bool, root: Path
+) -> List[ScrubFinding]:
+    findings: List[ScrubFinding] = []
+    for path in sorted(directory.glob("*.tmp-*")):
+        if repair:
+            try:
+                path.unlink()
+            except OSError as exc:
+                findings.append(ScrubFinding(
+                    _rel(path, root), "orphan_tmp", "refused", f"unlink failed: {exc}"
+                ))
+                continue
+            if durable:
+                fsync_dir(directory)
+            findings.append(ScrubFinding(
+                _rel(path, root), "orphan_tmp", "removed",
+                "leftover temporary from an interrupted atomic write",
+            ))
+        else:
+            findings.append(ScrubFinding(
+                _rel(path, root), "orphan_tmp", "found",
+                "leftover temporary from an interrupted atomic write",
+            ))
+    return findings
+
+
+def _scrub_log(
+    path: Path, repair: bool, durable: bool, root: Path
+) -> List[ScrubFinding]:
+    """Advisory JSONL logs: keep every intact line, drop the damaged.
+
+    Logs are diagnostics, not recovery inputs, so mid-file damage is
+    repairable here — the rewrite preserves every line that still
+    parses.
+    """
+    raw = path.read_bytes()
+    kept: List[bytes] = []
+    dropped = 0
+    for lb in raw.splitlines(keepends=True):
+        body = lb.rstrip(b"\r\n")
+        if not body.strip():
+            continue
+        try:
+            json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            dropped += 1
+            continue
+        if not lb.endswith(b"\n"):
+            lb = body + b"\n"
+        kept.append(lb)
+    if dropped == 0:
+        return []
+    if not repair:
+        return [ScrubFinding(
+            _rel(path, root), "log_damaged_lines", "found",
+            f"{dropped} damaged line(s) among {dropped + len(kept)}",
+        )]
+    atomic_write_bytes(path, b"".join(kept), durable=durable)
+    return [ScrubFinding(
+        _rel(path, root), "log_damaged_lines", "repaired",
+        f"dropped {dropped} damaged line(s), kept {len(kept)}",
+    )]
+
+
+# ----------------------------------------------------------------------
+def scrub_checkpoint_dir(
+    directory: Union[str, Path],
+    repair: bool = True,
+    durable: bool = True,
+    record: bool = True,
+    root: Optional[Path] = None,
+) -> ScrubReport:
+    """Scrub one checkpoint directory (snapshots + WAL + logs + tmps).
+
+    Args:
+        directory: a :class:`~repro.resilience.CheckpointingService`
+            directory — ``snapshot-*.json`` plus ``journal.jsonl`` plus
+            an optional ``logs/`` subdirectory.
+        repair: fix what is fixable; ``False`` only reports (actions
+            come back as ``found``) and writes nothing at all.
+        durable: fsync repairs.
+        record: append the findings to ``logs/scrub.jsonl`` (forced off
+            when ``repair`` is off — a check must not write).
+        root: base for relative paths in findings (fleet scrubs pass the
+            fleet root).
+    """
+    directory = Path(directory)
+    rroot = root or directory
+    report = ScrubReport(root=str(directory))
+    report.findings.extend(_scrub_orphans(directory, repair, durable, rroot))
+    report.snapshots_checked += sum(
+        1 for p in directory.iterdir() if _SNAPSHOT_RE.match(p.name)
+    )
+    report.findings.extend(scrub_snapshots(directory, repair, durable, rroot))
+    journal = directory / "journal.jsonl"
+    if journal.exists():
+        report.journals_checked += 1
+        report.findings.extend(scrub_journal(journal, repair, durable, rroot))
+    logs = directory / "logs"
+    if logs.is_dir():
+        report.findings.extend(_scrub_orphans(logs, repair, durable, rroot))
+        for path in sorted(logs.glob("*.jsonl")):
+            report.logs_checked += 1
+            report.findings.extend(_scrub_log(path, repair, durable, rroot))
+    if record and repair:
+        _record_report(logs, directory, report, durable)
+    return report
+
+
+def _record_report(
+    logs: Path, directory: Path, report: ScrubReport, durable: bool
+) -> None:
+    """Append one summary line + one line per finding to scrub.jsonl."""
+    logs.mkdir(parents=True, exist_ok=True)
+    path = logs / "scrub.jsonl"
+    rows = [json.dumps({
+        "scrub": str(directory),
+        "snapshots": report.snapshots_checked,
+        "journals": report.journals_checked,
+        "logs": report.logs_checked,
+        "repaired": report.repaired,
+        "refused": report.refused,
+    })]
+    rows.extend(
+        json.dumps({
+            "path": f.path, "kind": f.kind, "action": f.action, "detail": f.detail
+        })
+        for f in report.findings
+    )
+    payload = "\n".join(rows) + "\n"
+    rotate_file(path, _SCRUB_LOG_MAX_BYTES, len(payload), durable=durable)
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(payload)
+        f.flush()
+        if durable:
+            os.fsync(f.fileno())
+
+
+def scrub_tree(
+    root: Union[str, Path],
+    repair: bool = True,
+    durable: bool = True,
+    record: bool = True,
+) -> ScrubReport:
+    """Scrub a checkpoint directory *or* a whole sharded fleet root.
+
+    A fleet root (it holds ``shardplan.json``) gets: manifest and halo
+    sanity checks, every ``shard-NNN/`` directory scrubbed
+    independently, and the root-level advisory logs cleaned.  An
+    unreadable manifest is refused (the fleet cannot be rebuilt without
+    it); an unreadable halo cache is merely removed — shards fall back
+    to the genesis halo and repopulate it next epoch.
+    """
+    root = Path(root)
+    plan = root / _PLAN_FILE
+    if not plan.exists():
+        return scrub_checkpoint_dir(
+            root, repair=repair, durable=durable, record=record
+        )
+    report = ScrubReport(root=str(root))
+    try:
+        json.loads(plan.read_text())
+    except (ValueError, UnicodeDecodeError) as exc:
+        report.findings.append(ScrubFinding(
+            _PLAN_FILE, "manifest_unreadable", "refused",
+            f"{exc}; the fleet cannot recover without its plan",
+        ))
+    halo = root / _HALO_FILE
+    if halo.exists():
+        try:
+            json.loads(halo.read_text())
+        except (ValueError, UnicodeDecodeError) as exc:
+            if repair:
+                halo.unlink()
+                if durable:
+                    fsync_dir(root)
+                report.findings.append(ScrubFinding(
+                    _HALO_FILE, "halo_unreadable", "removed",
+                    f"{exc}; shards fall back to the genesis halo",
+                ))
+            else:
+                report.findings.append(ScrubFinding(
+                    _HALO_FILE, "halo_unreadable", "found", str(exc)
+                ))
+    report.findings.extend(_scrub_orphans(root, repair, durable, root))
+    for path in sorted(root.glob("*.jsonl")):
+        report.logs_checked += 1
+        report.findings.extend(_scrub_log(path, repair, durable, root))
+    logs = root / "logs"
+    if logs.is_dir():
+        report.findings.extend(_scrub_orphans(logs, repair, durable, root))
+        for path in sorted(logs.glob("*.jsonl")):
+            report.logs_checked += 1
+            report.findings.extend(_scrub_log(path, repair, durable, root))
+    for shard_dir in sorted(root.iterdir()):
+        if shard_dir.is_dir() and _SHARD_DIR_RE.match(shard_dir.name):
+            report.extend(scrub_checkpoint_dir(
+                shard_dir, repair=repair, durable=durable,
+                record=record, root=root,
+            ))
+    return report

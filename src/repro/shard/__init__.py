@@ -11,6 +11,12 @@ recovery.  Serving a territory inside an N-shard fleet is bit-identical
 to serving it standalone; boundary trips additionally carry advisory
 cross-shard referrals computed against a read-only halo of neighbouring
 edge stations.
+
+:class:`FleetSupervisor` is the self-healing layer above the fleet: a
+per-shard health machine (healthy / degraded / quarantined / halted)
+that restarts crashed shards from their own durable state under a
+seeded-backoff retry budget, dead-letters poison blocks with full
+provenance, and scrubs the fleet's storage tree after every epoch.
 """
 
 from .plan import DEFAULT_REFERENCE, ShardPlan
@@ -25,6 +31,15 @@ from .runtime import (
     ShardedServeOutcome,
     build_shard_runtime,
 )
+from .supervisor import (
+    QUARANTINE_FILE,
+    QUARANTINED,
+    FleetSupervisor,
+    QuarantinedBlock,
+    SupervisedOutcome,
+    SupervisedShardReport,
+    SupervisorConfig,
+)
 
 __all__ = [
     "DEFAULT_REFERENCE",
@@ -32,10 +47,17 @@ __all__ = [
     "ShardRouter",
     "PLAN_FILE",
     "HALO_FILE",
+    "QUARANTINE_FILE",
+    "QUARANTINED",
     "ShardSpec",
     "ShardReport",
     "CrossShardReferral",
     "ShardedServeOutcome",
     "ShardedRuntime",
     "build_shard_runtime",
+    "FleetSupervisor",
+    "SupervisorConfig",
+    "QuarantinedBlock",
+    "SupervisedShardReport",
+    "SupervisedOutcome",
 ]

@@ -1,0 +1,434 @@
+"""The supervised-fleet chaos gauntlet: ``python -m repro.shard``.
+
+Drives a :class:`~repro.shard.FleetSupervisor` over a 3-shard demo city
+through every failure class PR 8 added, and pins the self-healing
+contract:
+
+1. **Fault-free parity** — a supervised epoch with nothing failing is
+   bit-identical to an unsupervised :class:`~repro.shard.ShardedRuntime`
+   epoch: same outcomes, same per-shard journal bytes, same recovered
+   checkpoint state, zero restarts, zero incidents, a clean post-epoch
+   scrub.
+2. **Disk-fault schedules** — deterministic :class:`FaultFS` campaigns
+   (torn journal writes, ENOSPC, fsync failure — each with a bounded
+   fault budget, aimed at one shard) may cost restarts but not state:
+   after the supervised epoch, *every* shard's journal bytes and
+   recovered state are identical to a fault-free oracle fleet, and no
+   orphan ``*.tmp-*`` files survive.
+3. **Poison-block quarantine** — a payload-keyed poison marker makes one
+   trip's journal line unwritable forever; the supervisor must
+   quarantine exactly the chunk containing it (full provenance in the
+   ledger), keep every other trip journaled, and end the epoch serving.
+4. **Worker-crash isolation** — a process pool that dies mid-epoch drops
+   every shard into in-process supervision; the epoch still completes
+   with oracle-identical journals.
+5. **Scrubber round-trip** — bit-rot a snapshot, tear a journal tail,
+   plant an orphan tmp; ``scrub_tree`` must demote/repair/remove each,
+   and a recovered supervisor must then serve epoch 2 bit-identically to
+   a never-damaged fleet.
+
+Exit status 0 on success, 1 with a FAIL line per violation — the same
+contract as ``python -m repro.guard`` and ``python -m
+repro.resilience.chaos``, so CI runs all three.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List
+
+from ..errors import WorkerCrashError
+from ..guard.__main__ import PLANE, _guard_config, _make_trips
+from ..guard.runtime import HALTED, HEALTHY
+from ..resilience.faultfs import FaultFS, FaultFSConfig
+from ..resilience.journal import TripJournal
+from ..resilience.scrub import scrub_tree
+from .plan import ShardPlan
+from .runtime import ShardedRuntime, build_shard_runtime
+from .supervisor import QUARANTINED, FleetSupervisor, SupervisorConfig
+
+import numpy as np
+
+from ..geo.points import BoundingBox, Point
+
+BLOCK = 64
+
+
+def _build_city(
+    n_shards: int, directory: Path, seed: int, durable: bool
+) -> ShardedRuntime:
+    """The guard gauntlet's demo city, with selectable durability."""
+    plan = ShardPlan.from_bounds(BoundingBox(0.0, 0.0, PLANE, PLANE), n_shards)
+    anchors = [
+        Point(float(x), float(y))
+        for x in (0, 667, 1333, 2000)
+        for y in (0, 667, 1333, 2000)
+    ]
+    historical = np.random.default_rng(seed).uniform(0.0, PLANE, size=(300, 2))
+    return ShardedRuntime(
+        plan, directory, anchors, historical, seed=seed,
+        guard=_guard_config(), durable=durable,
+    )
+
+
+def _no_sleep(_seconds: float) -> None:
+    pass
+
+
+def _supervisor(city: ShardedRuntime, **overrides) -> FleetSupervisor:
+    cfg = SupervisorConfig(backoff_base_s=0.0, **overrides)
+    return FleetSupervisor(city, config=cfg, sleep=_no_sleep)
+
+
+def _shard_states(root: Path, city: ShardedRuntime) -> Dict[int, dict]:
+    """Recovered logical state per shard, KS wall-clock zeroed."""
+    states: Dict[int, dict] = {}
+    for sid in range(city.plan.n_shards):
+        sdir = root / f"shard-{sid:03d}"
+        if not sdir.exists():
+            continue
+        runtime = build_shard_runtime(city.spec(sid), sdir)
+        state = runtime.inner.service.state_dict()
+        state["planner"]["ks_seconds"] = 0.0
+        states[sid] = state
+        runtime.close()
+    return states
+
+
+def _shard_journals(root: Path, n_shards: int) -> Dict[int, bytes]:
+    out: Dict[int, bytes] = {}
+    for sid in range(n_shards):
+        path = root / f"shard-{sid:03d}" / "journal.jsonl"
+        if path.exists():
+            out[sid] = path.read_bytes()
+    return out
+
+
+def _orphan_tmps(root: Path) -> List[Path]:
+    return sorted(p for p in root.rglob("*.tmp-*"))
+
+
+def _check_oracle_identity(
+    label: str, root: Path, city: ShardedRuntime,
+    oracle_journals: Dict[int, bytes], oracle_states: Dict[int, dict],
+) -> int:
+    failures = 0
+    journals = _shard_journals(root, city.plan.n_shards)
+    if journals != oracle_journals:
+        bad = sorted(
+            sid for sid in set(journals) | set(oracle_journals)
+            if journals.get(sid) != oracle_journals.get(sid)
+        )
+        print(f"FAIL: {label}: journal bytes diverged on shard(s) {bad}")
+        failures += 1
+    states = _shard_states(root, city)
+    if states != oracle_states:
+        bad = sorted(
+            sid for sid in set(states) | set(oracle_states)
+            if states.get(sid) != oracle_states.get(sid)
+        )
+        print(f"FAIL: {label}: recovered state diverged on shard(s) {bad}")
+        failures += 1
+    orphans = _orphan_tmps(root)
+    if orphans:
+        print(f"FAIL: {label}: orphan tmp file(s) left behind: {orphans}")
+        failures += 1
+    return failures
+
+
+def _gauntlet(n_trips: int, seed: int, n_shards: int) -> int:
+    failures = 0
+    records = _make_trips(n_trips, seed)
+    workdir = Path(tempfile.mkdtemp(prefix="esharing-shard-"))
+    try:
+        # ------------------------------------------------------------------
+        # 1. Fault-free supervised epoch == unsupervised epoch, bit for bit.
+        plain = _build_city(n_shards, workdir / "plain", seed, durable=False)
+        plain_outcome = plain.serve(records, block_size=BLOCK)
+        clean = _build_city(n_shards, workdir / "clean", seed, durable=False)
+        sup = _supervisor(clean)
+        outcome = sup.serve(records, block_size=BLOCK)
+        if outcome.health != HEALTHY or outcome.restarts or outcome.quarantined:
+            print(
+                f"FAIL: clean supervised epoch not clean: health "
+                f"{outcome.health}, {outcome.restarts} restart(s), "
+                f"{len(outcome.quarantined)} quarantined"
+            )
+            failures += 1
+        if sup.incidents.total != 0:
+            print(
+                f"FAIL: clean supervised epoch logged "
+                f"{sup.incidents.total} fleet incident(s)"
+            )
+            failures += 1
+        if outcome.scrub is None or not outcome.scrub.clean:
+            print(f"FAIL: post-epoch scrub of a clean fleet found damage")
+            failures += 1
+        by_id = {r.shard_id: r for r in outcome.reports}
+        for report in plain_outcome.reports:
+            supervised = by_id.get(report.shard_id)
+            if supervised is None or supervised.report is None:
+                print(f"FAIL: shard {report.shard_id} missing from supervised epoch")
+                failures += 1
+            elif supervised.report.outcomes != report.outcomes:
+                print(
+                    f"FAIL: shard {report.shard_id} supervised outcomes "
+                    "diverged from the plain fleet"
+                )
+                failures += 1
+        if _shard_journals(workdir / "clean", n_shards) != _shard_journals(
+            workdir / "plain", n_shards
+        ):
+            print("FAIL: clean supervised journal bytes diverged from plain fleet")
+            failures += 1
+        if _shard_states(workdir / "clean", clean) != _shard_states(
+            workdir / "plain", plain
+        ):
+            print("FAIL: clean supervised state diverged from plain fleet")
+            failures += 1
+
+        # ------------------------------------------------------------------
+        # 2. Disk-fault schedules vs a durable fault-free oracle.
+        oracle = _build_city(n_shards, workdir / "oracle", seed, durable=True)
+        _supervisor(oracle).serve(records, block_size=BLOCK)
+        oracle_journals = _shard_journals(workdir / "oracle", n_shards)
+        oracle_states = _shard_states(workdir / "oracle", oracle)
+
+        schedules = [
+            # Torn/fsync faults aim at the WAL; ENOSPC at the shard dir,
+            # where the first durable write is the genesis snapshot — so
+            # the three schedules cover journal appends, fsync promises
+            # and the atomic snapshot path respectively.
+            ("torn-writes", FaultFSConfig(
+                seed=seed, p_torn=1.0, match="shard-001/journal.jsonl",
+                max_faults=2,
+            )),
+            ("enospc", FaultFSConfig(
+                seed=seed, p_enospc=1.0, match="shard-001", max_faults=2,
+            )),
+            ("fsync-failure", FaultFSConfig(
+                seed=seed, p_fsync=1.0, match="shard-001/journal.jsonl",
+                max_faults=2,
+            )),
+        ]
+        for name, fault_config in schedules:
+            root = workdir / f"faults-{name}"
+            city = _build_city(n_shards, root, seed, durable=True)
+            sup = _supervisor(city)
+            fs = FaultFS(fault_config)
+            with fs.inject():
+                outcome = sup.serve(records, block_size=BLOCK)
+            if fs.counters.faults == 0:
+                print(f"FAIL: {name}: schedule injected no faults")
+                failures += 1
+            if outcome.health == HALTED:
+                print(f"FAIL: {name}: fleet halted under a bounded fault budget")
+                failures += 1
+            if outcome.restarts == 0:
+                print(f"FAIL: {name}: faults fired but no shard restarted")
+                failures += 1
+            failures += _check_oracle_identity(
+                name, root, city, oracle_journals, oracle_states
+            )
+            healthy = [
+                r.shard_id for r in outcome.reports
+                if r.restarts == 0 and r.report is not None
+            ]
+            if not healthy:
+                print(f"FAIL: {name}: targeted schedule disturbed every shard")
+                failures += 1
+            print(
+                f"{name}: {fs.to_text()}; {outcome.restarts} restart(s); "
+                f"unaffected shards {healthy} kept serving"
+            )
+
+        # ------------------------------------------------------------------
+        # 3. Poison-block quarantine with exact accounting.
+        router_buckets = clean.router.split_trips(records)
+        victim_sid = 1 if len(router_buckets) > 1 and router_buckets[1] else 0
+        bucket = router_buckets[victim_sid]
+        victim = bucket[len(bucket) // 2]
+        marker = f'"order_id":{victim.order_id},"start"'
+        root = workdir / "poison"
+        city = _build_city(n_shards, root, seed, durable=True)
+        sup = _supervisor(city, poison_retries=2)
+        fs = FaultFS(FaultFSConfig(
+            seed=seed, match="journal.jsonl", poison_markers=(marker,),
+        ))
+        with fs.inject():
+            outcome = sup.serve(records, block_size=BLOCK)
+        if fs.counters.poisoned == 0:
+            print("FAIL: poison: marker never fired")
+            failures += 1
+        report = {r.shard_id: r for r in outcome.reports}[victim_sid]
+        if report.state != QUARANTINED or not report.quarantined:
+            print(
+                f"FAIL: poison: victim shard ended {report.state} with "
+                f"{len(report.quarantined)} quarantined block(s)"
+            )
+            failures += 1
+        else:
+            quarantined_ids = set()
+            for row in report.quarantined:
+                quarantined_ids.update(row.order_ids)
+            if victim.order_id not in quarantined_ids:
+                print("FAIL: poison: victim trip not in the quarantine ledger")
+                failures += 1
+            journal_ids = {
+                e.trip.order_id
+                for e in TripJournal(
+                    root / f"shard-{victim_sid:03d}" / "journal.jsonl",
+                    durable=False,
+                ).scan()
+            }
+            bucket_ids = {t.order_id for t in bucket}
+            if not (bucket_ids - quarantined_ids) <= journal_ids <= bucket_ids:
+                print("FAIL: poison: journaled trips != bucket minus quarantined")
+                failures += 1
+            journaled_claim = sum(r.journaled for r in report.quarantined)
+            if journaled_claim != len(quarantined_ids & journal_ids):
+                print(
+                    f"FAIL: poison: ledger claims {journaled_claim} journaled "
+                    f"quarantined trip(s), journal holds "
+                    f"{len(quarantined_ids & journal_ids)}"
+                )
+                failures += 1
+            ledger = root / "quarantine.jsonl"
+            if not ledger.exists() or not ledger.read_text().strip():
+                print("FAIL: poison: quarantine ledger not persisted")
+                failures += 1
+        others = [
+            r for r in outcome.reports
+            if r.shard_id != victim_sid and r.report is not None
+        ]
+        if any(r.restarts for r in others):
+            print("FAIL: poison: unaffected shards restarted")
+            failures += 1
+        print(
+            f"poison: {fs.to_text()}; shard {victim_sid} quarantined "
+            f"{len(report.quarantined)} block(s) over {report.restarts} "
+            f"restart(s), fleet health {outcome.health}"
+        )
+
+        # ------------------------------------------------------------------
+        # 4. Worker-crash isolation: a dead pool demotes the epoch to
+        #    in-process supervision instead of failing it.
+        class _DeadPool:
+            def run(self, tasks):
+                raise WorkerCrashError("injected: pool lost its workers")
+
+        root = workdir / "crash"
+        city = _build_city(n_shards, root, seed, durable=True)
+        sup = FleetSupervisor(
+            city,
+            config=SupervisorConfig(backoff_base_s=0.0),
+            sleep=_no_sleep,
+            runner_factory=lambda workers, timeout: _DeadPool(),
+        )
+        outcome = sup.serve(records, workers=2, block_size=BLOCK)
+        if outcome.health == HALTED:
+            print("FAIL: worker crash halted the fleet")
+            failures += 1
+        if outcome.restarts == 0:
+            print("FAIL: worker crash epoch recorded no supervised restarts")
+            failures += 1
+        failures += _check_oracle_identity(
+            "worker-crash", root, city, oracle_journals, oracle_states
+        )
+        print(
+            f"worker-crash: epoch completed in-process with "
+            f"{outcome.restarts} restart(s), health {outcome.health}"
+        )
+
+        # ------------------------------------------------------------------
+        # 5. Scrubber round-trip: damage at rest, scrub, serve epoch 2.
+        epoch2 = _make_trips(n_trips // 2, seed + 17)
+        ref_root = workdir / "scrub-ref"
+        ref = _build_city(n_shards, ref_root, seed, durable=True)
+        ref_sup = _supervisor(ref)
+        ref_sup.serve(records, block_size=BLOCK)
+        ref_sup.serve(epoch2, block_size=BLOCK)
+
+        root = workdir / "scrub"
+        city = _build_city(n_shards, root, seed, durable=True)
+        _supervisor(city).serve(records, block_size=BLOCK)
+        snapshots = sorted((root / "shard-000").glob("snapshot-*.json"))
+        FaultFS.bitrot(snapshots[-1], seed=seed)
+        with open(root / "shard-001" / "journal.jsonl", "a") as f:
+            f.write("deadbeefdeadbeef {torn garbage")
+        orphan = root / "shard-002" / "snapshot-0000000099.json.tmp-orphan"
+        orphan.write_text("half a snapshot")
+        report = scrub_tree(root, repair=True, durable=True)
+        kinds = {(f.kind, f.action) for f in report.findings}
+        expectations = [
+            ("snapshot_corrupt", "demoted"),
+            ("journal_torn_tail", "repaired"),
+            ("orphan_tmp", "removed"),
+        ]
+        for expected in expectations:
+            if expected not in kinds:
+                print(f"FAIL: scrub: expected finding {expected}, got {kinds}")
+                failures += 1
+        if not snapshots[-1].with_name(snapshots[-1].name + ".corrupt").exists():
+            print("FAIL: scrub: corrupt snapshot not demoted to .corrupt")
+            failures += 1
+        recovered = FleetSupervisor.recover(
+            root, config=SupervisorConfig(backoff_base_s=0.0), sleep=_no_sleep
+        )
+        outcome = recovered.serve(epoch2, block_size=BLOCK)
+        if outcome.health == HALTED:
+            print("FAIL: scrub: epoch 2 halted after repair")
+            failures += 1
+        journals = _shard_journals(root, n_shards)
+        ref_journals = _shard_journals(ref_root, n_shards)
+        if journals != ref_journals:
+            bad = sorted(
+                sid for sid in set(journals) | set(ref_journals)
+                if journals.get(sid) != ref_journals.get(sid)
+            )
+            print(f"FAIL: scrub: epoch-2 journal bytes diverged on shard(s) {bad}")
+            failures += 1
+        if _shard_states(root, city) != _shard_states(ref_root, ref):
+            print("FAIL: scrub: epoch-2 recovered state diverged from reference")
+            failures += 1
+        print(
+            f"scrub: {report.to_text()}; epoch 2 after repair matched the "
+            f"undamaged reference"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    if failures:
+        print(f"shard supervision gauntlet: {failures} failure(s)")
+        return 1
+    print(
+        f"shard supervision gauntlet OK: fault-free parity, {len(schedules)} "
+        f"disk-fault schedules, poison quarantine, worker-crash isolation "
+        f"and scrubber round-trip verified over {n_trips} trips on "
+        f"{n_shards} shards"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.shard",
+        description="chaos gauntlet for the supervised shard fleet",
+    )
+    parser.add_argument("--trips", type=int, default=900, help="epoch-1 stream length")
+    parser.add_argument("--seed", type=int, default=0, help="workload + fault seed")
+    parser.add_argument(
+        "--shards", type=int, default=3, help="fleet size (>= 2)"
+    )
+    args = parser.parse_args(argv)
+    if args.shards < 2:
+        parser.error(f"--shards must be >= 2, got {args.shards}")
+    return _gauntlet(args.trips, args.seed, args.shards)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Tests for repro.resilience.faultfs (seeded disk-fault injection)."""
+
+import errno
+
+import pytest
+
+from repro.ioutil import atomic_write_bytes, fs_write, install_fs_seam
+from repro.resilience.faultfs import FaultFS, FaultFSConfig
+
+
+def _write(fs, path, data):
+    """Drive the seam protocol directly against a real file handle."""
+    mode = "ab" if isinstance(data, bytes) else "a"
+    with open(path, mode) as fh:
+        fs.write(fh, data, path)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("field", ["p_enospc", "p_torn", "p_fsync"])
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_rates_validated(self, field, value):
+        with pytest.raises(ValueError):
+            FaultFSConfig(**{field: value})
+
+    def test_max_faults_positive(self):
+        with pytest.raises(ValueError):
+            FaultFSConfig(max_faults=0)
+
+    def test_defaults_are_passthrough(self, tmp_path):
+        fs = FaultFS()
+        _write(fs, tmp_path / "f.txt", "hello")
+        assert (tmp_path / "f.txt").read_text() == "hello"
+        assert fs.counters.faults == 0
+
+
+class TestInjection:
+    def test_enospc_writes_nothing(self, tmp_path):
+        fs = FaultFS(FaultFSConfig(p_enospc=1.0))
+        path = tmp_path / "f.txt"
+        with pytest.raises(OSError) as exc:
+            _write(fs, path, "payload")
+        assert exc.value.errno == errno.ENOSPC
+        assert path.read_text() == ""
+        assert fs.counters.enospc == 1
+
+    def test_torn_write_is_strict_prefix(self, tmp_path):
+        fs = FaultFS(FaultFSConfig(p_torn=1.0))
+        path = tmp_path / "f.txt"
+        with pytest.raises(OSError) as exc:
+            _write(fs, path, "0123456789")
+        assert exc.value.errno == errno.EIO
+        landed = path.read_text()
+        assert 0 < len(landed) < 10
+        assert "0123456789".startswith(landed)
+        assert fs.counters.torn == 1
+
+    def test_fsync_failure_after_data_landed(self, tmp_path):
+        fs = FaultFS(FaultFSConfig(p_fsync=1.0))
+        path = tmp_path / "f.txt"
+        with open(path, "a") as fh:
+            fs.write(fh, "data", path)
+            fh.flush()
+            with pytest.raises(OSError):
+                fs.fsync(fh.fileno(), path)
+        assert path.read_text() == "data"
+        assert fs.counters.fsync == 1
+
+    def test_match_filter_scopes_faults(self, tmp_path):
+        fs = FaultFS(FaultFSConfig(p_enospc=1.0, match="journal"))
+        _write(fs, tmp_path / "snapshot.json", "safe")
+        with pytest.raises(OSError):
+            _write(fs, tmp_path / "journal.jsonl", "boom")
+        assert (tmp_path / "snapshot.json").read_text() == "safe"
+
+    def test_budget_caps_total_faults(self, tmp_path):
+        fs = FaultFS(FaultFSConfig(p_enospc=1.0, max_faults=2))
+        path = tmp_path / "f.txt"
+        failures = 0
+        for _ in range(5):
+            try:
+                _write(fs, path, "x")
+            except OSError:
+                failures += 1
+        assert failures == 2
+        assert path.read_text() == "xxx"  # writes after the budget land
+
+    def test_deterministic_schedule(self, tmp_path):
+        def run(tag):
+            fs = FaultFS(FaultFSConfig(seed=42, p_torn=0.5))
+            outcomes = []
+            for i in range(20):
+                try:
+                    _write(fs, tmp_path / f"{tag}-{i}", "abcdefgh")
+                except OSError:
+                    outcomes.append(i)
+            return outcomes
+
+        assert run("a") == run("b")
+
+    def test_zero_rate_consumes_no_draws(self, tmp_path):
+        """A zero-rate category (and poison markers) must not shift the
+        torn-write schedule — the chaos-harness decoupling rule."""
+
+        def torn_schedule(tag, **extra):
+            fs = FaultFS(FaultFSConfig(seed=3, p_torn=0.3, **extra))
+            torn = []
+            for i in range(30):
+                try:
+                    _write(fs, tmp_path / f"{tag}-{i}", "abcdefgh")
+                except OSError as exc:
+                    if exc.errno == errno.EIO:
+                        torn.append(i)
+            return torn
+
+        baseline = torn_schedule("plain")
+        assert torn_schedule("zeros", p_enospc=0.0, p_fsync=0.0) == baseline
+        # Poison markers are draw-free, so an (unmatched) marker leaves
+        # the schedule alone too.
+        assert torn_schedule("marked", poison_markers=("nope",)) == baseline
+        assert baseline  # the schedule actually fired
+
+
+class TestPoisonMarkers:
+    def test_marker_always_fails(self, tmp_path):
+        fs = FaultFS(FaultFSConfig(poison_markers=('"order_id":7,',)))
+        path = tmp_path / "journal.jsonl"
+        for _ in range(3):
+            with pytest.raises(OSError):
+                _write(fs, path, '{"order_id":7,"x":1}\n')
+        _write(fs, path, '{"order_id":70,"x":1}\n')  # not the marker
+        assert path.read_text() == '{"order_id":70,"x":1}\n'
+        assert fs.counters.poisoned == 3
+
+    def test_marker_exempt_from_budget(self, tmp_path):
+        fs = FaultFS(FaultFSConfig(poison_markers=("bad",), max_faults=1))
+        path = tmp_path / "f.txt"
+        with pytest.raises(OSError):
+            _write(fs, path, "bad record")
+        with pytest.raises(OSError):
+            _write(fs, path, "bad record")  # still fails past the budget
+
+    def test_marker_checks_bytes_payloads(self, tmp_path):
+        fs = FaultFS(FaultFSConfig(poison_markers=("bad",)))
+        with pytest.raises(OSError):
+            _write(fs, tmp_path / "f.bin", b"a bad byte payload")
+
+
+class TestSeamScoping:
+    def test_inject_installs_and_restores(self, tmp_path):
+        fs = FaultFS(FaultFSConfig(p_enospc=1.0))
+        with fs.inject():
+            with pytest.raises(OSError):
+                atomic_write_bytes(tmp_path / "f.bin", b"x", durable=False)
+        # Seam restored: the same write now succeeds.
+        atomic_write_bytes(tmp_path / "f.bin", b"x", durable=False)
+        assert (tmp_path / "f.bin").read_bytes() == b"x"
+
+    def test_inject_restores_on_exception(self, tmp_path):
+        fs = FaultFS()
+        with pytest.raises(RuntimeError):
+            with fs.inject():
+                raise RuntimeError("boom")
+        path = tmp_path / "f.txt"
+        with open(path, "a") as fh:
+            fs_write(fh, "plain", path)  # passthrough again
+        assert path.read_text() == "plain"
+
+    def test_install_returns_previous(self):
+        fs = FaultFS()
+        previous = install_fs_seam(fs)
+        try:
+            assert install_fs_seam(previous) is fs
+        finally:
+            install_fs_seam(None)
+
+
+class TestBitrot:
+    def test_flips_exactly_one_bit(self, tmp_path):
+        path = tmp_path / "f.bin"
+        original = bytes(range(64))
+        path.write_bytes(original)
+        offset = FaultFS.bitrot(path, seed=5)
+        mutated = path.read_bytes()
+        assert len(mutated) == len(original)
+        diff = [i for i in range(len(original)) if mutated[i] != original[i]]
+        assert diff == [offset]
+        xor = mutated[offset] ^ original[offset]
+        assert xor and (xor & (xor - 1)) == 0  # single bit
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        a.write_bytes(b"same content")
+        b.write_bytes(b"same content")
+        assert FaultFS.bitrot(a, seed=9) == FaultFS.bitrot(b, seed=9)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            FaultFS.bitrot(path)

@@ -1,10 +1,16 @@
-"""Tests for repro.ioutil (atomic writes, checksums)."""
+"""Tests for repro.ioutil (atomic writes, checksums, fault seam, rotation)."""
 
 import os
 
 import pytest
 
-from repro.ioutil import atomic_write_bytes, atomic_write_text, checksum_hex
+from repro.ioutil import (
+    atomic_write_bytes,
+    atomic_write_text,
+    checksum_hex,
+    rotate_file,
+)
+from repro.resilience.faultfs import FaultFS, FaultFSConfig
 
 
 class TestChecksum:
@@ -58,3 +64,108 @@ class TestAtomicWrite:
         target = tmp_path / "out.txt"
         atomic_write_text(target, "héllo\n", durable=False)
         assert target.read_text(encoding="utf-8") == "héllo\n"
+
+
+class TestAtomicWriteUnderFaults:
+    """The PR-8 invariant: an injected write/fsync failure never leaves
+    an orphan tmp file, and the destination holds the old bytes or the
+    new bytes — never a prefix of the new ones."""
+
+    def _assert_old_or_new(self, tmp_path, target, expected_old):
+        leftovers = [p for p in os.listdir(tmp_path) if ".tmp-" in p]
+        assert leftovers == []
+        if target.exists():
+            assert target.read_bytes() == expected_old
+
+    @pytest.mark.parametrize("had_old", [True, False])
+    def test_enospc_mid_write(self, tmp_path, had_old):
+        target = tmp_path / "current.bin"
+        if had_old:
+            atomic_write_bytes(target, b"old bytes", durable=False)
+        fs = FaultFS(FaultFSConfig(p_enospc=1.0))
+        with fs.inject():
+            with pytest.raises(OSError):
+                atomic_write_bytes(target, b"new bytes", durable=True)
+        assert fs.counters.enospc == 1
+        self._assert_old_or_new(tmp_path, target, b"old bytes")
+        assert target.exists() == had_old
+
+    @pytest.mark.parametrize("had_old", [True, False])
+    def test_torn_write(self, tmp_path, had_old):
+        target = tmp_path / "current.bin"
+        if had_old:
+            atomic_write_bytes(target, b"old bytes", durable=False)
+        fs = FaultFS(FaultFSConfig(p_torn=1.0))
+        with fs.inject():
+            with pytest.raises(OSError):
+                atomic_write_bytes(target, b"new bytes longer", durable=True)
+        assert fs.counters.torn == 1
+        # The torn prefix landed in the tmp file only — which must be
+        # gone; the destination never sees a prefix.
+        self._assert_old_or_new(tmp_path, target, b"old bytes")
+
+    @pytest.mark.parametrize("had_old", [True, False])
+    def test_fsync_failure(self, tmp_path, had_old):
+        target = tmp_path / "current.txt"
+        if had_old:
+            atomic_write_text(target, "old", durable=False)
+        fs = FaultFS(FaultFSConfig(p_fsync=1.0))
+        with fs.inject():
+            with pytest.raises(OSError):
+                atomic_write_text(target, "new", durable=True)
+        assert fs.counters.fsync == 1
+        leftovers = [p for p in os.listdir(tmp_path) if ".tmp-" in p]
+        assert leftovers == []
+        if had_old:
+            assert target.read_text() == "old"
+
+    def test_budgeted_faults_then_success(self, tmp_path):
+        target = tmp_path / "current.bin"
+        fs = FaultFS(FaultFSConfig(p_enospc=1.0, max_faults=2))
+        with fs.inject():
+            for _ in range(2):
+                with pytest.raises(OSError):
+                    atomic_write_bytes(target, b"payload", durable=True)
+            atomic_write_bytes(target, b"payload", durable=True)
+        assert target.read_bytes() == b"payload"
+        leftovers = [p for p in os.listdir(tmp_path) if ".tmp-" in p]
+        assert leftovers == []
+
+
+class TestRotateFile:
+    def test_under_threshold_keeps_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("row\n")
+        assert rotate_file(path, max_bytes=100, durable=False) is False
+        assert path.read_text() == "row\n"
+        assert not (tmp_path / "log.1.jsonl").exists()
+
+    def test_over_threshold_rotates(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("x" * 64)
+        assert rotate_file(path, max_bytes=32, durable=False) is True
+        assert not path.exists()
+        assert (tmp_path / "log.1.jsonl").read_text() == "x" * 64
+
+    def test_pending_bytes_counted(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("x" * 20)
+        assert rotate_file(path, 32, pending_bytes=20, durable=False) is True
+        assert (tmp_path / "log.1.jsonl").exists()
+
+    def test_rotation_replaces_previous_generation(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        (tmp_path / "log.1.jsonl").write_text("ancient")
+        path.write_text("y" * 64)
+        rotate_file(path, max_bytes=32, durable=False)
+        assert (tmp_path / "log.1.jsonl").read_text() == "y" * 64
+
+    def test_missing_or_empty_never_rotates(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        assert rotate_file(path, max_bytes=1, durable=False) is False
+        path.write_text("")
+        assert rotate_file(path, max_bytes=1, durable=False) is False
+
+    def test_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            rotate_file(tmp_path / "log.jsonl", max_bytes=0)

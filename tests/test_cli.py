@@ -52,6 +52,64 @@ class TestMain:
         assert "seed=5" in out
 
 
+class TestScrubCommand:
+    def test_missing_directory_is_usage_error(self, tmp_path, capsys):
+        assert main(["scrub", "--dir", str(tmp_path / "absent")]) == 2
+        assert "no such directory" in capsys.readouterr().err
+
+    def test_clean_directory_exits_zero(self, tmp_path, capsys):
+        assert main(["scrub", "--dir", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_mode_reports_damage_without_repairing(self, tmp_path, capsys):
+        orphan = tmp_path / "snapshot-1.json.tmp-abc"
+        orphan.write_text("half written")
+        assert main(["scrub", "--dir", str(tmp_path), "--check"]) == 4
+        assert orphan.exists()
+        assert "orphan_tmp" in capsys.readouterr().out
+
+    def test_repair_mode_fixes_and_exits_zero(self, tmp_path, capsys):
+        orphan = tmp_path / "snapshot-1.json.tmp-abc"
+        orphan.write_text("half written")
+        assert main(["scrub", "--dir", str(tmp_path)]) == 0
+        assert not orphan.exists()
+        assert main(["scrub", "--dir", str(tmp_path), "--check"]) == 0
+
+
+class TestIncidentsCommand:
+    def _logs(self, tmp_path):
+        logs = tmp_path / "guard-logs"
+        logs.mkdir()
+        return logs
+
+    def test_no_logs_is_usage_error(self, tmp_path, capsys):
+        assert main(["incidents", "--dir", str(tmp_path)]) == 2
+        assert "no guard logs" in capsys.readouterr().err
+
+    def test_torn_trailing_line_skipped_with_warning(self, tmp_path, capsys):
+        logs = self._logs(tmp_path)
+        (logs / "incidents.jsonl").write_text(
+            '{"seq": 1, "kind": "late", "detail": "d"}\n{"torn'
+        )
+        assert main(["incidents", "--dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "incidents.jsonl: 1 row(s)" in captured.out
+        assert "skipped 1 torn line(s)" in captured.err
+
+    def test_rotated_predecessor_read_first(self, tmp_path, capsys):
+        logs = self._logs(tmp_path)
+        (logs / "incidents.1.jsonl").write_text(
+            '{"seq": 1, "kind": "old", "detail": "a"}\n'
+        )
+        (logs / "incidents.jsonl").write_text(
+            '{"seq": 2, "kind": "new", "detail": "b"}\n'
+        )
+        assert main(["incidents", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "incidents.jsonl: 2 row(s) (+ rotated)" in out
+        assert out.index("kind=old") < out.index("kind=new")
+
+
 class TestStatsCommand:
     def test_synthetic_stats(self, capsys):
         from repro.cli import main
