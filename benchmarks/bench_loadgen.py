@@ -1,0 +1,385 @@
+"""Overload saturation curve — offered load vs served rate
+(``BENCH_loadgen.json``).
+
+Generates seeded baseline OD streams at 0.5x/1x/2x/4x/8x the admission
+capacity and serves each through a guarded runtime whose
+:class:`~repro.guard.OverloadConfig` is sized to the 1x rate.  The
+sweep records, per point, the sustained wall-clock throughput and the
+served/shed/deferred split — the saturation curve: below capacity the
+fleet serves everything, past it the shed/deferred share grows while
+the served rate stays pinned near the admission rate.
+
+Correctness is asserted inside every sweep point, before its timing is
+accepted:
+
+* end-to-end accounting must be exact (``offered == served +
+  duplicates + dead-lettered + deferred + degraded``) and the
+  controller's own conservation check must pass;
+* at the sub-capacity points the run must be **bit-identical** to an
+  uncontrolled oracle runtime fed the same stream (responses and
+  checkpoint state modulo the KS wall-clock timing) with zero rows
+  shed or deferred — the zero-overload invariant.
+
+A second section times the vectorized
+:meth:`~repro.loadgen.ScenarioSchedule.apply` against its scalar
+oracle on one large block, asserting bit-parity of the outputs before
+accepting the speedup.  The speedup gate (>= 5x) is enforced only on
+hosts with >= 4 usable cores — on an oversubscribed CI container the
+ratio measures scheduler noise, not the kernel.  ``--smoke`` runs a
+seconds-scale parity-only subset for CI.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.costs import constant_facility_cost
+from repro.core.esharing import EsharingConfig, EsharingPlanner
+from repro.core.streaming import PlacementService
+from repro.energy.fleet import Fleet
+from repro.geo.points import BoundingBox, Point
+from repro.guard import (
+    GuardConfig,
+    GuardedRuntime,
+    OverloadConfig,
+    ValidationConfig,
+)
+from repro.loadgen import ODConfig, TripStream, make_scenario
+from repro.parallel import usable_cores
+from repro.resilience.service import CheckpointingService, constant_cost_spec
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_loadgen.json"
+MULT_SWEEP = (0.5, 1.0, 2.0, 4.0, 8.0)
+BASE_TRIPS_PER_HOUR = 2400.0
+DURATION_S = 1800.0
+#: Trips per ingest block — arrival-scale granularity, so the token
+#: bucket sees minutes of traffic per offer, not a whole stream at once.
+SERVE_BLOCK = 64
+APPLY_GATE_SPEEDUP = 5.0  # vectorized scenario apply vs its scalar oracle
+MIN_GATE_CORES = 4  # below this the ratio measures scheduler noise
+PLANE = 2000.0
+COST_VALUE = 8000.0
+
+
+def _bounds():
+    return BoundingBox(0.0, 0.0, PLANE, PLANE)
+
+
+def _build_service(seed):
+    anchors = [
+        Point(float(x), float(y))
+        for x in (0, 667, 1333, 2000)
+        for y in (0, 667, 1333, 2000)
+    ]
+    historical = np.random.default_rng(seed).uniform(0.0, PLANE, size=(300, 2))
+    planner = EsharingPlanner(
+        anchors,
+        constant_facility_cost(COST_VALUE),
+        historical,
+        np.random.default_rng(seed + 1),
+        EsharingConfig(beta=2.0, history_window=200),
+    )
+    fleet = Fleet(planner.stations, n_bikes=120, rng=np.random.default_rng(seed + 2))
+    return PlacementService(planner, fleet)
+
+
+def _guard_config(overload):
+    margin = 100.0
+    return GuardConfig(
+        validation=ValidationConfig(
+            bounds=BoundingBox(-margin, -margin, PLANE + margin, PLANE + margin),
+            max_backwards_s=3600.0,
+        ),
+        lateness_s=600.0,
+        overload=overload,
+    )
+
+
+def _runtime(workdir, name, seed, overload):
+    inner = CheckpointingService(
+        _build_service(seed), workdir / name, checkpoint_every=500,
+        durable=False, facility_cost_spec=constant_cost_spec(COST_VALUE),
+    )
+    return GuardedRuntime(inner, _guard_config(overload))
+
+
+def _records(multiplier, duration_s, seed):
+    od = ODConfig(
+        bounds=_bounds(), trips_per_hour=BASE_TRIPS_PER_HOUR * multiplier
+    )
+    schedule = make_scenario("baseline", od.bounds, duration_s)
+    return TripStream(od, schedule, seed=seed).records(duration_s)
+
+
+def run_saturation(mult_sweep=MULT_SWEEP, duration_s=DURATION_S, seed=0):
+    """Serve each offered-load multiple through 1x-sized admission.
+
+    Accounting is asserted at every point; the sub-capacity points are
+    additionally asserted bit-identical to an uncontrolled oracle.
+    """
+    base_rate = BASE_TRIPS_PER_HOUR / 3600.0
+    overload = OverloadConfig(
+        rate_per_s=1.6 * base_rate,
+        burst=max(32, int(round(1.6 * base_rate * 180.0))),
+        queue_limit=400,
+    )
+    sweep = []
+    for mult in mult_sweep:
+        records = _records(mult, duration_s, seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            runtime = _runtime(tmp, "controlled", seed, overload)
+            start = time.perf_counter()
+            outcomes = runtime.serve(records, block_size=SERVE_BLOCK)
+            elapsed = time.perf_counter() - start
+            runtime.consistency_check()
+            offered = runtime.validator.offered
+            accounted = (
+                runtime.served
+                + runtime.duplicates
+                + runtime.sink.total
+                + len(runtime.deferred_decisions)
+                + len(runtime.degraded_decisions)
+            )
+            if offered != len(records) or offered != accounted:
+                raise AssertionError(
+                    f"accounting drift at {mult}x: {len(records)} in, "
+                    f"{offered} offered, {accounted} accounted"
+                )
+            ctrl = runtime.overload
+            overloaded = bool(
+                ctrl.shed or ctrl.deferred or ctrl.transitions
+            )
+            if mult <= 1.0:
+                if overloaded:
+                    raise AssertionError(
+                        f"control engaged below capacity ({mult}x): "
+                        f"{ctrl.shed} shed, {ctrl.deferred} deferred"
+                    )
+                oracle = _runtime(tmp, "oracle", seed, None)
+                expected = oracle.serve(records, block_size=SERVE_BLOCK)
+                if outcomes != expected:
+                    raise AssertionError(
+                        f"responses diverged from the uncontrolled oracle "
+                        f"at {mult}x"
+                    )
+                got = runtime.inner.service.state_dict()
+                want = oracle.inner.service.state_dict()
+                got["planner"]["ks_seconds"] = 0.0
+                want["planner"]["ks_seconds"] = 0.0
+                if got != want:
+                    raise AssertionError(
+                        f"state diverged from the uncontrolled oracle at {mult}x"
+                    )
+                oracle.close()
+            sweep.append(
+                {
+                    "multiplier": mult,
+                    "offered": offered,
+                    "served": runtime.served,
+                    "shed": ctrl.shed,
+                    "deferred": ctrl.deferred,
+                    "deadlettered": runtime.sink.total,
+                    "ladder_transitions": len(ctrl.transitions),
+                    "seconds": elapsed,
+                    "trips_per_sec": offered / elapsed,
+                    "offered_rate_per_s": offered / duration_s,
+                    "served_rate_per_s": runtime.served / duration_s,
+                }
+            )
+            runtime.close()
+    return {
+        "benchmark": "overload saturation: offered load vs served rate",
+        "admission_rate_per_s": overload.rate_per_s,
+        "event_duration_s": duration_s,
+        "parity": (
+            "exact accounting at every point; sub-capacity points "
+            "bit-identical to the uncontrolled oracle (zero shed/deferred)"
+        ),
+        "sweep": sweep,
+    }
+
+
+def run_apply_parity(n_target=20_000, seed=0):
+    """Vectorized scenario apply vs the scalar oracle on one block.
+
+    Bit-parity of the rewritten columns is asserted before the speedup
+    is accepted.
+    """
+    bounds = _bounds()
+    od = ODConfig(bounds=bounds, trips_per_hour=float(n_target) * 2.0,
+                  step_s=1800.0)
+    schedule = make_scenario("weather", bounds, duration_s=1800.0)
+    stream = TripStream(od, schedule, seed=seed)
+    block = max(stream.blocks(1800.0), key=len)
+
+    start = time.perf_counter()
+    fast = schedule.apply(block, np.random.default_rng(seed))
+    vector_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    slow = schedule.apply_scalar(block, np.random.default_rng(seed))
+    scalar_seconds = time.perf_counter() - start
+    if not (
+        np.array_equal(fast.end_x, slow.end_x)
+        and np.array_equal(fast.end_y, slow.end_y)
+    ):
+        raise AssertionError("vectorized scenario apply diverged from scalar")
+    return {
+        "benchmark": "vectorized ScenarioSchedule.apply vs scalar oracle",
+        "rows": len(block),
+        "vector_seconds": vector_seconds,
+        "scalar_seconds": scalar_seconds,
+        "speedup": scalar_seconds / vector_seconds,
+        "parity": "rewritten destination columns bitwise identical",
+    }
+
+
+def run_generation_throughput(n_target=50_000, seed=0):
+    """Raw stream emission rate (rows/sec of TripStream.blocks)."""
+    bounds = _bounds()
+    od = ODConfig(bounds=bounds, trips_per_hour=float(n_target), step_s=60.0)
+    schedule = make_scenario("festival", bounds, duration_s=3600.0)
+    stream = TripStream(od, schedule, seed=seed)
+    start = time.perf_counter()
+    rows = sum(len(b) for b in stream.blocks(3600.0))
+    elapsed = time.perf_counter() - start
+    return {
+        "benchmark": "TripStream emission (festival scenario attached)",
+        "rows": rows,
+        "seconds": elapsed,
+        "rows_per_sec": rows / elapsed,
+    }
+
+
+def run_full_report(mult_sweep=MULT_SWEEP):
+    cores = usable_cores()
+    saturation = run_saturation(mult_sweep)
+    apply_bench = run_apply_parity()
+    generation = run_generation_throughput()
+    gate_enforced = cores >= MIN_GATE_CORES
+    return {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "usable_cores": cores,
+        },
+        "saturation": saturation,
+        "scenario_apply": apply_bench,
+        "generation": generation,
+        "gates": {
+            "accounting": "ok (asserted at every sweep point)",
+            "zero_overload_identity": "ok (asserted at sub-capacity points)",
+            "required_apply_speedup": APPLY_GATE_SPEEDUP,
+            "measured_apply_speedup": apply_bench["speedup"],
+            "enforced": gate_enforced,
+            "verdict": (
+                (
+                    "pass"
+                    if apply_bench["speedup"] >= APPLY_GATE_SPEEDUP
+                    else "fail"
+                )
+                if gate_enforced
+                else f"skipped: host exposes {cores} usable core(s); the "
+                f"wall-clock gate needs >= {MIN_GATE_CORES} to be measurable"
+            ),
+        },
+    }
+
+
+def write_report(report, path=BENCH_JSON):
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def _print_report(report):
+    saturation = report["saturation"]
+    print(f"{saturation['benchmark']}:")
+    print(
+        f"{'offered':>8} {'served':>7} {'shed':>6} {'defer':>6} "
+        f"{'trips/s':>9} {'served/s':>9}"
+    )
+    for row in saturation["sweep"]:
+        print(
+            f"{row['multiplier']:>7.1f}x {row['served']:>7} {row['shed']:>6} "
+            f"{row['deferred']:>6} {row['trips_per_sec']:>9,.0f} "
+            f"{row['served_rate_per_s']:>9.2f}"
+        )
+    apply_bench = report.get("scenario_apply")
+    if apply_bench:
+        print(
+            f"scenario apply: {apply_bench['rows']} rows, "
+            f"{apply_bench['speedup']:.1f}x vectorized vs scalar "
+            f"(parity asserted)"
+        )
+    generation = report.get("generation")
+    if generation:
+        print(
+            f"stream emission: {generation['rows']} rows at "
+            f"{generation['rows_per_sec']:,.0f} rows/s"
+        )
+    gates = report["gates"]
+    print(
+        f"gate: apply >= {gates['required_apply_speedup']}x scalar -> "
+        f"{gates['verdict']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (pytest benchmarks/) — parity-gated, modest sizes.
+def test_loadgen_saturation_smoke():
+    """Accounting exact at every point; sub-capacity bit-identity."""
+    report = run_saturation(mult_sweep=(0.5, 4.0), duration_s=600.0)
+    assert all(row["seconds"] > 0 for row in report["sweep"])
+    over = next(r for r in report["sweep"] if r["multiplier"] == 4.0)
+    assert over["shed"] + over["deferred"] > 0
+
+
+def test_scenario_apply_parity_smoke():
+    """Vectorized apply is bitwise the scalar oracle (asserted inside)."""
+    report = run_apply_parity(n_target=4_000)
+    assert report["rows"] > 0 and report["vector_seconds"] > 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset for CI (two sweep points, parity gates only)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        saturation = run_saturation(mult_sweep=(0.5, 4.0), duration_s=600.0)
+        _print_report({
+            "saturation": saturation,
+            "scenario_apply": run_apply_parity(n_target=4_000),
+            "gates": {
+                "required_apply_speedup": APPLY_GATE_SPEEDUP,
+                "verdict": "skipped (smoke: parity only)",
+            },
+        })
+        print(
+            "parity OK (accounting exact, sub-capacity points bit-identical "
+            "to the uncontrolled oracle)"
+        )
+        return 0
+    report = run_full_report()
+    path = write_report(report)
+    _print_report(report)
+    print(f"wrote {path}")
+    if report["gates"]["verdict"] == "fail":
+        print(
+            f"FAIL: vectorized scenario apply only "
+            f"{report['gates']['measured_apply_speedup']:.2f}x scalar "
+            f"(gate {APPLY_GATE_SPEEDUP}x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -143,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = the scalar per-trip pipeline)",
     )
     serve.add_argument(
+        "--scenario",
+        default=None,
+        help="generate the workload from a named loadgen surge scenario "
+        "(baseline, festival, stadium, weather, rush) instead of the "
+        "uniform demo stream",
+    )
+    serve.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -192,6 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inc.add_argument(
         "--limit", type=int, default=20, help="detail rows to show per log"
+    )
+    inc.add_argument(
+        "--kind",
+        default=None,
+        help="only show rows whose incident kind / dead-letter rule "
+        "contains this substring (e.g. shed, breaker, ladder, "
+        "backpressure)",
     )
     res = sub.add_parser(
         "resume", help="recover a checkpointed run and optionally finish the workload"
@@ -328,6 +342,27 @@ def _demo_trips(seed: int, trips: int):
     return list(dataset)[:trips]
 
 
+def _serve_workload(args):
+    """The serve workload: the demo stream, or a named loadgen scenario.
+
+    ``--scenario`` validity is checked by :func:`_run_serve` before any
+    dispatch, so this only builds.
+    """
+    if getattr(args, "scenario", None) is None:
+        return _demo_trips(args.seed, args.trips)
+    from .geo.points import BoundingBox
+    from .loadgen import ODConfig, TripStream, make_scenario
+
+    plane = 2000.0
+    rate = 2400.0  # city-wide trips/hour; duration scales to --trips
+    bounds = BoundingBox(0.0, 0.0, plane, plane)
+    duration_s = max(60.0, args.trips * 3600.0 / rate)
+    schedule = make_scenario(args.scenario, bounds, duration_s)
+    return TripStream(
+        ODConfig(bounds=bounds, trips_per_hour=rate), schedule, seed=args.seed
+    ).records(duration_s)
+
+
 _DEMO_COST = 8000.0
 
 
@@ -400,7 +435,7 @@ def _run_serve_sharded(args) -> int:
     from .resilience.chaos import ChaosConfig, FaultInjector
     from .shard import ShardPlan, ShardedRuntime
 
-    clean = _demo_trips(args.seed, args.trips)
+    clean = _serve_workload(args)
     records = clean
     if args.chaos:
         injector = FaultInjector(ChaosConfig(
@@ -528,9 +563,22 @@ def _run_serve(args) -> int:
     if args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.block_size < 1:
+        print(f"--block-size must be >= 1, got {args.block_size}", file=sys.stderr)
+        return 2
+    if args.scenario is not None:
+        from .loadgen import SCENARIOS
+
+        if args.scenario not in SCENARIOS:
+            print(
+                f"unknown scenario {args.scenario!r} "
+                f"(known: {', '.join(sorted(SCENARIOS))})",
+                file=sys.stderr,
+            )
+            return 2
     if args.shards > 1:
         return _run_serve_sharded(args)
-    records = _demo_trips(args.seed, args.trips)
+    records = _serve_workload(args)
     if args.chaos:
         injector = FaultInjector(ChaosConfig(
             seed=args.seed, p_duplicate=0.03, p_drop=0.03, p_swap=0.05,
@@ -550,9 +598,6 @@ def _run_serve(args) -> int:
         checkpoint_every=args.every,
         facility_cost_spec=constant_cost_spec(_DEMO_COST),
     )
-    if args.block_size < 1:
-        print(f"--block-size must be >= 1, got {args.block_size}", file=sys.stderr)
-        return 2
     if not args.guard:
         if args.block_size == 1:
             served = sum(1 for r in records if wrapped.handle_trip(r) is not None)
@@ -648,7 +693,21 @@ def _run_incidents(args) -> int:
                     # crash mid-flush — skip it rather than refusing the
                     # whole log.
                     torn += 1
-        suffix = " (+ rotated)" if len(paths) > 1 else ""
+        kind = getattr(args, "kind", None)
+        if kind:
+            # Incident rows carry 'kind', dead-letter rows 'rule' — one
+            # filter serves both logs (shed rows match via their rule).
+            total = len(rows)
+            rows = [
+                row
+                for row in rows
+                if kind in str(row.get("kind") or row.get("rule") or "")
+            ]
+            suffix = f" matching {kind!r} (of {total})"
+        else:
+            suffix = ""
+        if len(paths) > 1:
+            suffix += " (+ rotated)"
         print(f"{name}: {len(rows)} row(s){suffix}")
         if torn:
             print(

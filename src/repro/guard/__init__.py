@@ -9,6 +9,10 @@ service lives here:
   out-of-order streams;
 * :mod:`~repro.guard.breakers` — deterministic circuit breakers and the
   per-subsystem degradations (KS test, incentives, forecasting);
+* :mod:`~repro.guard.overload` — admission control for traffic past
+  saturation: event-time token bucket, bounded ingest queue with
+  backpressure, seeded priority load-shedder, and a three-rung
+  degradation ladder with hysteresis;
 * :mod:`~repro.guard.runtime` — the :class:`GuardedRuntime` supervisor
   tying it together with a healthy/degraded/halted state machine,
   self-healing through crash recovery, and a structured incident log.
@@ -24,6 +28,14 @@ from .breakers import (
     GuardedForecaster,
     GuardedIncentives,
     GuardedKS2D,
+)
+from .overload import (
+    RUNGS,
+    SHED_RULE,
+    LadderConfig,
+    OverloadConfig,
+    OverloadController,
+    TokenBucket,
 )
 from .reorder import WatermarkBuffer
 from .runtime import (
@@ -62,4 +74,10 @@ __all__ = [
     "HEALTHY",
     "DEGRADED",
     "HALTED",
+    "RUNGS",
+    "SHED_RULE",
+    "LadderConfig",
+    "OverloadConfig",
+    "OverloadController",
+    "TokenBucket",
 ]

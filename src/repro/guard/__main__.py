@@ -397,6 +397,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.shards < 1:
         parser.error(f"--shards must be >= 1, got {args.shards}")
+    if args.block_size is not None and args.block_size <= 0:
+        parser.error(f"--block-size must be positive, got {args.block_size}")
     if args.shards > 1:
         return _sharded_gauntlet(
             args.trips, args.seed, args.shards, block_size=args.block_size

@@ -106,6 +106,7 @@ class CircuitBreaker:
         self.config = config or BreakerConfig()
         self.on_transition = on_transition
         self.state = CLOSED
+        self.suspended = False  # ladder rung >= 1: refuse without tripping
         self.calls = 0
         self.failures = 0  # consecutive, resets on success
         self.total_failures = 0
@@ -137,17 +138,36 @@ class CircuitBreaker:
     @property
     def healthy(self) -> bool:
         """True while the breaker lets real calls through."""
-        return self.state != OPEN
+        return self.state != OPEN and not self.suspended
+
+    def suspend(self) -> None:
+        """Administratively refuse calls without touching the state
+        machine — the degradation ladder's "defer this subsystem".
+
+        Refused calls take the configured fallback exactly as an open
+        breaker's would, but the state stays wherever it was and the
+        event clock keeps counting, so resuming continues the breaker's
+        own history unperturbed.
+        """
+        self.suspended = True
+
+    def resume(self) -> None:
+        """Lift an administrative suspension."""
+        self.suspended = False
 
     def admit(self) -> bool:
         """Count one call and decide whether the subsystem may be hit.
 
-        ``False`` means refused: the breaker is open and its cooldown
-        has not elapsed.  ``True`` either passes a closed breaker or
-        grants the single half-open probe — the caller must then report
-        back via :meth:`success` or :meth:`failure`.
+        ``False`` means refused: the breaker is suspended (ladder), or
+        open and its cooldown has not elapsed.  ``True`` either passes
+        a closed breaker or grants the single half-open probe — the
+        caller must then report back via :meth:`success` or
+        :meth:`failure`.
         """
         self.calls += 1
+        if self.suspended:
+            self.refused += 1
+            return False
         if self.state == OPEN:
             if self.calls >= self._reopen_at:
                 self._move(HALF_OPEN)

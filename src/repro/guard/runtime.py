@@ -71,6 +71,7 @@ from .breakers import (
     GuardedIncentives,
     GuardedKS2D,
 )
+from .overload import OverloadConfig, OverloadController
 from .reorder import WatermarkBuffer
 from .validation import DeadLetterSink, TripValidator, ValidationConfig
 
@@ -84,6 +85,9 @@ __all__ = [
     "DegradedDecision",
     "GuardedRuntime",
 ]
+
+#: Aux breakers the overload ladder suspends on rung >= 1.
+_LADDER_AUX = ("ks", "incentive", "forecast")
 
 #: Runtime health states (plain strings: serialisable, greppable).
 HEALTHY, DEGRADED, HALTED = "healthy", "degraded", "halted"
@@ -117,6 +121,10 @@ class GuardConfig:
             (validator masks, watermark release and WAL group commit all
             amortise per block).  ``1`` is the scalar parity oracle —
             exactly the historical per-trip pipeline.
+        overload: admission-control policy (token bucket, bounded
+            ingest queue, priority shedder, degradation ladder) —
+            ``None`` (the default) serves unthrottled, exactly the
+            historical pipeline.
 
     Raises:
         ValueError: on non-positive retry/rotation limits or block size.
@@ -132,6 +140,7 @@ class GuardConfig:
     incident_keep: int = 10_000
     incident_log_max_bytes: int = 1_000_000
     block_size: int = 256
+    overload: Optional[OverloadConfig] = None
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -343,9 +352,18 @@ class GuardedRuntime:
         self.forecaster: Optional[GuardedForecaster] = None
         if forecaster is not None:
             self.forecaster = GuardedForecaster(forecaster, self.breakers["forecast"])
+        self.overload: Optional[OverloadController] = None
+        if self.config.overload is not None:
+            self.overload = OverloadController(
+                self.config.overload,
+                sink=self.sink,
+                incident=self._incident,
+                breakers={name: self.breakers[name] for name in _LADDER_AUX},
+            )
         self._halted = False
         self.halt_reason: Optional[str] = None
         self.degraded_decisions: List[DegradedDecision] = []
+        self.deferred_decisions: List[DegradedDecision] = []
         self.served = 0
         self.duplicates = 0
         self.healed = 0
@@ -410,6 +428,8 @@ class GuardedRuntime:
             return HALTED
         if any(b.state != CLOSED for b in self.breakers.values()):
             return DEGRADED
+        if self.overload is not None and self.overload.rung > 0:
+            return DEGRADED
         return HEALTHY
 
     @property
@@ -445,7 +465,24 @@ class GuardedRuntime:
         self._require_live()
         if not self.validator.admit(trip):
             return []
-        return [self._apply(t) for t in self.buffer.push(trip)]
+        if self.overload is None:
+            return [self._apply(t) for t in self.buffer.push(trip)]
+        try:
+            block = TripBlock.from_trips([trip])
+        except (TypeError, ValueError):
+            # Un-blockable garbage the validator nevertheless accepted:
+            # it lawfully skips the (columnar) controller, counted so
+            # the conservation equation stays exact.
+            self.overload.note_bypass(1)
+            return [self._apply(t) for t in self.buffer.push(trip)]
+        seqs = np.array([self.validator.offered - 1], dtype=np.int64)
+        granted, deferred = self.overload.offer(block, seqs)
+        outcomes = []
+        for t in granted.to_trips():
+            outcomes.extend(self._apply(r) for r in self.buffer.push(t))
+        for t in deferred.to_trips():
+            outcomes.append(self._deferred(t))
+        return outcomes
 
     def ingest_block(self, block: TripBlock):
         """Offer a whole columnar block to the guarded pipeline.
@@ -463,22 +500,43 @@ class GuardedRuntime:
             RuntimeHaltedError: the runtime is (or just became) halted.
         """
         self._require_live()
+        offered_base = self.validator.offered
         mask = self.validator.admit_block(block)
         if bool(mask.all()):
             accepted = block
         else:
             accepted = block.take(np.flatnonzero(mask))
-        released = self.buffer.push_block(accepted)
-        return self._apply_block(released.to_trips())
+        if self.overload is None:
+            released = self.buffer.push_block(accepted)
+            return self._apply_block(released.to_trips())
+        if len(accepted) == len(block):
+            seqs = offered_base + np.arange(len(block), dtype=np.int64)
+        else:
+            seqs = offered_base + np.flatnonzero(mask).astype(np.int64)
+        granted, deferred = self.overload.offer(accepted, seqs)
+        released = self.buffer.push_block(granted)
+        outcomes = self._apply_block(released.to_trips())
+        for t in deferred.to_trips():
+            outcomes.append(self._deferred(t))
+        return outcomes
 
     def finish(self):
-        """End of stream: drain the reorder buffer and apply the rest.
+        """End of stream: drain the admission queue and reorder buffer.
 
         Raises:
             RuntimeHaltedError: the runtime is (or just became) halted.
         """
         self._require_live()
-        return self._apply_block(self.buffer.flush())
+        outcomes: List = []
+        if self.overload is not None:
+            granted, deferred = self.overload.drain()
+            if len(granted):
+                released = self.buffer.push_block(granted)
+                outcomes.extend(self._apply_block(released.to_trips()))
+            for t in deferred.to_trips():
+                outcomes.append(self._deferred(t))
+        outcomes.extend(self._apply_block(self.buffer.flush()))
+        return outcomes
 
     def ingest_many(
         self, trips: Iterable[TripRecord], block_size: Optional[int] = None
@@ -715,6 +773,31 @@ class GuardedRuntime:
         )
         return decision
 
+    def _deferred(self, trip: TripRecord):
+        """Answer a ladder-deferred trip from the nearest-station
+        fallback — the rung-2 "nearest_only" serving mode.
+
+        Same mechanics as :meth:`_degraded` but on a dedicated ledger:
+        a deferred decision records overload (the planner is fine, the
+        queue is not), a degraded one records a broken planner.  The
+        aggregate incident is recorded by the controller; per-row
+        incidents would drown the log exactly when it matters most.
+        """
+        try:
+            response = self.inner.service.degraded_assign(trip)
+        except StateDriftError as exc:
+            self._halt(f"deferred serve impossible: {exc}")
+            raise RuntimeHaltedError(self.halt_reason) from exc
+        decision = DegradedDecision(
+            order_id=response.order_id,
+            origin_station=response.origin_station,
+            destination_station=response.destination_station,
+            walking_m=response.walking_m,
+            reason="overload ladder: nearest-station-only serving",
+        )
+        self.deferred_decisions.append(decision)
+        return decision
+
     def _self_heal(self, trip: TripRecord, cause: Exception):
         """Rebuild the poisoned in-memory service from durable state.
 
@@ -784,12 +867,32 @@ class GuardedRuntime:
         self.inner.consistency_check()
         self.validator.consistency_check()
         self.buffer.consistency_check()
-        if self.validator.accepted != self.buffer.admitted + self.buffer.too_late + self.buffer.shed:
-            raise StateDriftError(
-                f"validator passed {self.validator.accepted} events but the "
-                f"buffer accounts for "
-                f"{self.buffer.admitted + self.buffer.too_late + self.buffer.shed}"
-            )
+        into_buffer = self.buffer.admitted + self.buffer.too_late + self.buffer.shed
+        if self.overload is None:
+            if self.validator.accepted != into_buffer:
+                raise StateDriftError(
+                    f"validator passed {self.validator.accepted} events but "
+                    f"the buffer accounts for {into_buffer}"
+                )
+        else:
+            self.overload.consistency_check()
+            if self.validator.accepted != self.overload.offered:
+                raise StateDriftError(
+                    f"validator passed {self.validator.accepted} events but "
+                    f"the overload controller was offered "
+                    f"{self.overload.offered}"
+                )
+            if self.overload.admitted != into_buffer:
+                raise StateDriftError(
+                    f"controller admitted {self.overload.admitted} events "
+                    f"but the buffer accounts for {into_buffer}"
+                )
+            if self.overload.deferred != len(self.deferred_decisions):
+                raise StateDriftError(
+                    f"controller deferred {self.overload.deferred} events "
+                    f"but {len(self.deferred_decisions)} deferred decisions "
+                    "were recorded"
+                )
         outcomes = self.served + self.duplicates + len(self.degraded_decisions)
         if self.buffer.emitted != outcomes:
             raise StateDriftError(

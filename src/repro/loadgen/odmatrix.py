@@ -1,0 +1,282 @@
+"""Seeded OD-matrix trip generation with routed waypoints.
+
+The synthetic dataset tier draws destinations from static Gaussian
+hotspots — fine for placement studies, useless for load testing: real
+traffic is *origin→destination* structured, spatially skewed, and
+bursty.  This module generates trips the way the BigContest-style
+traffic simulators do:
+
+1. the city plane is gridded into zones; a seeded **gravity model**
+   (zone weight product decayed by distance) yields a zone-pair rate
+   matrix in trips per second;
+2. each emission step draws per-pair **Poisson** counts from the rate
+   matrix (scaled by the active scenario's rate multipliers), places
+   endpoints uniformly inside their zones, and timestamps them in
+   sorted order within the step;
+3. a **waypoint router** attaches a rectilinear two-leg route
+   (origin → corner → destination) with a seeded detour stretch; the
+   route length lands in the block's ``geodesic_m`` column, and
+   :meth:`WaypointRouter.waypoints` reconstructs the polyline of any
+   emitted trip.
+
+Trips are emitted directly as columnar
+:class:`~repro.core.tripblock.TripBlock` batches — the exact shape the
+guarded hot path ingests — with a seeded fraction of rows marked as
+**low-value** (``user_id < 0``: app pings, demo accounts, speculative
+reservations).  These are what the overload shedder drops first.
+
+Everything is driven by one root seed through ``SeedSequence.spawn``,
+so a stream is exactly reproducible: same seed, same scenario, same
+blocks, byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..core.tripblock import TripBlock, datetime_to_us
+from ..datasets.trips import TripRecord
+from ..geo.points import BoundingBox
+from .scenarios import ScenarioSchedule
+
+__all__ = ["ODConfig", "ODMatrix", "WaypointRouter", "TripStream"]
+
+
+@dataclass(frozen=True)
+class ODConfig:
+    """Shape of the generated traffic.
+
+    Attributes:
+        bounds: the city plane; all endpoints stay inside it.
+        zones_per_side: the OD grid is ``zones_per_side²`` zones.
+        trips_per_hour: city-wide baseline offered rate (scenario
+            pulses multiply it locally or globally).
+        step_s: emission step — one Poisson draw per zone pair per
+            step, one block per step.
+        hotspots: seeded attraction hotspots added to the zone weights
+            (stadium districts, transit hubs).
+        decay_m: exponential distance decay of the gravity model.
+        low_value_fraction: fraction of rows marked synthetic/low-value
+            (``user_id < 0``) — the shedder's priority class 0.
+        detour_max: upper bound of the router's uniform detour stretch
+            over the rectilinear route length.
+        users / bikes: id spaces of the generated rows.
+
+    Raises:
+        ValueError: on non-positive sizes/rates or fractions outside
+            ``[0, 1]``.
+    """
+
+    bounds: BoundingBox
+    zones_per_side: int = 6
+    trips_per_hour: float = 1200.0
+    step_s: float = 60.0
+    hotspots: int = 4
+    decay_m: float = 1500.0
+    low_value_fraction: float = 0.25
+    detour_max: float = 0.2
+    users: int = 10_000
+    bikes: int = 4_000
+
+    def __post_init__(self) -> None:
+        if self.zones_per_side <= 0:
+            raise ValueError(
+                f"zones_per_side must be positive, got {self.zones_per_side}"
+            )
+        if self.trips_per_hour <= 0 or self.step_s <= 0:
+            raise ValueError("trips_per_hour and step_s must be positive")
+        if not 0.0 <= self.low_value_fraction <= 1.0:
+            raise ValueError(
+                f"low_value_fraction must be in [0, 1], got "
+                f"{self.low_value_fraction}"
+            )
+        if self.detour_max < 0:
+            raise ValueError(f"detour_max must be >= 0, got {self.detour_max}")
+        if self.hotspots < 0 or self.decay_m <= 0:
+            raise ValueError("hotspots must be >= 0 and decay_m positive")
+        if self.users <= 0 or self.bikes <= 0:
+            raise ValueError("users and bikes must be positive")
+
+
+class ODMatrix:
+    """Gravity-model zone-pair rate matrix over a seeded zone grid."""
+
+    def __init__(self, config: ODConfig, seed=0) -> None:
+        self.config = config
+        b = config.bounds
+        nz = config.zones_per_side
+        width = b.max_x - b.min_x
+        height = b.max_y - b.min_y
+        xs = b.min_x + (np.arange(nz) + 0.5) * width / nz
+        ys = b.min_y + (np.arange(nz) + 0.5) * height / nz
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        #: Zone centres, row-major over the grid.
+        self.zone_x = gx.ravel()
+        self.zone_y = gy.ravel()
+        #: Half cell extents — endpoint jitter stays inside the zone.
+        self.half_x = 0.5 * width / nz
+        self.half_y = 0.5 * height / nz
+        rng = np.random.default_rng(seed)
+        weights = 0.4 + rng.uniform(0.0, 0.6, self.zone_x.size)
+        scale = 0.12 * max(width, height)
+        for _ in range(config.hotspots):
+            cx = rng.uniform(b.min_x, b.max_x)
+            cy = rng.uniform(b.min_y, b.max_y)
+            strength = rng.uniform(1.0, 3.0)
+            d2 = (self.zone_x - cx) ** 2 + (self.zone_y - cy) ** 2
+            weights = weights + strength * np.exp(-d2 / (2.0 * scale * scale))
+        dx = self.zone_x[:, None] - self.zone_x[None, :]
+        dy = self.zone_y[:, None] - self.zone_y[None, :]
+        gravity = (
+            weights[:, None]
+            * weights[None, :]
+            * np.exp(-np.sqrt(dx * dx + dy * dy) / config.decay_m)
+        )
+        #: ``(Z, Z)`` trips/sec per (origin zone, destination zone).
+        self.rates = gravity / gravity.sum() * (config.trips_per_hour / 3600.0)
+
+    @property
+    def n_zones(self) -> int:
+        return int(self.zone_x.size)
+
+
+class WaypointRouter:
+    """Rectilinear two-leg routing: origin → corner → destination.
+
+    The corner of trip ``i`` is chosen by parity of its order id (an
+    even trip turns at ``(end_x, start_y)``, an odd one at
+    ``(start_x, end_y)``), so :meth:`waypoints` reconstructs the
+    polyline of any emitted trip without stored state.  The routed
+    length is the Manhattan distance times a seeded detour stretch in
+    ``[1, 1 + detour_max)`` — the stretch of an emitted trip is
+    recoverable as ``geodesic_m / manhattan``.
+    """
+
+    def __init__(self, detour_max: float = 0.2) -> None:
+        if detour_max < 0:
+            raise ValueError(f"detour_max must be >= 0, got {detour_max}")
+        self.detour_max = float(detour_max)
+
+    def attach_routes(self, block: TripBlock, rng: np.random.Generator) -> TripBlock:
+        """Return the block with routed lengths in ``geodesic_m``."""
+        n = len(block)
+        manhattan = np.abs(block.end_x - block.start_x) + np.abs(
+            block.end_y - block.start_y
+        )
+        stretch = 1.0 + rng.uniform(0.0, self.detour_max, n)
+        return TripBlock(
+            order_id=block.order_id,
+            user_id=block.user_id,
+            bike_id=block.bike_id,
+            bike_type=block.bike_type,
+            start_us=block.start_us,
+            start_x=block.start_x,
+            start_y=block.start_y,
+            end_x=block.end_x,
+            end_y=block.end_y,
+            geodesic_m=manhattan * stretch,
+            has_geodesic=np.ones(n, dtype=bool),
+            battery=block.battery,
+            has_battery=block.has_battery,
+        )
+
+    def waypoints(self, trip: TripRecord) -> List[Tuple[float, float]]:
+        """The trip's route polyline (origin, corner, destination)."""
+        sx, sy = float(trip.start.x), float(trip.start.y)
+        ex, ey = float(trip.end.x), float(trip.end.y)
+        corner = (ex, sy) if trip.order_id % 2 == 0 else (sx, ey)
+        return [(sx, sy), corner, (ex, ey)]
+
+
+class TripStream:
+    """Seeded block stream: OD matrix × scenario schedule × router.
+
+    Args:
+        config: traffic shape.
+        schedule: the scenario (rate pulses + trip-side events); its
+            ``t0`` is the stream's genesis timestamp.  Use
+            :func:`~repro.loadgen.scenarios.make_scenario`.
+        seed: root seed; matrix and emission entropy are spawned from
+            it, so the stream is exactly reproducible.
+    """
+
+    def __init__(
+        self, config: ODConfig, schedule: ScenarioSchedule, seed: int = 0
+    ) -> None:
+        self.config = config
+        self.schedule = schedule
+        self.seed = int(seed)
+        matrix_seed, self._stream_seed = np.random.SeedSequence(self.seed).spawn(2)
+        self.matrix = ODMatrix(config, seed=matrix_seed)
+        self.router = WaypointRouter(config.detour_max)
+
+    def blocks(self, duration_s: float) -> Iterator[TripBlock]:
+        """Emit the stream as one sorted block per non-empty step.
+
+        Timestamps are non-decreasing within and across blocks, so the
+        stream rides the watermark buffer's sorted fast path; order ids
+        are dense and ascending.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(self._stream_seed)
+        t0_us = datetime_to_us(self.schedule.t0)
+        step_us = int(round(cfg.step_s * 1e6))
+        nz = self.matrix.n_zones
+        order_base = 0
+        for k in range(int(math.ceil(duration_s / cfg.step_s))):
+            mult = self.schedule.rate_multiplier(
+                k * cfg.step_s, self.matrix.zone_x, self.matrix.zone_y
+            )
+            lam = self.matrix.rates * mult * cfg.step_s
+            counts = rng.poisson(lam)
+            n = int(counts.sum())
+            if n == 0:
+                continue
+            pair = np.repeat(np.arange(nz * nz), counts.ravel())
+            origin = pair // nz
+            dest = pair % nz
+            sx = self.matrix.zone_x[origin] + rng.uniform(
+                -self.matrix.half_x, self.matrix.half_x, n
+            )
+            sy = self.matrix.zone_y[origin] + rng.uniform(
+                -self.matrix.half_y, self.matrix.half_y, n
+            )
+            ex = self.matrix.zone_x[dest] + rng.uniform(
+                -self.matrix.half_x, self.matrix.half_x, n
+            )
+            ey = self.matrix.zone_y[dest] + rng.uniform(
+                -self.matrix.half_y, self.matrix.half_y, n
+            )
+            start_us = t0_us + k * step_us + np.sort(
+                rng.integers(0, step_us, n, dtype=np.int64)
+            )
+            users = rng.integers(0, cfg.users, n, dtype=np.int64)
+            low = rng.uniform(size=n) < cfg.low_value_fraction
+            block = TripBlock(
+                order_id=order_base + np.arange(n, dtype=np.int64),
+                user_id=np.where(low, -1 - users, users),
+                bike_id=rng.integers(0, cfg.bikes, n, dtype=np.int64),
+                bike_type=np.ones(n, dtype=np.int64),
+                start_us=start_us,
+                start_x=sx,
+                start_y=sy,
+                end_x=ex,
+                end_y=ey,
+                battery=rng.uniform(0.05, 1.0, n),
+                has_battery=np.ones(n, dtype=bool),
+            )
+            block = self.schedule.apply(block, rng)
+            block = self.router.attach_routes(block, rng)
+            order_base += n
+            yield block
+
+    def records(self, duration_s: float) -> List[TripRecord]:
+        """The stream materialised as :class:`TripRecord` rows."""
+        out: List[TripRecord] = []
+        for block in self.blocks(duration_s):
+            out.extend(block.to_trips())
+        return out

@@ -1,0 +1,433 @@
+"""Composable surge scenarios: rate pulses and trip-side events.
+
+A :class:`ScenarioSchedule` modifies a baseline OD stream two ways:
+
+* **Rate pulses** (:class:`RatePulse`) scale the OD rate matrix while
+  active — globally (a weather shutoff multiplies everything by 0.05),
+  by destination (a festival multiplies flows *into* the venue's
+  radius), or directionally (a rush-hour wave multiplies flows from
+  outside a hub into it).  Pulses compose by multiplication.
+* **Trip events** (:class:`ScheduledEvent`) rewrite individual emitted
+  rows: a ``surge`` event redirects a seeded fraction of in-window
+  destinations to a Gaussian cloud around the venue; a ``closure``
+  event pushes destinations out of a closed disc (flooded underpass,
+  cordoned block) to just past its rim.
+
+:meth:`ScenarioSchedule.apply` is **vectorized over TripBlock
+columns** — masks, batched draws, one pass per event.
+:meth:`ScenarioSchedule.apply_scalar` is the per-row reference kept as
+the parity oracle: both walk events outermost and draw phases in the
+same order (all selection uniforms for an event, then all offsets),
+and NumPy ``Generator`` batched draws consume the bit stream exactly
+as sequential single draws do, so the two paths are **bit-identical**
+— the property the scenario test suite pins.
+
+(The older :mod:`repro.datasets.scenarios` record-level tier remains
+for simulator studies; this module is its columnar, loadgen-facing
+counterpart.)
+
+Named scenarios live in :data:`SCENARIOS`; :func:`make_scenario`
+builds a schedule scaled to a bounding box and duration::
+
+    schedule = make_scenario("festival", bounds, duration_s=3 * 3600)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.tripblock import TripBlock, datetime_to_us
+from ..geo.points import BoundingBox
+
+__all__ = [
+    "RatePulse",
+    "ScheduledEvent",
+    "ScenarioSchedule",
+    "SCENARIOS",
+    "make_scenario",
+]
+
+#: Default stream genesis (a calm Wednesday 6am, like the demo data).
+DEFAULT_T0 = datetime(2017, 5, 10, 6, 0)
+
+
+@dataclass(frozen=True)
+class RatePulse:
+    """One multiplicative window over the OD rate matrix.
+
+    Attributes:
+        start_s / end_s: active window, seconds since stream genesis
+            (half-open: ``start <= t < end``).
+        multiplier: rate factor while active (10–50 for a stadium
+            spike, 0.05 for a weather shutoff).
+        center: ``(x, y)`` focus, or ``None`` for a global pulse.
+        radius_m: zone centres within this radius of ``center`` count
+            as "inside".
+        direction: ``"any"`` scales all flows into the inside zones,
+            ``"inbound"`` only outside→inside flows, ``"outbound"``
+            only inside→outside — the coordinated-wave shapes.
+
+    Raises:
+        ValueError: on an empty window, a negative multiplier, an
+            unknown direction, or a focused pulse without a radius.
+    """
+
+    start_s: float
+    end_s: float
+    multiplier: float
+    center: Optional[Tuple[float, float]] = None
+    radius_m: float = 0.0
+    direction: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError(f"empty pulse window [{self.start_s}, {self.end_s})")
+        if self.multiplier < 0:
+            raise ValueError(f"multiplier must be >= 0, got {self.multiplier}")
+        if self.direction not in ("any", "inbound", "outbound"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.center is not None and self.radius_m <= 0:
+            raise ValueError("a focused pulse needs a positive radius_m")
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One trip-rewriting event (``surge`` or ``closure``).
+
+    Attributes:
+        kind: ``"surge"`` redirects destinations toward ``(x, y)``;
+            ``"closure"`` pushes destinations out of the disc.
+        start_s / end_s: active window (half-open, stream seconds).
+        x / y: event focus.
+        radius_m: Gaussian spread (surge: sigma is ``radius_m / 2.5``)
+            or closed-disc radius (closure).
+        intensity: fraction of in-window trips a surge redirects
+            (ignored by closures, which affect every trip in the disc).
+
+    Raises:
+        ValueError: on an unknown kind, empty window, non-positive
+            radius, or intensity outside ``[0, 1]``.
+    """
+
+    kind: str
+    start_s: float
+    end_s: float
+    x: float
+    y: float
+    radius_m: float
+    intensity: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("surge", "closure"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.end_s <= self.start_s:
+            raise ValueError(f"empty event window [{self.start_s}, {self.end_s})")
+        if self.radius_m <= 0:
+            raise ValueError(f"radius_m must be positive, got {self.radius_m}")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {self.intensity}")
+
+
+@dataclass(frozen=True)
+class ScenarioSchedule:
+    """A scenario: genesis time, plane, rate pulses, trip events."""
+
+    t0: datetime
+    bounds: BoundingBox
+    pulses: Tuple[RatePulse, ...] = ()
+    events: Tuple[ScheduledEvent, ...] = ()
+
+    # ------------------------------------------------------------------
+    def rate_multiplier(
+        self, t_s: float, zone_x: np.ndarray, zone_y: np.ndarray
+    ):
+        """The ``(Z, Z)`` rate factor matrix at stream second ``t_s``.
+
+        Returns the scalar ``1.0`` when no pulse is active — the
+        caller can multiply either form into the rate matrix.
+        """
+        active = [p for p in self.pulses if p.start_s <= t_s < p.end_s]
+        if not active:
+            return 1.0
+        nz = int(zone_x.size)
+        factor = np.ones((nz, nz))
+        for pulse in active:
+            if pulse.center is None:
+                factor *= pulse.multiplier
+                continue
+            cx, cy = pulse.center
+            inside = (zone_x - cx) ** 2 + (zone_y - cy) ** 2 <= pulse.radius_m**2
+            if pulse.direction == "inbound":
+                factor[np.ix_(~inside, inside)] *= pulse.multiplier
+            elif pulse.direction == "outbound":
+                factor[np.ix_(inside, ~inside)] *= pulse.multiplier
+            else:
+                factor[:, inside] *= pulse.multiplier
+        return factor
+
+    # ------------------------------------------------------------------
+    def apply(self, block: TripBlock, rng: np.random.Generator) -> TripBlock:
+        """Rewrite a block's destinations per the active events.
+
+        Vectorized over the block's columns; bit-identical to
+        :meth:`apply_scalar` with an identically-seeded generator.
+        Draw order (the parity contract): events outermost, then per
+        event phase-major — surge draws one uniform per in-window row,
+        then two normals per redirected row; closure draws two normals
+        per zero-distance row.  Start times and all non-destination
+        columns pass through untouched.
+        """
+        n = len(block)
+        if n == 0 or not self.events:
+            return block
+        t_s = (block.start_us - datetime_to_us(self.t0)) / 1e6
+        ex = block.end_x.copy()
+        ey = block.end_y.copy()
+        b = self.bounds
+        for ev in self.events:
+            window = (t_s >= ev.start_s) & (t_s < ev.end_s)
+            if ev.kind == "surge":
+                rows = np.flatnonzero(window)
+                if rows.size == 0:
+                    continue
+                hit = rows[rng.uniform(size=rows.size) < ev.intensity]
+                if hit.size:
+                    off = rng.normal(0.0, ev.radius_m / 2.5, size=(hit.size, 2))
+                    ex[hit] = np.clip(ev.x + off[:, 0], b.min_x, b.max_x)
+                    ey[hit] = np.clip(ev.y + off[:, 1], b.min_y, b.max_y)
+            else:  # closure
+                dx = ex - ev.x
+                dy = ey - ev.y
+                d = np.sqrt(dx * dx + dy * dy)
+                inside = window & (d < ev.radius_m)
+                push = inside & (d > 0.0)
+                if np.any(push):
+                    scale = (ev.radius_m * 1.05) / d[push]
+                    ex[push] = np.clip(
+                        ev.x + dx[push] * scale, b.min_x, b.max_x
+                    )
+                    ey[push] = np.clip(
+                        ev.y + dy[push] * scale, b.min_y, b.max_y
+                    )
+                zero = np.flatnonzero(inside & (d == 0.0))
+                if zero.size:
+                    # Direction by normalised Gaussian pair: every op is
+                    # correctly rounded, so scalar replay is bitwise
+                    # identical (unlike cos/sin, whose SIMD paths are
+                    # not guaranteed to match libm).
+                    v = rng.normal(0.0, 1.0, size=(zero.size, 2))
+                    norm = np.sqrt(v[:, 0] ** 2 + v[:, 1] ** 2)
+                    ex[zero] = np.clip(
+                        ev.x + (v[:, 0] / norm) * (ev.radius_m * 1.05),
+                        b.min_x, b.max_x,
+                    )
+                    ey[zero] = np.clip(
+                        ev.y + (v[:, 1] / norm) * (ev.radius_m * 1.05),
+                        b.min_y, b.max_y,
+                    )
+        return TripBlock(
+            order_id=block.order_id,
+            user_id=block.user_id,
+            bike_id=block.bike_id,
+            bike_type=block.bike_type,
+            start_us=block.start_us,
+            start_x=block.start_x,
+            start_y=block.start_y,
+            end_x=ex,
+            end_y=ey,
+            geodesic_m=block.geodesic_m,
+            has_geodesic=block.has_geodesic,
+            battery=block.battery,
+            has_battery=block.has_battery,
+        )
+
+    def apply_scalar(self, block: TripBlock, rng: np.random.Generator) -> TripBlock:
+        """Per-row reference for :meth:`apply` — the parity oracle.
+
+        Same event-outermost, phase-major draw order; every arithmetic
+        step mirrors the vectorized expressions operation for
+        operation, so the result is bit-identical.
+        """
+        n = len(block)
+        if n == 0 or not self.events:
+            return block
+        t0_us = datetime_to_us(self.t0)
+        t_s = [(int(block.start_us[i]) - t0_us) / 1e6 for i in range(n)]
+        ex = block.end_x.copy()
+        ey = block.end_y.copy()
+        b = self.bounds
+        for ev in self.events:
+            window = [ev.start_s <= t < ev.end_s for t in t_s]
+            if ev.kind == "surge":
+                hit = [
+                    i
+                    for i in range(n)
+                    if window[i] and float(rng.uniform()) < ev.intensity
+                ]
+                for i in hit:
+                    ox, oy = rng.normal(0.0, ev.radius_m / 2.5, size=2)
+                    ex[i] = min(max(ev.x + ox, b.min_x), b.max_x)
+                    ey[i] = min(max(ev.y + oy, b.min_y), b.max_y)
+            else:  # closure
+                for i in range(n):
+                    if not window[i]:
+                        continue
+                    dx = float(ex[i]) - ev.x
+                    dy = float(ey[i]) - ev.y
+                    d = math.sqrt(dx * dx + dy * dy)
+                    if not d < ev.radius_m or d <= 0.0:
+                        continue
+                    scale = (ev.radius_m * 1.05) / d
+                    ex[i] = min(max(ev.x + dx * scale, b.min_x), b.max_x)
+                    ey[i] = min(max(ev.y + dy * scale, b.min_y), b.max_y)
+                for i in range(n):
+                    if not window[i]:
+                        continue
+                    dx = float(block.end_x[i]) - ev.x
+                    dy = float(block.end_y[i]) - ev.y
+                    if math.sqrt(dx * dx + dy * dy) == 0.0:
+                        vx, vy = rng.normal(0.0, 1.0, size=2)
+                        norm = math.sqrt(vx * vx + vy * vy)
+                        ex[i] = min(
+                            max(ev.x + (vx / norm) * (ev.radius_m * 1.05), b.min_x),
+                            b.max_x,
+                        )
+                        ey[i] = min(
+                            max(ev.y + (vy / norm) * (ev.radius_m * 1.05), b.min_y),
+                            b.max_y,
+                        )
+        return TripBlock(
+            order_id=block.order_id,
+            user_id=block.user_id,
+            bike_id=block.bike_id,
+            bike_type=block.bike_type,
+            start_us=block.start_us,
+            start_x=block.start_x,
+            start_y=block.start_y,
+            end_x=ex,
+            end_y=ey,
+            geodesic_m=block.geodesic_m,
+            has_geodesic=block.has_geodesic,
+            battery=block.battery,
+            has_battery=block.has_battery,
+        )
+
+
+# ----------------------------------------------------------------------
+# Named scenarios.  Each factory scales its geometry to the bounding box
+# and its windows to the requested duration, so the same names work for
+# a 10-minute smoke run and a 12-hour soak.
+def _extent(bounds: BoundingBox) -> Tuple[float, float, float]:
+    width = bounds.max_x - bounds.min_x
+    height = bounds.max_y - bounds.min_y
+    return width, height, max(width, height)
+
+
+def _festival(bounds, duration_s):
+    """A few festival hours: 18x demand into one venue, mid-stream."""
+    width, height, extent = _extent(bounds)
+    venue = (bounds.min_x + 0.68 * width, bounds.min_y + 0.62 * height)
+    radius = 0.15 * extent
+    w0, w1 = 0.30 * duration_s, 0.55 * duration_s
+    return (
+        (RatePulse(w0, w1, 18.0, center=venue, radius_m=radius),),
+        (ScheduledEvent("surge", w0, w1, venue[0], venue[1], radius, 0.6),),
+    )
+
+
+def _stadium(bounds, duration_s):
+    """Stadium letting out: 45x into a tight radius, shorter window."""
+    width, height, extent = _extent(bounds)
+    gate = (bounds.min_x + 0.32 * width, bounds.min_y + 0.70 * height)
+    radius = 0.09 * extent
+    w0, w1 = 0.35 * duration_s, 0.52 * duration_s
+    return (
+        (RatePulse(w0, w1, 45.0, center=gate, radius_m=radius),),
+        (ScheduledEvent("surge", w0, w1, gate[0], gate[1], radius, 0.8),),
+    )
+
+
+def _weather(bounds, duration_s):
+    """Storm shutoff to 5% of demand, then a 6x city-wide rebound,
+    with a flooded district closed for the whole episode."""
+    width, height, extent = _extent(bounds)
+    flooded = (bounds.min_x + 0.45 * width, bounds.min_y + 0.35 * height)
+    return (
+        (
+            RatePulse(0.25 * duration_s, 0.50 * duration_s, 0.05),
+            RatePulse(0.50 * duration_s, 0.62 * duration_s, 6.0),
+        ),
+        (
+            ScheduledEvent(
+                "closure",
+                0.25 * duration_s,
+                0.62 * duration_s,
+                flooded[0],
+                flooded[1],
+                0.10 * extent,
+            ),
+        ),
+    )
+
+
+def _rush(bounds, duration_s):
+    """Two coordinated rush waves: everything flows into the centre."""
+    width, height, extent = _extent(bounds)
+    cbd = (bounds.min_x + 0.5 * width, bounds.min_y + 0.5 * height)
+    radius = 0.28 * extent
+    morning = (0.10 * duration_s, 0.25 * duration_s)
+    evening = (0.55 * duration_s, 0.70 * duration_s)
+    pulses = tuple(
+        RatePulse(w0, w1, 16.0, center=cbd, radius_m=radius, direction="inbound")
+        for w0, w1 in (morning, evening)
+    )
+    events = tuple(
+        ScheduledEvent("surge", w0, w1, cbd[0], cbd[1], radius, 0.3)
+        for w0, w1 in (morning, evening)
+    )
+    return pulses, events
+
+
+def _baseline(bounds, duration_s):
+    """No pulses, no events — the calibration stream."""
+    return (), ()
+
+
+#: Named scenario factories: ``name -> (bounds, duration_s) ->
+#: (pulses, events)``.
+SCENARIOS: Dict[str, Callable] = {
+    "baseline": _baseline,
+    "festival": _festival,
+    "stadium": _stadium,
+    "weather": _weather,
+    "rush": _rush,
+}
+
+
+def make_scenario(
+    name: str,
+    bounds: BoundingBox,
+    duration_s: float,
+    t0: datetime = DEFAULT_T0,
+) -> ScenarioSchedule:
+    """Build a named scenario scaled to a plane and duration.
+
+    Raises:
+        ValueError: on an unknown scenario name (the message lists the
+            known ones) or a non-positive duration.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r} (known: {', '.join(sorted(SCENARIOS))})"
+        ) from None
+    pulses, events = factory(bounds, duration_s)
+    return ScenarioSchedule(t0=t0, bounds=bounds, pulses=pulses, events=events)

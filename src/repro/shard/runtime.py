@@ -62,6 +62,7 @@ from ..datasets.trips import TripRecord
 from ..energy.fleet import Fleet
 from ..geo.points import BoundingBox, Point
 from ..guard.breakers import BreakerConfig
+from ..guard.overload import LadderConfig, OverloadConfig
 from ..guard.runtime import HALTED, DEGRADED, HEALTHY, GuardConfig, GuardedRuntime
 from ..guard.validation import ValidationConfig
 from ..ioutil import atomic_write_text
@@ -113,12 +114,21 @@ def _guard_from_state(state: Dict[str, Any]) -> GuardConfig:
     bounds = validation.pop("bounds")
     battery = validation.pop("battery_range")
     breaker = BreakerConfig(**state.pop("breaker"))
+    # Plans written before the overload layer existed lack the key.
+    overload_state = state.pop("overload", None)
+    overload = None
+    if overload_state is not None:
+        overload_state = dict(overload_state)
+        ladder = LadderConfig(**overload_state.pop("ladder"))
+        overload = OverloadConfig(ladder=ladder, **overload_state)
     config = ValidationConfig(
         bounds=None if bounds is None else BoundingBox(*bounds),
         battery_range=tuple(battery),
         **validation,
     )
-    return GuardConfig(validation=config, breaker=breaker, **state)
+    return GuardConfig(
+        validation=config, breaker=breaker, overload=overload, **state
+    )
 
 
 @dataclass(frozen=True)
@@ -200,6 +210,8 @@ class ShardReport:
     outcomes: Tuple
     referrals: Tuple[CrossShardReferral, ...]
     stations: Tuple[Tuple[int, float, float], ...]
+    shed: int = 0
+    deferred: int = 0
 
 
 @dataclass(frozen=True)
@@ -224,6 +236,14 @@ class ShardedServeOutcome:
     @property
     def degraded(self) -> int:
         return sum(r.degraded for r in self.reports)
+
+    @property
+    def shed(self) -> int:
+        return sum(r.shed for r in self.reports)
+
+    @property
+    def deferred(self) -> int:
+        return sum(r.deferred for r in self.reports)
 
     @property
     def health(self) -> str:
@@ -675,6 +695,8 @@ def _run_epoch_task(
         outcomes=tuple(outcomes),
         referrals=tuple(referrals),
         stations=stations,
+        shed=runtime.overload.shed if runtime.overload is not None else 0,
+        deferred=len(runtime.deferred_decisions),
     )
     runtime.close()
     return report

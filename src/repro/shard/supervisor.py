@@ -236,6 +236,14 @@ class SupervisedOutcome:
     def deadlettered(self) -> int:
         return sum(r.report.deadlettered for r in self.reports if r.report)
 
+    @property
+    def shed(self) -> int:
+        return sum(r.report.shed for r in self.reports if r.report)
+
+    @property
+    def deferred(self) -> int:
+        return sum(r.report.deferred for r in self.reports if r.report)
+
 
 def _safe_id(trip: TripRecord) -> int:
     try:
@@ -695,6 +703,8 @@ class FleetSupervisor:
             outcomes=outcomes,
             referrals=tuple(referrals),
             stations=stations,
+            shed=runtime.overload.shed if runtime.overload is not None else 0,
+            deferred=len(runtime.deferred_decisions),
         )
 
     @staticmethod

@@ -1,0 +1,155 @@
+"""OD-matrix stream generation: gravity model, emission, routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.tripblock import datetime_to_us
+from repro.geo import BoundingBox
+from repro.loadgen import ODConfig, ODMatrix, TripStream, WaypointRouter, make_scenario
+from repro.loadgen.scenarios import DEFAULT_T0
+
+BOX = BoundingBox(0.0, 0.0, 2000.0, 2000.0)
+T0_US = datetime_to_us(DEFAULT_T0)
+
+
+def stream(scenario="baseline", duration_s=1800.0, seed=0, **overrides):
+    defaults = dict(
+        bounds=BOX, zones_per_side=4, trips_per_hour=1200.0, step_s=60.0
+    )
+    defaults.update(overrides)
+    config = ODConfig(**defaults)
+    return TripStream(config, make_scenario(scenario, BOX, duration_s), seed=seed)
+
+
+class TestODConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(zones_per_side=0),
+            dict(trips_per_hour=0.0),
+            dict(step_s=-1.0),
+            dict(low_value_fraction=1.5),
+            dict(low_value_fraction=-0.1),
+            dict(detour_max=-0.2),
+            dict(decay_m=0.0),
+            dict(hotspots=-1),
+            dict(users=0),
+            dict(bikes=0),
+        ],
+    )
+    def test_rejects_bad_shapes(self, kwargs):
+        with pytest.raises(ValueError):
+            ODConfig(bounds=BOX, **kwargs)
+
+
+class TestODMatrix:
+    def test_rates_sum_to_the_offered_rate(self):
+        config = ODConfig(bounds=BOX, zones_per_side=5, trips_per_hour=3600.0)
+        matrix = ODMatrix(config, seed=3)
+        assert matrix.rates.shape == (25, 25)
+        assert np.all(matrix.rates >= 0.0)
+        # the whole matrix emits trips_per_hour / 3600 trips per second
+        assert matrix.rates.sum() == pytest.approx(1.0)
+
+    def test_zone_centres_tile_the_plane(self):
+        config = ODConfig(bounds=BOX, zones_per_side=4)
+        matrix = ODMatrix(config, seed=0)
+        assert matrix.n_zones == 16
+        assert np.all((matrix.zone_x >= BOX.min_x) & (matrix.zone_x <= BOX.max_x))
+        assert np.all((matrix.zone_y >= BOX.min_y) & (matrix.zone_y <= BOX.max_y))
+        assert matrix.half_x == pytest.approx(2000.0 / 8)
+
+
+class TestTripStream:
+    def test_same_seed_is_bitwise_reproducible(self):
+        first = list(stream(seed=42).blocks(1800.0))
+        second = list(stream(seed=42).blocks(1800.0))
+        assert len(first) == len(second) > 0
+        for a, b in zip(first, second):
+            assert np.array_equal(a.order_id, b.order_id)
+            assert np.array_equal(a.start_us, b.start_us)
+            assert np.array_equal(a.end_x, b.end_x)
+            assert np.array_equal(a.geodesic_m, b.geodesic_m)
+
+    def test_different_seeds_diverge(self):
+        a = stream(seed=1).records(600.0)
+        b = stream(seed=2).records(600.0)
+        assert [t.start_time for t in a] != [t.start_time for t in b]
+
+    def test_timestamps_sorted_and_order_ids_dense(self):
+        blocks = list(stream(seed=5).blocks(1800.0))
+        start_us = np.concatenate([b.start_us for b in blocks])
+        order_id = np.concatenate([b.order_id for b in blocks])
+        assert np.all(np.diff(start_us) >= 0)  # watermark fast path rides this
+        assert np.array_equal(order_id, np.arange(order_id.size))
+        assert np.all(start_us >= T0_US)
+
+    def test_endpoints_stay_inside_the_plane(self):
+        for block in stream("weather", seed=9).blocks(1800.0):
+            for col in (block.start_x, block.end_x):
+                assert np.all((col >= BOX.min_x) & (col <= BOX.max_x))
+            for col in (block.start_y, block.end_y):
+                assert np.all((col >= BOX.min_y) & (col <= BOX.max_y))
+
+    def test_low_value_fraction_is_respected(self):
+        blocks = list(
+            stream(seed=3, low_value_fraction=0.3, trips_per_hour=6000.0).blocks(
+                1800.0
+            )
+        )
+        user_id = np.concatenate([b.user_id for b in blocks])
+        assert user_id.size > 1000
+        low = float(np.mean(user_id < 0))
+        assert 0.25 < low < 0.35
+
+    def test_zero_low_value_fraction_marks_nothing(self):
+        blocks = list(stream(seed=3, low_value_fraction=0.0).blocks(600.0))
+        assert all(np.all(b.user_id >= 0) for b in blocks)
+
+
+class TestWaypointRouter:
+    def test_rejects_negative_detour(self):
+        with pytest.raises(ValueError):
+            WaypointRouter(detour_max=-0.1)
+
+    def test_route_length_brackets_the_manhattan_distance(self):
+        detour_max = 0.2
+        blocks = list(stream(seed=7, detour_max=detour_max).blocks(1800.0))
+        for block in blocks:
+            manhattan = np.abs(block.end_x - block.start_x) + np.abs(
+                block.end_y - block.start_y
+            )
+            assert np.all(block.has_geodesic)
+            assert np.all(block.geodesic_m >= manhattan)
+            assert np.all(block.geodesic_m <= manhattan * (1.0 + detour_max))
+
+    def test_waypoints_reconstruct_the_rectilinear_route(self):
+        router = WaypointRouter()
+        trips = stream(seed=7).records(600.0)
+        assert trips
+        for trip in trips[:200]:
+            poly = router.waypoints(trip)
+            assert len(poly) == 3
+            assert poly[0] == (trip.start.x, trip.start.y)
+            assert poly[-1] == (trip.end.x, trip.end.y)
+            # the polyline is rectilinear: each leg moves along one axis
+            length = 0.0
+            for (ax, ay), (bx, by) in zip(poly, poly[1:]):
+                assert ax == bx or ay == by
+                length += abs(bx - ax) + abs(by - ay)
+            manhattan = abs(trip.end.x - trip.start.x) + abs(
+                trip.end.y - trip.start.y
+            )
+            assert length == pytest.approx(manhattan)
+
+    def test_detour_stretch_is_recoverable(self):
+        detour_max = 0.3
+        trips = stream(seed=7, detour_max=detour_max).records(600.0)
+        for trip in trips:
+            manhattan = abs(trip.end.x - trip.start.x) + abs(
+                trip.end.y - trip.start.y
+            )
+            if manhattan == 0.0:
+                continue
+            stretch = trip.geodesic_m / manhattan
+            assert 1.0 <= stretch <= 1.0 + detour_max

@@ -1,0 +1,227 @@
+"""Surge scenarios: pulse algebra, event rewrites, vector/scalar parity."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.tripblock import TripBlock, datetime_to_us
+from repro.geo import BoundingBox
+from repro.loadgen import (
+    RatePulse,
+    SCENARIOS,
+    ScenarioSchedule,
+    ScheduledEvent,
+    make_scenario,
+)
+from repro.loadgen.scenarios import DEFAULT_T0
+
+BOX = BoundingBox(0.0, 0.0, 2000.0, 2000.0)
+T0_US = datetime_to_us(DEFAULT_T0)
+DURATION = 3600.0
+
+
+def make_block(n, seed=0, duration_s=DURATION):
+    """Random rows spread uniformly over the scenario's full window."""
+    rng = np.random.default_rng(seed)
+    idx = np.arange(n, dtype=np.int64)
+    return TripBlock(
+        order_id=idx,
+        user_id=idx % 50,
+        bike_id=idx % 60,
+        bike_type=np.ones(n, dtype=np.int64),
+        start_us=T0_US
+        + np.sort(rng.integers(0, int(duration_s * 1e6), n, dtype=np.int64)),
+        start_x=rng.uniform(BOX.min_x, BOX.max_x, n),
+        start_y=rng.uniform(BOX.min_y, BOX.max_y, n),
+        end_x=rng.uniform(BOX.min_x, BOX.max_x, n),
+        end_y=rng.uniform(BOX.min_y, BOX.max_y, n),
+    )
+
+
+class TestPulseValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(start_s=10.0, end_s=10.0, multiplier=2.0),
+            dict(start_s=20.0, end_s=10.0, multiplier=2.0),
+            dict(start_s=0.0, end_s=10.0, multiplier=-1.0),
+            dict(start_s=0.0, end_s=10.0, multiplier=2.0, direction="sideways"),
+            dict(start_s=0.0, end_s=10.0, multiplier=2.0, center=(1.0, 1.0)),
+        ],
+    )
+    def test_rate_pulse_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            RatePulse(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(kind="earthquake", start_s=0.0, end_s=10.0, x=0, y=0, radius_m=5.0),
+            dict(kind="surge", start_s=10.0, end_s=10.0, x=0, y=0, radius_m=5.0),
+            dict(kind="surge", start_s=0.0, end_s=10.0, x=0, y=0, radius_m=0.0),
+            dict(
+                kind="surge",
+                start_s=0.0,
+                end_s=10.0,
+                x=0,
+                y=0,
+                radius_m=5.0,
+                intensity=1.5,
+            ),
+        ],
+    )
+    def test_scheduled_event_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            ScheduledEvent(**kwargs)
+
+
+class TestRateMultiplier:
+    def setup_method(self):
+        # 2x2 zone centres: (0,0) is "inside" the focus, the rest outside
+        self.zx = np.array([0.0, 100.0, 0.0, 100.0])
+        self.zy = np.array([0.0, 0.0, 100.0, 100.0])
+
+    def schedule(self, *pulses):
+        return ScenarioSchedule(t0=DEFAULT_T0, bounds=BOX, pulses=tuple(pulses))
+
+    def test_inactive_window_returns_scalar_one(self):
+        sched = self.schedule(RatePulse(100.0, 200.0, 5.0))
+        assert sched.rate_multiplier(50.0, self.zx, self.zy) == 1.0
+        assert sched.rate_multiplier(200.0, self.zx, self.zy) == 1.0  # half-open
+
+    def test_global_pulse_scales_everything(self):
+        sched = self.schedule(RatePulse(0.0, 100.0, 0.05))
+        factor = sched.rate_multiplier(50.0, self.zx, self.zy)
+        assert np.all(factor == 0.05)
+
+    def test_inbound_pulse_scales_only_outside_to_inside(self):
+        pulse = RatePulse(
+            0.0, 100.0, 10.0, center=(0.0, 0.0), radius_m=10.0, direction="inbound"
+        )
+        factor = self.schedule(pulse).rate_multiplier(50.0, self.zx, self.zy)
+        inside = np.array([True, False, False, False])
+        expect = np.ones((4, 4))
+        expect[np.ix_(~inside, inside)] = 10.0
+        assert np.array_equal(factor, expect)
+
+    def test_outbound_pulse_scales_only_inside_to_outside(self):
+        pulse = RatePulse(
+            0.0, 100.0, 10.0, center=(0.0, 0.0), radius_m=10.0, direction="outbound"
+        )
+        factor = self.schedule(pulse).rate_multiplier(50.0, self.zx, self.zy)
+        inside = np.array([True, False, False, False])
+        expect = np.ones((4, 4))
+        expect[np.ix_(inside, ~inside)] = 10.0
+        assert np.array_equal(factor, expect)
+
+    def test_any_direction_scales_all_flows_into_the_focus(self):
+        pulse = RatePulse(0.0, 100.0, 10.0, center=(0.0, 0.0), radius_m=10.0)
+        factor = self.schedule(pulse).rate_multiplier(50.0, self.zx, self.zy)
+        assert np.all(factor[:, 0] == 10.0)
+        assert np.all(factor[:, 1:] == 1.0)
+
+    def test_overlapping_pulses_compose_by_multiplication(self):
+        sched = self.schedule(
+            RatePulse(0.0, 100.0, 2.0), RatePulse(50.0, 150.0, 3.0)
+        )
+        assert np.all(sched.rate_multiplier(75.0, self.zx, self.zy) == 6.0)
+
+
+class TestApplyParity:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_vectorized_apply_matches_the_scalar_oracle(self, name):
+        sched = make_scenario(name, BOX, DURATION)
+        block = make_block(400, seed=11)
+        fast = sched.apply(block, np.random.default_rng(99))
+        slow = sched.apply_scalar(block, np.random.default_rng(99))
+        assert np.array_equal(fast.end_x, slow.end_x)  # bitwise, not approx
+        assert np.array_equal(fast.end_y, slow.end_y)
+        assert np.array_equal(fast.start_us, block.start_us)
+        assert np.array_equal(fast.start_x, block.start_x)
+
+    def test_parity_covers_the_zero_distance_closure_branch(self):
+        sched = make_scenario("weather", BOX, DURATION)
+        closure = next(e for e in sched.events if e.kind == "closure")
+        block = make_block(50, seed=2)
+        # park one in-window destination exactly on the closed centre
+        mid = (closure.start_s + closure.end_s) / 2.0
+        block.start_us[0] = T0_US + int(mid * 1e6)
+        block.end_x[0] = closure.x
+        block.end_y[0] = closure.y
+        fast = sched.apply(block, np.random.default_rng(4))
+        slow = sched.apply_scalar(block, np.random.default_rng(4))
+        assert np.array_equal(fast.end_x, slow.end_x)
+        assert np.array_equal(fast.end_y, slow.end_y)
+        # the parked row was pushed just past the rim
+        d = float(
+            np.sqrt(
+                (fast.end_x[0] - closure.x) ** 2 + (fast.end_y[0] - closure.y) ** 2
+            )
+        )
+        assert d == pytest.approx(closure.radius_m * 1.05)
+
+    def test_closure_empties_the_disc(self):
+        sched = make_scenario("weather", BOX, DURATION)
+        closure = next(e for e in sched.events if e.kind == "closure")
+        rewritten = sched.apply(make_block(600, seed=8), np.random.default_rng(1))
+        t_s = (rewritten.start_us - T0_US) / 1e6
+        window = (t_s >= closure.start_s) & (t_s < closure.end_s)
+        d = np.sqrt(
+            (rewritten.end_x - closure.x) ** 2 + (rewritten.end_y - closure.y) ** 2
+        )
+        assert np.any(window)
+        assert np.all(d[window] >= closure.radius_m)
+
+    def test_surge_pulls_destinations_toward_the_venue(self):
+        sched = make_scenario("stadium", BOX, DURATION)
+        event = sched.events[0]
+        before = make_block(600, seed=8)
+        after = sched.apply(before, np.random.default_rng(1))
+        t_s = (before.start_us - T0_US) / 1e6
+        window = (t_s >= event.start_s) & (t_s < event.end_s)
+
+        def mean_dist(block):
+            return float(
+                np.mean(
+                    np.sqrt(
+                        (block.end_x[window] - event.x) ** 2
+                        + (block.end_y[window] - event.y) ** 2
+                    )
+                )
+            )
+
+        assert mean_dist(after) < mean_dist(before)
+
+    def test_no_events_returns_the_same_object(self):
+        sched = make_scenario("baseline", BOX, DURATION)
+        block = make_block(10)
+        rng = np.random.default_rng(0)
+        assert sched.apply(block, rng) is block
+        # and consumed no entropy
+        assert (
+            rng.bit_generator.state == np.random.default_rng(0).bit_generator.state
+        )
+
+
+class TestRegistry:
+    def test_known_scenarios(self):
+        assert set(SCENARIOS) == {"baseline", "festival", "stadium", "weather", "rush"}
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_factory_builds_a_schedule(self, name):
+        t0 = datetime(2020, 1, 1)
+        sched = make_scenario(name, BOX, 600.0, t0=t0)
+        assert sched.t0 == t0 and sched.bounds == BOX
+        for pulse in sched.pulses:
+            assert 0.0 <= pulse.start_s < pulse.end_s <= 600.0
+        for event in sched.events:
+            assert 0.0 <= event.start_s < event.end_s <= 600.0
+
+    def test_unknown_name_lists_the_known_ones(self):
+        with pytest.raises(ValueError, match="baseline.*stadium"):
+            make_scenario("tsunami", BOX, 600.0)
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_scenario("baseline", BOX, 0.0)

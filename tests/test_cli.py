@@ -110,6 +110,77 @@ class TestIncidentsCommand:
         assert out.index("kind=old") < out.index("kind=new")
 
 
+class TestServeArgumentHardening:
+    def test_zero_shards_is_usage_error(self, tmp_path, capsys):
+        assert main(["serve", "--dir", str(tmp_path), "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_non_positive_block_size_is_usage_error(self, tmp_path, capsys):
+        assert main(["serve", "--dir", str(tmp_path), "--block-size", "0"]) == 2
+        assert "--block-size must be >= 1" in capsys.readouterr().err
+
+    def test_block_size_checked_before_sharded_dispatch(self, tmp_path, capsys):
+        args = ["serve", "--dir", str(tmp_path), "--shards", "2", "--block-size", "-4"]
+        assert main(args) == 2
+        assert "--block-size must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_usage_error(self, tmp_path, capsys):
+        args = ["serve", "--dir", str(tmp_path), "--scenario", "tsunami"]
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'tsunami'" in err
+        assert "stadium" in err  # the one-liner lists the known names
+
+    def test_named_scenario_feeds_the_serve_path(self, tmp_path, capsys):
+        args = [
+            "serve", "--dir", str(tmp_path / "ckpt"),
+            "--scenario", "baseline", "--trips", "40", "--guard",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "guarded run:" in out
+        assert "final health healthy" in out
+
+
+class TestIncidentsKindFilter:
+    def _logs(self, tmp_path):
+        logs = tmp_path / "guard-logs"
+        logs.mkdir()
+        (logs / "incidents.jsonl").write_text(
+            '{"seq": 1, "kind": "backpressure", "detail": "raised"}\n'
+            '{"seq": 2, "kind": "ladder", "detail": "rung 0 -> 1"}\n'
+            '{"seq": 3, "kind": "breaker", "detail": "ks open"}\n'
+        )
+        (logs / "deadletter.jsonl").write_text(
+            '{"seq": 4, "rule": "overload_shed", "reason": "queue full"}\n'
+            '{"seq": 5, "rule": "out_of_bounds", "reason": "nan"}\n'
+        )
+        return logs
+
+    def test_kind_filters_incident_rows(self, tmp_path, capsys):
+        self._logs(tmp_path)
+        assert main(["incidents", "--dir", str(tmp_path), "--kind", "ladder"]) == 0
+        out = capsys.readouterr().out
+        assert "incidents.jsonl: 1 row(s) matching 'ladder' (of 3)" in out
+        assert "rung 0 -> 1" in out
+        assert "ks open" not in out
+
+    def test_kind_matches_dead_letter_rules_too(self, tmp_path, capsys):
+        self._logs(tmp_path)
+        assert main(["incidents", "--dir", str(tmp_path), "--kind", "shed"]) == 0
+        out = capsys.readouterr().out
+        assert "deadletter.jsonl: 1 row(s) matching 'shed' (of 2)" in out
+        assert "overload_shed" in out
+        assert "out_of_bounds" not in out
+
+    def test_no_filter_shows_everything(self, tmp_path, capsys):
+        self._logs(tmp_path)
+        assert main(["incidents", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "incidents.jsonl: 3 row(s)" in out
+        assert "deadletter.jsonl: 2 row(s)" in out
+
+
 class TestStatsCommand:
     def test_synthetic_stats(self, capsys):
         from repro.cli import main

@@ -25,6 +25,7 @@ SUBPACKAGES = [
     "repro.resilience",
     "repro.parallel",
     "repro.shard",
+    "repro.loadgen",
 ]
 
 
